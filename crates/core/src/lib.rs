@@ -1,0 +1,65 @@
+//! # leime
+//!
+//! LEIME — a Low latency Edge Intelligence scheme based on Multi-Exit DNNs
+//! (reproduction of Huang et al., ICDCS 2021).
+//!
+//! LEIME serves DNN inference tasks launched from heterogeneous end
+//! devices with a device / edge / cloud hierarchy and minimises long-term
+//! average task completion time (TCT) with two coordinated mechanisms:
+//!
+//! 1. **Exit setting** (model level): a branch-and-bound search places a
+//!    First/Second/Third exit in the DNN chain, partitioning it into
+//!    device, edge and cloud blocks (`leime-exitcfg`).
+//! 2. **Online offloading** (computation level): each time slot, every
+//!    device picks the fraction of new tasks to launch on the edge using a
+//!    Lyapunov drift-plus-penalty controller that balances device- and
+//!    edge-side costs (`leime-offload`).
+//!
+//! This crate assembles those pieces into runnable systems:
+//!
+//! * [`Scenario`] — a declarative experiment description (model, devices,
+//!   links, workload, controller),
+//! * [`SlottedSystem`] — the paper's slotted queueing model (Eq. 10–14),
+//!   used for the motivation and ablation experiments,
+//! * [`TaskSim`] — an end-to-end discrete-event simulation of individual
+//!   tasks flowing through device → edge → cloud with early exits,
+//! * [`systems`] — LEIME plus the paper's benchmark systems (DDNN,
+//!   Neurosurgeon, Edgent) behind one interface,
+//! * [`runtime`] — a live multi-threaded prototype (crossbeam channels,
+//!   real classifier inference) of the co-inference pipeline.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use leime::{ExitStrategy, Scenario};
+//!
+//! # fn main() -> Result<(), leime::LeimeError> {
+//! let scenario = Scenario::raspberry_pi_cluster(leime::ModelKind::SqueezeNet, 2, 5.0);
+//! let deployment = scenario.deploy(ExitStrategy::Leime)?;
+//! let report = scenario.run_slotted(&deployment, 200, 7)?;
+//! println!("mean TCT = {:.1} ms", report.mean_tct_ms());
+//! # Ok(())
+//! # }
+//! ```
+
+mod deploy;
+mod error;
+mod model;
+mod report;
+mod scenario;
+mod slotted;
+mod tasksim;
+
+pub mod runtime;
+pub mod systems;
+
+pub use deploy::{Deployment, ExitStrategy};
+pub use error::LeimeError;
+pub use model::ModelKind;
+pub use report::{RunReport, TierCounts};
+pub use scenario::{ControllerKind, Scenario, WorkloadKind};
+pub use slotted::SlottedSystem;
+pub use tasksim::TaskSim;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, LeimeError>;

@@ -1,0 +1,225 @@
+use leime_simnet::stats::{Percentiles, TimeSeries, Welford};
+use serde::{Deserialize, Serialize};
+
+/// How many tasks exited at each tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierCounts {
+    /// Tasks that exited at the First-exit.
+    pub first: u64,
+    /// Tasks that exited at the Second-exit.
+    pub second: u64,
+    /// Tasks that reached the Third-exit.
+    pub third: u64,
+}
+
+impl TierCounts {
+    /// Total tasks.
+    pub fn total(&self) -> u64 {
+        self.first + self.second + self.third
+    }
+
+    /// Fraction exiting at the First-exit.
+    pub fn first_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.first as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    tct: Percentiles,
+    series: TimeSeries,
+    tiers: TierCounts,
+    offload_ratio: Welford,
+    queue_q: Welford,
+    queue_h: Welford,
+}
+
+impl RunReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        RunReport::default()
+    }
+
+    /// Records one completed task's completion time (seconds) at `t`.
+    pub(crate) fn record_tct(&mut self, t: leime_simnet::SimTime, tct_s: f64) {
+        self.tct.push(tct_s);
+        self.series.push(t, tct_s);
+    }
+
+    /// Records an exit-tier observation (0, 1 or 2).
+    pub(crate) fn record_tier(&mut self, tier: usize) {
+        match tier {
+            0 => self.tiers.first += 1,
+            1 => self.tiers.second += 1,
+            _ => self.tiers.third += 1,
+        }
+    }
+
+    /// Records one device-slot's chosen offloading ratio.
+    pub(crate) fn record_offload(&mut self, x: f64) {
+        self.offload_ratio.push(x);
+    }
+
+    /// Records queue lengths at a slot boundary.
+    pub(crate) fn record_queues(&mut self, q: f64, h: f64) {
+        self.queue_q.push(q);
+        self.queue_h.push(h);
+    }
+
+    /// Number of completed tasks.
+    pub fn tasks(&self) -> usize {
+        self.tct.len()
+    }
+
+    /// Mean task completion time in seconds (0 when no tasks completed).
+    pub fn mean_tct_s(&self) -> f64 {
+        self.tct.mean().unwrap_or(0.0)
+    }
+
+    /// Mean task completion time in milliseconds.
+    pub fn mean_tct_ms(&self) -> f64 {
+        self.mean_tct_s() * 1e3
+    }
+
+    /// Median TCT in seconds.
+    pub fn median_tct_s(&self) -> f64 {
+        self.tct.median().unwrap_or(0.0)
+    }
+
+    /// 95th-percentile TCT in seconds.
+    pub fn p95_tct_s(&self) -> f64 {
+        self.tct.quantile(0.95).unwrap_or(0.0)
+    }
+
+    /// Exit-tier counts.
+    pub fn tiers(&self) -> TierCounts {
+        self.tiers
+    }
+
+    /// Mean offloading ratio over all device-slots.
+    pub fn mean_offload_ratio(&self) -> f64 {
+        self.offload_ratio.mean()
+    }
+
+    /// Mean device-queue length over all device-slots.
+    pub fn mean_queue_q(&self) -> f64 {
+        self.queue_q.mean()
+    }
+
+    /// Mean edge-queue length over all device-slots.
+    pub fn mean_queue_h(&self) -> f64 {
+        self.queue_h.mean()
+    }
+
+    /// The per-task TCT time series (for Fig. 9-style plots).
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Fraction of tasks completing within `deadline_s` seconds — the
+    /// SLA metric the paper's introduction motivates ("deadline
+    /// requirements"); 0 when no tasks completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline_s` is negative or non-finite.
+    pub fn fraction_within(&self, deadline_s: f64) -> f64 {
+        assert!(
+            deadline_s.is_finite() && deadline_s >= 0.0,
+            "bad deadline {deadline_s}"
+        );
+        let n = self.series.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let met = self
+            .series
+            .points()
+            .iter()
+            .filter(|&&(_, tct)| tct <= deadline_s)
+            .count();
+        met as f64 / n as f64
+    }
+
+    /// Speedup of this run over `baseline` (baseline mean TCT / own mean
+    /// TCT); > 1 means this run is faster.
+    pub fn speedup_vs(&self, baseline: &RunReport) -> f64 {
+        let own = self.mean_tct_s();
+        if own <= 0.0 {
+            return f64::INFINITY;
+        }
+        baseline.mean_tct_s() / own
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leime_simnet::SimTime;
+
+    #[test]
+    fn tier_counting() {
+        let mut r = RunReport::new();
+        r.record_tier(0);
+        r.record_tier(0);
+        r.record_tier(1);
+        r.record_tier(2);
+        let t = r.tiers();
+        assert_eq!((t.first, t.second, t.third), (2, 1, 1));
+        assert_eq!(t.total(), 4);
+        assert!((t.first_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tct_statistics() {
+        let mut r = RunReport::new();
+        for i in 1..=100 {
+            r.record_tct(SimTime::from_secs(i as f64), i as f64 / 100.0);
+        }
+        assert_eq!(r.tasks(), 100);
+        assert!((r.mean_tct_s() - 0.505).abs() < 1e-9);
+        assert!((r.mean_tct_ms() - 505.0).abs() < 1e-6);
+        assert!(r.p95_tct_s() > r.median_tct_s());
+    }
+
+    #[test]
+    fn speedup_math() {
+        let mut fast = RunReport::new();
+        fast.record_tct(SimTime::ZERO, 0.1);
+        let mut slow = RunReport::new();
+        slow.record_tct(SimTime::ZERO, 0.4);
+        assert!((fast.speedup_vs(&slow) - 4.0).abs() < 1e-12);
+        assert!((slow.speedup_vs(&fast) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_fraction() {
+        let mut r = RunReport::new();
+        for i in 1..=10 {
+            r.record_tct(SimTime::from_secs(i as f64), i as f64 / 10.0);
+        }
+        assert!((r.fraction_within(0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(r.fraction_within(1.0), 1.0);
+        assert_eq!(r.fraction_within(0.0), 0.0);
+        assert_eq!(RunReport::new().fraction_within(1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad deadline")]
+    fn deadline_rejects_negative() {
+        RunReport::new().fraction_within(-1.0);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = RunReport::new();
+        assert_eq!(r.mean_tct_s(), 0.0);
+        assert_eq!(r.tasks(), 0);
+        assert_eq!(r.tiers().first_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+use bytes::Bytes;
+use leime_inference::ExitDecision;
+use leime_workload::Sample;
+use std::time::{Duration, Instant};
+
+/// A task shipped from a device to the edge (or edge to cloud).
+///
+/// Carries a real byte payload of the emulated transfer size — the
+/// channels move actual data, not just descriptors.
+#[derive(Debug, Clone)]
+pub struct EdgeRequest {
+    /// The task's input sample.
+    pub sample: Sample,
+    /// Wall-clock creation instant (for TCT measurement).
+    pub born: Instant,
+    /// Seed for deterministic feature generation downstream.
+    pub feature_seed: u64,
+    /// Whether the edge must run the First-exit (raw-input offload).
+    pub first_exit_pending: bool,
+    /// The transported payload.
+    pub payload: Bytes,
+}
+
+/// A completed task's outcome, sent to the collector.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskOutcome {
+    /// Which tier classified the task.
+    pub tier: ExitDecision,
+    /// Whether the classification was correct.
+    pub correct: bool,
+    /// Wall-clock completion time.
+    pub elapsed: Duration,
+}
+
+/// Builds a zeroed payload of `bytes` length, capped at 256 KiB so huge
+/// emulated activations don't balloon memory (the sleep-based link
+/// emulation carries the timing; the payload demonstrates real data
+/// movement).
+pub fn payload_for_bytes(bytes: usize) -> Bytes {
+    const CAP: usize = 256 * 1024;
+    Bytes::from(vec![0u8; bytes.min(CAP)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_is_capped() {
+        assert_eq!(payload_for_bytes(100).len(), 100);
+        assert_eq!(payload_for_bytes(10 * 1024 * 1024).len(), 256 * 1024);
+    }
+}

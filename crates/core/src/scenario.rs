@@ -1,0 +1,359 @@
+use leime_dnn::{DnnChain, ExitRates, ExitSpec};
+use leime_exitcfg::EnvParams;
+use leime_offload::{
+    CapabilityBased, DeviceOnly, DeviceParams, EdgeOnly, FixedRatio, LyapunovController,
+    OffloadController,
+};
+use leime_simnet::TimeTrace;
+use leime_workload::ExitRateModel;
+use serde::{Deserialize, Serialize};
+
+use crate::{Deployment, ExitStrategy, LeimeError, ModelKind, Result, RunReport, SlottedSystem, TaskSim};
+
+/// Which per-slot offloading policy a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ControllerKind {
+    /// LEIME's Lyapunov drift-plus-penalty controller.
+    Lyapunov,
+    /// Everything local (`D-only`, also the benchmarks' fixed policy).
+    DeviceOnly,
+    /// Everything offloaded (`E-only`).
+    EdgeOnly,
+    /// FLOPS-proportional split (`cap_based`).
+    CapabilityBased,
+    /// A constant ratio (the Fig. 3 sweep knob).
+    Fixed(f64),
+}
+
+impl ControllerKind {
+    /// Instantiates the policy object.
+    pub fn build(self) -> Box<dyn OffloadController> {
+        match self {
+            ControllerKind::Lyapunov => Box::new(LyapunovController),
+            ControllerKind::DeviceOnly => Box::new(DeviceOnly),
+            ControllerKind::EdgeOnly => Box::new(EdgeOnly),
+            ControllerKind::CapabilityBased => Box::new(CapabilityBased),
+            ControllerKind::Fixed(r) => Box::new(FixedRatio::new(r)),
+        }
+    }
+}
+
+/// The arrival workload shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Poisson per-slot counts with each device's configured mean,
+    /// truncated at `max` tasks per slot.
+    SlotPoisson {
+        /// Truncation bound `M_{i,max}`.
+        max: u64,
+    },
+    /// Exactly the configured mean every slot (deterministic load).
+    Deterministic,
+    /// Poisson counts whose mean follows a time trace (overrides every
+    /// device's configured mean — the Fig. 9 dynamic-rate workload).
+    RateTrace {
+        /// The per-slot mean over time.
+        trace: TimeTrace,
+        /// Truncation bound.
+        max: u64,
+    },
+    /// Bursty two-state MMPP arrivals per device: calm at the device's
+    /// configured mean, bursting at `burst_factor` times it ("task arrival
+    /// rates vary dynamically", §II-A).
+    Bursty {
+        /// Burst-state mean as a multiple of the calm mean.
+        burst_factor: f64,
+        /// Per-slot probability of entering a burst.
+        p_enter: f64,
+        /// Per-slot probability of leaving a burst.
+        p_leave: f64,
+        /// Truncation bound.
+        max: u64,
+    },
+}
+
+/// A declarative experiment description: the model, the hardware fleet,
+/// the links, the workload and the control policies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The DNN under test.
+    pub model: ModelKind,
+    /// Classifier classes (10 for the CIFAR-10 experiments).
+    pub num_classes: usize,
+    /// The end-device fleet (FLOPS, link, per-slot arrival mean each).
+    pub devices: Vec<DeviceParams>,
+    /// Total edge-server FLOPS `F^e`.
+    pub edge_flops: f64,
+    /// Cloud FLOPS `F^c`.
+    pub cloud_flops: f64,
+    /// Edge→cloud bandwidth in bits/second.
+    pub cloud_bandwidth_bps: f64,
+    /// Edge→cloud latency in seconds.
+    pub cloud_latency_s: f64,
+    /// Exit-classifier structure.
+    pub exit_spec: ExitSpec,
+    /// Parametric candidate exit-rate curve (dataset difficulty).
+    pub exit_rates: ExitRateModel,
+    /// Slot length `τ` in seconds.
+    pub slot_len_s: f64,
+    /// Lyapunov `V`.
+    pub v: f64,
+    /// The offloading policy.
+    pub controller: ControllerKind,
+    /// The arrival workload.
+    pub workload: WorkloadKind,
+    /// Optional multiplicative bandwidth trace applied to every device's
+    /// link over time (the "wild edge" network dynamics of §II-A);
+    /// `None` keeps links constant.
+    #[serde(default)]
+    pub bandwidth_scale: Option<TimeTrace>,
+}
+
+impl Scenario {
+    /// A fleet of `n` Raspberry-Pi-class devices with the default edge and
+    /// cloud, each generating `arrival_mean` tasks per slot.
+    pub fn raspberry_pi_cluster(model: ModelKind, n: usize, arrival_mean: f64) -> Self {
+        Scenario {
+            model,
+            num_classes: 10,
+            devices: vec![DeviceParams::raspberry_pi(arrival_mean); n],
+            edge_flops: 12.0e9,
+            cloud_flops: 5.0e12,
+            cloud_bandwidth_bps: 100.0e6,
+            cloud_latency_s: 0.05,
+            exit_spec: ExitSpec::default(),
+            exit_rates: ExitRateModel::cifar_like(),
+            slot_len_s: 1.0,
+            v: 1.0e4,
+            controller: ControllerKind::Lyapunov,
+            workload: WorkloadKind::SlotPoisson { max: 1000 },
+            bandwidth_scale: None,
+        }
+    }
+
+    /// Same fleet shape but Jetson-Nano-class devices.
+    pub fn jetson_nano_cluster(model: ModelKind, n: usize, arrival_mean: f64) -> Self {
+        let mut s = Scenario::raspberry_pi_cluster(model, n, arrival_mean);
+        s.devices = vec![DeviceParams::jetson_nano(arrival_mean); n];
+        s
+    }
+
+    /// Sanity-checks the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LeimeError::Config`] describing the first violation.
+    // `!(x > 0)` deliberately rejects NaN as well as non-positive values.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn validate(&self) -> Result<()> {
+        if self.devices.is_empty() {
+            return Err(LeimeError::Config("scenario has no devices".into()));
+        }
+        for (i, d) in self.devices.iter().enumerate() {
+            d.validate()
+                .map_err(|e| LeimeError::Config(format!("device {i}: {e}")))?;
+        }
+        for (name, v) in [
+            ("edge_flops", self.edge_flops),
+            ("cloud_flops", self.cloud_flops),
+            ("cloud_bandwidth_bps", self.cloud_bandwidth_bps),
+            ("slot_len_s", self.slot_len_s),
+            ("v", self.v),
+        ] {
+            if !(v > 0.0) {
+                return Err(LeimeError::Config(format!("{name} must be positive, got {v}")));
+            }
+        }
+        if !(self.cloud_latency_s >= 0.0) {
+            return Err(LeimeError::Config(format!(
+                "cloud_latency_s must be non-negative, got {}",
+                self.cloud_latency_s
+            )));
+        }
+        if self.num_classes < 2 {
+            return Err(LeimeError::Config("need at least 2 classes".into()));
+        }
+        if let Some(trace) = &self.bandwidth_scale {
+            for &(_, v) in trace.points() {
+                if !(v > 0.0 && v.is_finite()) {
+                    return Err(LeimeError::Config(format!(
+                        "bandwidth_scale values must be positive, got {v}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Effective bandwidth of device `i` at time `t` under the optional
+    /// bandwidth trace.
+    pub(crate) fn bandwidth_at(&self, i: usize, t: leime_simnet::SimTime) -> f64 {
+        let base = self.devices[i].bandwidth_bps;
+        match &self.bandwidth_scale {
+            Some(trace) => base * trace.value_at(t),
+            None => base,
+        }
+    }
+
+    /// Serialises the scenario to pretty JSON (for config files and
+    /// experiment provenance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LeimeError::Config`] if serialisation fails (cannot occur
+    /// for well-formed scenarios).
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| LeimeError::Config(format!("serialisation failed: {e}")))
+    }
+
+    /// Parses and validates a scenario from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LeimeError::Config`] on parse or validation failure.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let scenario: Scenario = serde_json::from_str(json)
+            .map_err(|e| LeimeError::Config(format!("invalid scenario JSON: {e}")))?;
+        scenario.validate()?;
+        Ok(scenario)
+    }
+
+    /// Builds the scenario's DNN chain.
+    pub fn chain(&self) -> DnnChain {
+        self.model.build(self.num_classes)
+    }
+
+    /// Candidate exit rates for the chain under the configured exit-rate
+    /// model.
+    pub fn candidate_rates(&self) -> ExitRates {
+        self.exit_rates.rates_for_chain(&self.chain())
+    }
+
+    /// The *average* environment used for exit setting (the paper's
+    /// `F^d_av`, `B^e_av`, … in Table I): fleet means for the device side,
+    /// and an equal share of the edge per device.
+    pub fn avg_env(&self) -> EnvParams {
+        let n = self.devices.len().max(1) as f64;
+        let mean = |f: fn(&DeviceParams) -> f64| {
+            self.devices.iter().map(f).sum::<f64>() / n
+        };
+        EnvParams {
+            device_flops: mean(|d| d.flops),
+            edge_flops: self.edge_flops / n,
+            cloud_flops: self.cloud_flops,
+            edge_bandwidth_bps: mean(|d| d.bandwidth_bps),
+            edge_latency_s: mean(|d| d.latency_s),
+            cloud_bandwidth_bps: self.cloud_bandwidth_bps,
+            cloud_latency_s: self.cloud_latency_s,
+        }
+    }
+
+    /// Runs the model-level exit setting for `strategy`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and model errors.
+    pub fn deploy(&self, strategy: ExitStrategy) -> Result<Deployment> {
+        self.validate()?;
+        let chain = self.chain();
+        let rates = self.exit_rates.rates_for_chain(&chain);
+        Deployment::compute(strategy, &chain, self.exit_spec, &rates, self.avg_env())
+    }
+
+    /// Runs the paper's slotted queueing model for `slots` time slots.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn run_slotted(
+        &self,
+        deployment: &Deployment,
+        slots: usize,
+        seed: u64,
+    ) -> Result<RunReport> {
+        self.validate()?;
+        SlottedSystem::new(self.clone(), deployment.clone())?.run(slots, seed)
+    }
+
+    /// Runs the end-to-end task-level discrete-event simulation for
+    /// `horizon_s` simulated seconds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn run_des(
+        &self,
+        deployment: &Deployment,
+        horizon_s: f64,
+        seed: u64,
+    ) -> Result<RunReport> {
+        self.validate()?;
+        TaskSim::new(self.clone(), deployment.clone())?.run(horizon_s, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        assert!(Scenario::raspberry_pi_cluster(ModelKind::Vgg16, 4, 5.0)
+            .validate()
+            .is_ok());
+        assert!(Scenario::jetson_nano_cluster(ModelKind::SqueezeNet, 2, 5.0)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_empty_fleet() {
+        let mut s = Scenario::raspberry_pi_cluster(ModelKind::Vgg16, 1, 5.0);
+        s.devices.clear();
+        assert!(matches!(s.validate(), Err(LeimeError::Config(_))));
+    }
+
+    #[test]
+    fn validation_rejects_bad_scalars() {
+        let mut s = Scenario::raspberry_pi_cluster(ModelKind::Vgg16, 1, 5.0);
+        s.edge_flops = 0.0;
+        assert!(s.validate().is_err());
+        let mut s = Scenario::raspberry_pi_cluster(ModelKind::Vgg16, 1, 5.0);
+        s.cloud_latency_s = -0.1;
+        assert!(s.validate().is_err());
+        let mut s = Scenario::raspberry_pi_cluster(ModelKind::Vgg16, 1, 5.0);
+        s.num_classes = 1;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn avg_env_divides_edge_among_devices() {
+        let s = Scenario::raspberry_pi_cluster(ModelKind::Vgg16, 4, 5.0);
+        let env = s.avg_env();
+        assert!((env.edge_flops - 3e9).abs() < 1e-3);
+        assert!((env.device_flops - 1e9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn deploy_produces_consistent_combo() {
+        let s = Scenario::raspberry_pi_cluster(ModelKind::SqueezeNet, 2, 5.0);
+        let d = s.deploy(ExitStrategy::Leime).unwrap();
+        let m = s.chain().num_layers();
+        assert_eq!(d.combo.third, m - 1);
+    }
+
+    #[test]
+    fn controller_kinds_build() {
+        for kind in [
+            ControllerKind::Lyapunov,
+            ControllerKind::DeviceOnly,
+            ControllerKind::EdgeOnly,
+            ControllerKind::CapabilityBased,
+            ControllerKind::Fixed(0.3),
+        ] {
+            let c = kind.build();
+            assert!(!c.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,298 @@
+use leime_offload::{
+    kkt_allocation_with_floor, DeviceParams, OffloadController, QueuePair, SharedParams, SlotCost,
+    SlotObservation,
+};
+use leime_simnet::SimTime;
+use leime_workload::{Mmpp, SlotArrivals};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Deployment, Result, RunReport, Scenario, WorkloadKind};
+
+/// Minimum edge share handed to any device with positive demand: every
+/// device's second block runs on its share, so a zero share would starve
+/// it (see `kkt_allocation_with_floor`).
+pub(crate) const SHARE_FLOOR: f64 = 1e-3;
+
+/// The paper's slotted queueing system (§III-D): per-slot arrivals, an
+/// offloading decision per device, queue recursions (Eq. 10–11), and the
+/// per-slot cost model (Eq. 12–14) extended with the deterministic
+/// second/third-block tail so reported TCTs are end-to-end.
+///
+/// This is the model every motivation and ablation experiment runs on
+/// (Figs. 2, 3, 10, 11); the task-level DES ([`crate::TaskSim`])
+/// cross-validates it.
+#[derive(Debug)]
+pub struct SlottedSystem {
+    scenario: Scenario,
+    deployment: Deployment,
+    queues: Vec<QueuePair>,
+    controller: Box<dyn OffloadController>,
+    /// Per-device bursty state machines (populated for `Bursty` workloads).
+    mmpp: Vec<Mmpp>,
+}
+
+impl SlottedSystem {
+    /// Builds the system for a scenario and a deployed ME-DNN.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::LeimeError::Config`] for invalid scenarios.
+    pub fn new(scenario: Scenario, deployment: Deployment) -> Result<Self> {
+        scenario.validate()?;
+        let controller = scenario.controller.build();
+        let queues = vec![QueuePair::new(); scenario.devices.len()];
+        let mmpp = match &scenario.workload {
+            WorkloadKind::Bursty {
+                burst_factor,
+                p_enter,
+                p_leave,
+                max,
+            } => scenario
+                .devices
+                .iter()
+                .map(|d| {
+                    Mmpp::new(
+                        d.arrival_mean,
+                        d.arrival_mean * burst_factor,
+                        *p_enter,
+                        *p_leave,
+                        *max,
+                    )
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        Ok(SlottedSystem {
+            scenario,
+            deployment,
+            queues,
+            controller,
+            mmpp,
+        })
+    }
+
+    /// Current queue states (exposed for stability diagnostics).
+    pub fn queues(&self) -> &[QueuePair] {
+        &self.queues
+    }
+
+    fn shared(&self) -> SharedParams {
+        SharedParams {
+            slot_len_s: self.scenario.slot_len_s,
+            v: self.scenario.v,
+            mu1: self.deployment.mu[0],
+            mu2: self.deployment.mu[1],
+            sigma1: self.deployment.sigma[0],
+            d0_bytes: self.deployment.d[0],
+            d1_bytes: self.deployment.d[1],
+            edge_flops: self.scenario.edge_flops,
+        }
+    }
+
+    /// Per-slot *expected* arrival mean for device `i` at `slot_start` —
+    /// what the controller knows from "historical statistics" (for bursty
+    /// workloads that is the stationary mean, not the hidden state).
+    fn arrival_mean(&self, i: usize, slot_start: SimTime) -> f64 {
+        match &self.scenario.workload {
+            WorkloadKind::RateTrace { trace, .. } => trace.value_at(slot_start),
+            WorkloadKind::Bursty { .. } => self.mmpp[i].stationary_mean(),
+            _ => self.scenario.devices[i].arrival_mean,
+        }
+    }
+
+    fn draw_arrivals(&mut self, i: usize, mean: f64, rng: &mut StdRng) -> u64 {
+        match &self.scenario.workload {
+            WorkloadKind::Deterministic => SlotArrivals::Deterministic { k: mean }.draw(rng),
+            WorkloadKind::SlotPoisson { max } => {
+                SlotArrivals::Poisson { mean, max: *max }.draw(rng)
+            }
+            WorkloadKind::RateTrace { max, .. } => {
+                SlotArrivals::Poisson { mean, max: *max }.draw(rng)
+            }
+            WorkloadKind::Bursty { .. } => self.mmpp[i].draw(rng),
+        }
+    }
+
+    /// Expected second/third-block completion tail per *surviving* task
+    /// cohort in one slot (the paper's Y covers first-block costs only;
+    /// blocks 2–3 are processed "fixedly" on edge and cloud).
+    fn tail_cost(&self, cost: &SlotCost, x: f64, tasks: f64) -> f64 {
+        let s = self.shared();
+        let dep = &self.deployment;
+        let survivors1 = (1.0 - dep.sigma[0]) * tasks;
+        let survivors2 = (1.0 - dep.sigma[1]) * tasks;
+        let mut tail = 0.0;
+        if survivors1 > 0.0 && dep.mu[1] > 0.0 {
+            let f_e2 = (cost.p_share * s.edge_flops - cost.edge_first_block_flops(x)).max(0.0);
+            if f_e2 > 0.0 {
+                tail += survivors1 * dep.mu[1] / f_e2;
+            } else {
+                // No edge capacity for the second block: fall back to the
+                // whole share (pessimistic but finite).
+                tail += survivors1 * dep.mu[1]
+                    / (cost.p_share * s.edge_flops).max(f64::EPSILON);
+            }
+        }
+        if survivors2 > 0.0 {
+            tail += survivors2
+                * (dep.d[2] * 8.0 / self.scenario.cloud_bandwidth_bps
+                    + self.scenario.cloud_latency_s
+                    + dep.mu[2] / self.scenario.cloud_flops);
+        }
+        tail
+    }
+
+    /// Runs `slots` time slots; returns the aggregated report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::LeimeError::Config`] if the deployment's tier sampling is
+    /// inconsistent (cannot happen for deployments built by this crate).
+    pub fn run(&mut self, slots: usize, seed: u64) -> Result<RunReport> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut report = RunReport::new();
+        let shared = self.shared();
+        let n = self.scenario.devices.len();
+
+        for t in 0..slots {
+            let slot_start = SimTime::from_secs(t as f64 * self.scenario.slot_len_s);
+            let means: Vec<f64> = (0..n).map(|i| self.arrival_mean(i, slot_start)).collect();
+            let flops: Vec<f64> = self.scenario.devices.iter().map(|d| d.flops).collect();
+            let shares = kkt_allocation_with_floor(&flops, &means, self.scenario.edge_flops, SHARE_FLOOR);
+
+            for i in 0..n {
+                let dev = DeviceParams {
+                    arrival_mean: means[i],
+                    bandwidth_bps: self.scenario.bandwidth_at(i, slot_start),
+                    ..self.scenario.devices[i]
+                };
+                let obs = SlotObservation {
+                    q: self.queues[i].q(),
+                    h: self.queues[i].h(),
+                    p_share: shares[i].clamp(0.0, 1.0),
+                };
+                let x = self.controller.decide(shared, dev, obs);
+                let arrivals = self.draw_arrivals(i, means[i], &mut rng);
+
+                // Realized per-slot cost with the actual arrival count.
+                let realized = DeviceParams {
+                    arrival_mean: arrivals as f64,
+                    ..dev
+                };
+                let cost = SlotCost::new(shared, realized, obs.q, obs.h, obs.p_share);
+                if arrivals > 0 {
+                    let first_block = cost.y(x);
+                    let total = first_block + self.tail_cost(&cost, x, arrivals as f64);
+                    let per_task = total / arrivals as f64;
+                    for _ in 0..arrivals {
+                        report.record_tct(slot_start, per_task);
+                        let tier = self.deployment.tier_for_draw(rng.gen_range(0.0..1.0))?;
+                        report.record_tier(tier);
+                    }
+                }
+                report.record_offload(x);
+                report.record_queues(obs.q, obs.h);
+
+                // Queue recursions (Eq. 10–11).
+                let a = (1.0 - x) * arrivals as f64;
+                let d_off = x * arrivals as f64;
+                self.queues[i].step(a, d_off, cost.device_quota(), cost.edge_quota(x));
+            }
+        }
+        Ok(report)
+    }
+}
+
+// SlottedSystem holds a Box<dyn OffloadController> which is Send + Sync by
+// the trait's supertraits, so the system itself moves across threads —
+// exercised by the parallel experiment harness.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ControllerKind, ExitStrategy, ModelKind};
+
+    fn scenario() -> Scenario {
+        Scenario::raspberry_pi_cluster(ModelKind::SqueezeNet, 2, 5.0)
+    }
+
+    fn run(controller: ControllerKind, slots: usize, seed: u64) -> RunReport {
+        let mut s = scenario();
+        s.controller = controller;
+        let dep = s.deploy(ExitStrategy::Leime).unwrap();
+        s.run_slotted(&dep, slots, seed).unwrap()
+    }
+
+    #[test]
+    fn produces_tasks_and_finite_tct() {
+        let r = run(ControllerKind::Lyapunov, 100, 1);
+        assert!(r.tasks() > 500, "tasks {}", r.tasks());
+        assert!(r.mean_tct_s().is_finite() && r.mean_tct_s() > 0.0);
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let a = run(ControllerKind::Lyapunov, 50, 42);
+        let b = run(ControllerKind::Lyapunov, 50, 42);
+        assert_eq!(a.tasks(), b.tasks());
+        assert!((a.mean_tct_s() - b.mean_tct_s()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tier_fractions_track_sigma() {
+        let s = scenario();
+        let dep = s.deploy(ExitStrategy::Leime).unwrap();
+        let r = s.run_slotted(&dep, 300, 3).unwrap();
+        let frac = r.tiers().first_fraction();
+        assert!(
+            (frac - dep.sigma[0]).abs() < 0.05,
+            "first-exit fraction {frac} vs sigma1 {}",
+            dep.sigma[0]
+        );
+    }
+
+    #[test]
+    fn lyapunov_beats_device_only_under_load() {
+        // A Pi fleet under heavy load: offloading must help.
+        let mut s = scenario();
+        for d in &mut s.devices {
+            d.arrival_mean = 20.0;
+        }
+        let dep = s.deploy(ExitStrategy::Leime).unwrap();
+        s.controller = ControllerKind::Lyapunov;
+        let ly = s.run_slotted(&dep, 200, 5).unwrap();
+        s.controller = ControllerKind::DeviceOnly;
+        let dev = s.run_slotted(&dep, 200, 5).unwrap();
+        assert!(
+            ly.mean_tct_s() < dev.mean_tct_s(),
+            "lyapunov {} >= device-only {}",
+            ly.mean_tct_s(),
+            dev.mean_tct_s()
+        );
+    }
+
+    #[test]
+    fn queues_stay_bounded_under_lyapunov() {
+        let mut s = scenario();
+        s.controller = ControllerKind::Lyapunov;
+        let dep = s.deploy(ExitStrategy::Leime).unwrap();
+        let mut sys = SlottedSystem::new(s, dep).unwrap();
+        sys.run(500, 7).unwrap();
+        for qp in sys.queues() {
+            assert!(qp.q() < 500.0, "device queue exploded: {}", qp.q());
+            assert!(qp.h() < 500.0, "edge queue exploded: {}", qp.h());
+        }
+    }
+
+    #[test]
+    fn device_only_records_zero_offloading() {
+        let r = run(ControllerKind::DeviceOnly, 50, 9);
+        assert!(r.mean_offload_ratio().abs() < 1e-9);
+    }
+
+    #[test]
+    fn edge_only_records_high_offloading() {
+        let r = run(ControllerKind::EdgeOnly, 50, 9);
+        assert!(r.mean_offload_ratio() > 0.5);
+    }
+}

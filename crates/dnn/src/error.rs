@@ -1,0 +1,91 @@
+use std::fmt;
+
+/// Error type for DNN chain construction and partitioning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DnnError {
+    /// The chain has no layers, so no exits can be placed.
+    EmptyChain,
+    /// A referenced layer/exit index is out of range.
+    IndexOutOfRange {
+        /// What kind of index was out of range (e.g. `"exit"`).
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// Number of valid positions.
+        len: usize,
+    },
+    /// An exit combination violates the ordering constraint
+    /// `first < second < third` or does not end at the final layer.
+    InvalidExitCombo {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// Exit-rate vector length does not match the number of candidate exits.
+    ExitRateMismatch {
+        /// Number of candidate exits in the chain.
+        expected: usize,
+        /// Number of supplied rates.
+        actual: usize,
+    },
+    /// An exit rate is outside `[0, 1]`, non-monotone, or the final rate is
+    /// not 1.
+    InvalidExitRate {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A zoo constructor was asked for an input resolution the architecture
+    /// cannot process (spatial dimensions collapse to zero).
+    ResolutionTooSmall {
+        /// Model name.
+        model: &'static str,
+        /// The requested input extent.
+        input: usize,
+        /// Minimum supported extent.
+        min: usize,
+    },
+}
+
+impl fmt::Display for DnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnnError::EmptyChain => write!(f, "chain has no layers"),
+            DnnError::IndexOutOfRange { what, index, len } => {
+                write!(f, "{what} index {index} out of range (len {len})")
+            }
+            DnnError::InvalidExitCombo { reason } => {
+                write!(f, "invalid exit combination: {reason}")
+            }
+            DnnError::ExitRateMismatch { expected, actual } => {
+                write!(f, "exit rates: expected {expected} entries, got {actual}")
+            }
+            DnnError::InvalidExitRate { reason } => write!(f, "invalid exit rate: {reason}"),
+            DnnError::ResolutionTooSmall { model, input, min } => {
+                write!(f, "{model}: input resolution {input} below minimum {min}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(DnnError::EmptyChain.to_string(), "chain has no layers");
+        let e = DnnError::IndexOutOfRange {
+            what: "exit",
+            index: 9,
+            len: 5,
+        };
+        assert_eq!(e.to_string(), "exit index 9 out of range (len 5)");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DnnError>();
+    }
+}

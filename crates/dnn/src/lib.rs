@@ -1,0 +1,54 @@
+//! # leime-dnn
+//!
+//! Chain-structured DNN models for the LEIME reproduction.
+//!
+//! The paper models a DNN as a chain `M = {l_1, …, l_m}` of convolutional
+//! layers, each with a FLOP count `μ_{l_i}` and an intermediate activation
+//! size `d_{l_i}` (§III-B2). A *candidate exit* — a classifier made of a
+//! pooling layer, two fully connected layers and a softmax — may be attached
+//! after any layer; choosing three of them turns the chain into a
+//! multi-exit DNN (ME-DNN) partitioned into device / edge / cloud blocks.
+//!
+//! This crate provides:
+//!
+//! * [`Layer`] / [`DnnChain`]: the chain abstraction with exact FLOPs and
+//!   activation-byte arithmetic derived from real architecture shapes,
+//! * [`ExitSpec`] / [`exit_flops`]: the exit-classifier cost model,
+//! * [`MultiExitDnn`] / [`ExitCombo`]: exit attachment and 3-block
+//!   partitioning,
+//! * [`ModelProfile`]: the serialisable per-layer `(FLOPs, bytes)` profile
+//!   consumed by the exit-setting and offloading algorithms,
+//! * [`zoo`]: faithful chain models of the paper's four networks — VGG-16,
+//!   ResNet-34, Inception v3 and SqueezeNet-1.0 — at configurable input
+//!   resolution.
+//!
+//! ```
+//! use leime_dnn::zoo;
+//!
+//! let vgg = zoo::vgg16(32, 10);
+//! assert_eq!(vgg.num_layers(), 13); // 13 conv layers
+//! // Total forward cost is within the published ballpark for 32x32 inputs.
+//! assert!(vgg.total_flops() > 1e8);
+//! ```
+
+mod chain;
+mod error;
+mod exit;
+mod layer;
+mod mednn;
+mod profile;
+
+pub mod zoo;
+
+pub use chain::DnnChain;
+pub use error::DnnError;
+pub use exit::{exit_flops, ExitRates, ExitSpec};
+pub use layer::{conv_flops, Layer, LayerKind};
+pub use mednn::{BlockProfile, ExitCombo, MultiExitDnn, Partition};
+pub use profile::{LayerProfile, ModelProfile};
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, DnnError>;
+
+/// Bytes per activation element (f32).
+pub const BYTES_PER_ELEM: f64 = 4.0;

@@ -1,0 +1,74 @@
+use super::Builder;
+use crate::DnnChain;
+
+/// AlexNet as a 5-position chain of its convolutional layers (max-pools
+/// folded after conv1, conv2 and conv5) — the architecture BranchyNet
+/// originally attached branches to, included for cross-checking against
+/// BranchyNet-style exit-rate figures.
+///
+/// Channel plan 96-256-384-384-256 with the classic 11×11/4 stem.
+///
+/// # Panics
+///
+/// Panics if `input_hw < 64` (the stem and three pools would collapse the
+/// feature map).
+pub fn alexnet(input_hw: usize, num_classes: usize) -> DnnChain {
+    assert!(
+        input_hw >= 64,
+        "alexnet requires input >= 64, got {input_hw}"
+    );
+    let mut b = Builder::new(3, input_hw, input_hw);
+    b.conv("conv1", 96, 11, 4, 2);
+    b.fold_pool(3, 2, 0);
+    b.conv("conv2", 256, 5, 1, 2);
+    b.fold_pool(3, 2, 0);
+    b.conv("conv3", 384, 3, 1, 1);
+    b.conv("conv4", 384, 3, 1, 1);
+    b.conv("conv5", 256, 3, 1, 1);
+    b.fold_pool(3, 2, 0);
+    DnnChain::new(
+        "alexnet",
+        3,
+        input_hw,
+        input_hw,
+        num_classes,
+        b.into_layers(),
+    )
+    .expect("alexnet chain is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_5_conv_positions() {
+        assert_eq!(alexnet(224, 1000).num_layers(), 5);
+    }
+
+    #[test]
+    fn imagenet_flops_near_published() {
+        // Single-tower AlexNet (no grouped convolutions, as in modern
+        // re-implementations): ~1.08 GMACs ≈ 2.15 GFLOPs for the conv
+        // trunk at 224. The original's 0.72 GMACs used 2-GPU group convs.
+        let m = alexnet(224, 1000);
+        let gf = m.total_flops() / 1e9;
+        assert!((1.8..2.6).contains(&gf), "alexnet@224 = {gf} GFLOPs");
+    }
+
+    #[test]
+    fn geometry_matches_reference() {
+        let m = alexnet(224, 1000);
+        // conv1: 55x55 pre-pool -> 27x27 after pool; conv2 -> 13x13.
+        assert_eq!(m.layer(0).unwrap().out_h, 27);
+        assert_eq!(m.layer(1).unwrap().out_h, 13);
+        assert_eq!(m.layer(4).unwrap().out_channels, 256);
+        assert_eq!(m.layer(4).unwrap().out_h, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires input >= 64")]
+    fn rejects_tiny_input() {
+        alexnet(32, 10);
+    }
+}

@@ -1,0 +1,232 @@
+use super::{branch_conv, Builder};
+use crate::{DnnChain, LayerKind};
+
+/// Inception v3 as a 16-position chain: five stem convolutions (max-pools
+/// folded after positions 3 and 5) followed by the eleven inception
+/// modules — 3×A (35×35), 1×B reduction, 4×C (17×17), 1×D reduction,
+/// 2×E (8×8) — matching the paper's 16 candidate exits (its Fig. 3 fixes
+/// exits 1, 14 and 16).
+///
+/// Branch channel configurations follow Szegedy et al. (CVPR 2016) / the
+/// torchvision implementation. Average-pool branches inside modules count
+/// one FLOP per input element plus their 1×1 projection.
+///
+/// # Panics
+///
+/// Panics if `input_hw < 75` (the official minimum input size).
+pub fn inception_v3(input_hw: usize, num_classes: usize) -> DnnChain {
+    assert!(
+        input_hw >= 75,
+        "inception_v3 requires input >= 75, got {input_hw}"
+    );
+    let mut b = Builder::new(3, input_hw, input_hw);
+
+    // ---- Stem: 5 conv positions.
+    b.conv("stem_conv1", 32, 3, 2, 0);
+    b.conv("stem_conv2", 32, 3, 1, 0);
+    b.conv("stem_conv3", 64, 3, 1, 1);
+    b.fold_pool(3, 2, 0);
+    b.conv("stem_conv4", 80, 1, 1, 0);
+    b.conv("stem_conv5", 192, 3, 1, 0);
+    b.fold_pool(3, 2, 0);
+
+    // ---- 3x InceptionA at 35x35 (input channels 192, 256, 288).
+    let pool_proj = [32usize, 64, 64];
+    for (i, &pp) in pool_proj.iter().enumerate() {
+        inception_a(&mut b, &format!("inception_a{}", i + 1), pp);
+    }
+
+    // ---- InceptionB: grid reduction 35 -> 17.
+    inception_b(&mut b);
+
+    // ---- 4x InceptionC at 17x17 with c7 = 128, 160, 160, 192.
+    for (i, &c7) in [128usize, 160, 160, 192].iter().enumerate() {
+        inception_c(&mut b, &format!("inception_c{}", i + 1), c7);
+    }
+
+    // ---- InceptionD: grid reduction 17 -> 8.
+    inception_d(&mut b);
+
+    // ---- 2x InceptionE at 8x8.
+    for i in 0..2 {
+        inception_e(&mut b, &format!("inception_e{}", i + 1));
+    }
+
+    let _ = num_classes;
+    DnnChain::new(
+        "inception_v3",
+        3,
+        input_hw,
+        input_hw,
+        num_classes,
+        b.into_layers(),
+    )
+    .expect("inception chain is non-empty")
+}
+
+/// InceptionA: 1×1(64) ‖ 1×1(48)→5×5(64) ‖ 1×1(64)→3×3(96)→3×3(96) ‖
+/// avgpool→1×1(pool_proj). Output 224 + pool_proj channels.
+fn inception_a(b: &mut Builder, name: &str, pool_proj: usize) {
+    let c_in = b.channels();
+    let (h, w) = b.hw();
+    let mut f = 0.0;
+    // Branch 1: 1x1 -> 64.
+    f += branch_conv(c_in, 64, 1, 1, h, w, 1, 0, 0).0;
+    // Branch 2: 1x1 -> 48, 5x5 pad 2 -> 64.
+    f += branch_conv(c_in, 48, 1, 1, h, w, 1, 0, 0).0;
+    f += branch_conv(48, 64, 5, 5, h, w, 1, 2, 2).0;
+    // Branch 3: 1x1 -> 64, 3x3 -> 96, 3x3 -> 96.
+    f += branch_conv(c_in, 64, 1, 1, h, w, 1, 0, 0).0;
+    f += branch_conv(64, 96, 3, 3, h, w, 1, 1, 1).0;
+    f += branch_conv(96, 96, 3, 3, h, w, 1, 1, 1).0;
+    // Branch 4: 3x3 avgpool (pad 1) + 1x1 -> pool_proj.
+    f += (c_in * h * w) as f64;
+    f += branch_conv(c_in, pool_proj, 1, 1, h, w, 1, 0, 0).0;
+    b.composite(name, LayerKind::InceptionModule, f, 224 + pool_proj, h, w);
+}
+
+/// InceptionB (grid reduction): 3×3/2(384) ‖ 1×1(64)→3×3(96)→3×3/2(96) ‖
+/// maxpool/2. Output 480 + c_in channels at half resolution.
+fn inception_b(b: &mut Builder) {
+    let c_in = b.channels();
+    let (h, w) = b.hw();
+    let mut f = 0.0;
+    let (f1, h2, w2) = branch_conv(c_in, 384, 3, 3, h, w, 2, 0, 0);
+    f += f1;
+    f += branch_conv(c_in, 64, 1, 1, h, w, 1, 0, 0).0;
+    f += branch_conv(64, 96, 3, 3, h, w, 1, 1, 1).0;
+    f += branch_conv(96, 96, 3, 3, h, w, 2, 0, 0).0;
+    f += (c_in * h * w) as f64; // maxpool branch
+    b.composite(
+        "inception_b1",
+        LayerKind::InceptionModule,
+        f,
+        384 + 96 + c_in,
+        h2,
+        w2,
+    );
+}
+
+/// InceptionC: 1×1(192) ‖ 1×1(c7)→1×7(c7)→7×1(192) ‖ 7×7 double branch ‖
+/// avgpool→1×1(192). Output 768 channels.
+fn inception_c(b: &mut Builder, name: &str, c7: usize) {
+    let c_in = b.channels();
+    let (h, w) = b.hw();
+    let mut f = 0.0;
+    // Branch 1.
+    f += branch_conv(c_in, 192, 1, 1, h, w, 1, 0, 0).0;
+    // Branch 2: 1x1 c7, 1x7 c7, 7x1 192.
+    f += branch_conv(c_in, c7, 1, 1, h, w, 1, 0, 0).0;
+    f += branch_conv(c7, c7, 1, 7, h, w, 1, 0, 3).0;
+    f += branch_conv(c7, 192, 7, 1, h, w, 1, 3, 0).0;
+    // Branch 3: 1x1 c7, 7x1 c7, 1x7 c7, 7x1 c7, 1x7 192.
+    f += branch_conv(c_in, c7, 1, 1, h, w, 1, 0, 0).0;
+    f += branch_conv(c7, c7, 7, 1, h, w, 1, 3, 0).0;
+    f += branch_conv(c7, c7, 1, 7, h, w, 1, 0, 3).0;
+    f += branch_conv(c7, c7, 7, 1, h, w, 1, 3, 0).0;
+    f += branch_conv(c7, 192, 1, 7, h, w, 1, 0, 3).0;
+    // Branch 4: avgpool + 1x1 192.
+    f += (c_in * h * w) as f64;
+    f += branch_conv(c_in, 192, 1, 1, h, w, 1, 0, 0).0;
+    b.composite(name, LayerKind::InceptionModule, f, 768, h, w);
+}
+
+/// InceptionD (grid reduction): 1×1(192)→3×3/2(320) ‖
+/// 1×1(192)→1×7→7×1→3×3/2(192) ‖ maxpool/2. Output 512 + c_in channels.
+fn inception_d(b: &mut Builder) {
+    let c_in = b.channels();
+    let (h, w) = b.hw();
+    let mut f = 0.0;
+    f += branch_conv(c_in, 192, 1, 1, h, w, 1, 0, 0).0;
+    let (f2, h2, w2) = branch_conv(192, 320, 3, 3, h, w, 2, 0, 0);
+    f += f2;
+    f += branch_conv(c_in, 192, 1, 1, h, w, 1, 0, 0).0;
+    f += branch_conv(192, 192, 1, 7, h, w, 1, 0, 3).0;
+    f += branch_conv(192, 192, 7, 1, h, w, 1, 3, 0).0;
+    f += branch_conv(192, 192, 3, 3, h, w, 2, 0, 0).0;
+    f += (c_in * h * w) as f64; // maxpool branch
+    b.composite(
+        "inception_d1",
+        LayerKind::InceptionModule,
+        f,
+        320 + 192 + c_in,
+        h2,
+        w2,
+    );
+}
+
+/// InceptionE: 1×1(320) ‖ 1×1(384)→{1×3, 3×1}(384 each) ‖
+/// 1×1(448)→3×3(384)→{1×3, 3×1}(384 each) ‖ avgpool→1×1(192).
+/// Output 2048 channels.
+fn inception_e(b: &mut Builder, name: &str) {
+    let c_in = b.channels();
+    let (h, w) = b.hw();
+    let mut f = 0.0;
+    f += branch_conv(c_in, 320, 1, 1, h, w, 1, 0, 0).0;
+    // Branch 2.
+    f += branch_conv(c_in, 384, 1, 1, h, w, 1, 0, 0).0;
+    f += branch_conv(384, 384, 1, 3, h, w, 1, 0, 1).0;
+    f += branch_conv(384, 384, 3, 1, h, w, 1, 1, 0).0;
+    // Branch 3.
+    f += branch_conv(c_in, 448, 1, 1, h, w, 1, 0, 0).0;
+    f += branch_conv(448, 384, 3, 3, h, w, 1, 1, 1).0;
+    f += branch_conv(384, 384, 1, 3, h, w, 1, 0, 1).0;
+    f += branch_conv(384, 384, 3, 1, h, w, 1, 1, 0).0;
+    // Branch 4.
+    f += (c_in * h * w) as f64;
+    f += branch_conv(c_in, 192, 1, 1, h, w, 1, 0, 0).0;
+    b.composite(name, LayerKind::InceptionModule, f, 2048, h, w);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_16_positions() {
+        assert_eq!(inception_v3(299, 1000).num_layers(), 16);
+    }
+
+    #[test]
+    fn flops_near_published() {
+        // Published Inception v3 @299: ~5.7 GMACs ≈ 11.4 GFLOPs.
+        let m = inception_v3(299, 1000);
+        let gf = m.total_flops() / 1e9;
+        assert!((9.0..14.0).contains(&gf), "inception@299 = {gf} GFLOPs");
+    }
+
+    #[test]
+    fn grid_sizes_match_architecture() {
+        let m = inception_v3(299, 1000);
+        // Stem ends at 35x35x192.
+        let stem_end = m.layer(4).unwrap();
+        assert_eq!((stem_end.out_h, stem_end.out_w), (35, 35));
+        assert_eq!(stem_end.out_channels, 192);
+        // InceptionA outputs: 256/288/288 at 35x35.
+        assert_eq!(m.layer(5).unwrap().out_channels, 256);
+        assert_eq!(m.layer(7).unwrap().out_channels, 288);
+        // After B: 768 at 17x17.
+        let after_b = m.layer(8).unwrap();
+        assert_eq!((after_b.out_h, after_b.out_channels), (17, 768));
+        // After D: 1280 at 8x8.
+        let after_d = m.layer(13).unwrap();
+        assert_eq!((after_d.out_h, after_d.out_channels), (8, 1280));
+        // Final E: 2048 at 8x8.
+        assert_eq!(m.layer(15).unwrap().out_channels, 2048);
+    }
+
+    #[test]
+    fn intermediate_data_has_local_minimum_in_stem() {
+        // The 35x35x192 tensor after stem is far smaller than the
+        // 147x147x64 one — reproduces why exit placement matters for
+        // transmission cost.
+        let m = inception_v3(299, 1000);
+        assert!(m.layer(4).unwrap().out_bytes() < m.layer(2).unwrap().out_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires input >= 75")]
+    fn rejects_small_input() {
+        inception_v3(64, 10);
+    }
+}

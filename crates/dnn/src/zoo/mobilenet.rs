@@ -1,0 +1,112 @@
+use super::{branch_conv, Builder};
+use crate::{DnnChain, LayerKind};
+
+/// MobileNetV1 as a 14-position chain: the full 3×3 stem convolution plus
+/// 13 depthwise-separable blocks — the kind of mobile-first architecture
+/// an edge-intelligence deployment would actually favour, included to
+/// stress the exit-setting algorithms with a *compute-light,
+/// activation-heavy* profile (the opposite regime from VGG-16).
+///
+/// Each separable block is a 3×3 depthwise convolution (one filter per
+/// channel) followed by a 1×1 pointwise convolution; strides follow the
+/// published layer table (downsampling at blocks 2, 4, 6, 12).
+///
+/// # Panics
+///
+/// Panics if `input_hw < 32` (five stride-2 stages).
+pub fn mobilenet_v1(input_hw: usize, num_classes: usize) -> DnnChain {
+    assert!(
+        input_hw >= 32,
+        "mobilenet_v1 requires input >= 32, got {input_hw}"
+    );
+    let mut b = Builder::new(3, input_hw, input_hw);
+    b.conv("stem", 32, 3, 2, 1);
+
+    // (out_channels, stride) per separable block.
+    let blocks: [(usize, usize); 13] = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    for (i, &(c_out, stride)) in blocks.iter().enumerate() {
+        let c_in = b.channels();
+        let (h, w) = b.hw();
+        // Depthwise 3x3: one 3x3 filter per input channel. FLOPs =
+        // 2 * 9 * c_in * h_out * w_out (no cross-channel products).
+        let (_, h_out, w_out) = branch_conv(1, 1, 3, 3, h, w, stride, 1, 1);
+        let dw = 2.0 * 9.0 * (c_in * h_out * w_out) as f64;
+        // Pointwise 1x1: c_in -> c_out.
+        let (pw, h_out, w_out) = branch_conv(c_in, c_out, 1, 1, h_out, w_out, 1, 0, 0);
+        b.composite(
+            &format!("sep{}", i + 1),
+            LayerKind::Conv,
+            dw + pw,
+            c_out,
+            h_out,
+            w_out,
+        );
+    }
+    let _ = num_classes;
+    DnnChain::new(
+        "mobilenet_v1",
+        3,
+        input_hw,
+        input_hw,
+        num_classes,
+        b.into_layers(),
+    )
+    .expect("mobilenet chain is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_14_positions() {
+        assert_eq!(mobilenet_v1(224, 1000).num_layers(), 14);
+    }
+
+    #[test]
+    fn imagenet_flops_near_published() {
+        // Published MobileNetV1: ~0.57 GMACs ≈ 1.14 GFLOPs at 224.
+        let m = mobilenet_v1(224, 1000);
+        let gf = m.total_flops() / 1e9;
+        assert!((0.8..1.5).contains(&gf), "mobilenet@224 = {gf} GFLOPs");
+    }
+
+    #[test]
+    fn downsampling_schedule() {
+        let m = mobilenet_v1(224, 1000);
+        // Stem: 112; sep2: 56; sep4: 28; sep6: 14; sep12: 7.
+        assert_eq!(m.layer(0).unwrap().out_h, 112);
+        assert_eq!(m.layer(2).unwrap().out_h, 56);
+        assert_eq!(m.layer(4).unwrap().out_h, 28);
+        assert_eq!(m.layer(6).unwrap().out_h, 14);
+        assert_eq!(m.layer(12).unwrap().out_h, 7);
+        assert_eq!(m.layer(13).unwrap().out_channels, 1024);
+    }
+
+    #[test]
+    fn far_cheaper_than_vgg_at_same_resolution() {
+        let mob = mobilenet_v1(224, 1000);
+        let vgg = super::super::vgg16(224, 1000);
+        assert!(vgg.total_flops() / mob.total_flops() > 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires input >= 32")]
+    fn rejects_tiny_input() {
+        mobilenet_v1(16, 10);
+    }
+}

@@ -1,0 +1,134 @@
+use super::{branch_conv, Builder};
+use crate::{DnnChain, LayerKind};
+
+/// ResNet-34 as a 16-position chain of basic residual blocks
+/// (stage layout 3-4-6-3, channels 64-128-256-512).
+///
+/// The stem convolution is folded into the first block's cost (so the chain
+/// has exactly 16 candidate exits, one per residual block). For inputs
+/// ≤ 64 px the CIFAR-style stem (3×3 stride 1, no max-pool) is used; for
+/// larger inputs the ImageNet stem (7×7 stride 2 + 3×3/2 max-pool).
+///
+/// Each basic block costs two 3×3 convolutions plus, on the first block of
+/// stages 2–4, a 1×1 strided projection shortcut; the residual addition
+/// contributes one FLOP per output element.
+///
+/// # Panics
+///
+/// Panics if `input_hw < 32`.
+pub fn resnet34(input_hw: usize, num_classes: usize) -> DnnChain {
+    assert!(
+        input_hw >= 32,
+        "resnet34 requires input >= 32, got {input_hw}"
+    );
+    let mut b = Builder::new(3, input_hw, input_hw);
+
+    // Stem: produce the 64-channel trunk input. Tracked manually, folded
+    // into block 1.
+    let (mut h, mut w) = (input_hw, input_hw);
+    let stem_flops;
+    if input_hw <= 64 {
+        let (f, nh, nw) = branch_conv(3, 64, 3, 3, h, w, 1, 1, 1);
+        stem_flops = f;
+        h = nh;
+        w = nw;
+    } else {
+        let (f, nh, nw) = branch_conv(3, 64, 7, 7, h, w, 2, 3, 3);
+        // 3x3/2 max-pool with padding 1.
+        let ph = (nh + 2 - 3) / 2 + 1;
+        let pw = (nw + 2 - 3) / 2 + 1;
+        stem_flops = f + (64 * nh * nw) as f64;
+        h = ph;
+        w = pw;
+    }
+
+    let stages: [(usize, usize); 4] = [(64, 3), (128, 4), (256, 6), (512, 3)];
+    let mut c_in = 64usize;
+    let mut block_idx = 0usize;
+    for (stage, &(c_out, blocks)) in stages.iter().enumerate() {
+        for blk in 0..blocks {
+            let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
+            let (f1, nh, nw) = branch_conv(c_in, c_out, 3, 3, h, w, stride, 1, 1);
+            let (f2, nh, nw) = branch_conv(c_out, c_out, 3, 3, nh, nw, 1, 1, 1);
+            let mut flops = f1 + f2;
+            if stride != 1 || c_in != c_out {
+                // Projection shortcut.
+                let (fs, _, _) = branch_conv(c_in, c_out, 1, 1, h, w, stride, 0, 0);
+                flops += fs;
+            }
+            // Residual addition.
+            flops += (c_out * nh * nw) as f64;
+            block_idx += 1;
+            b.composite(
+                &format!("block{block_idx}"),
+                LayerKind::ResidualBlock,
+                flops,
+                c_out,
+                nh,
+                nw,
+            );
+            if block_idx == 1 {
+                b.add_flops_to_last(stem_flops);
+            }
+            c_in = c_out;
+            h = nh;
+            w = nw;
+        }
+    }
+    DnnChain::new(
+        "resnet34",
+        3,
+        input_hw,
+        input_hw,
+        num_classes,
+        b.into_layers(),
+    )
+    .expect("resnet34 chain is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_16_blocks() {
+        assert_eq!(resnet34(32, 10).num_layers(), 16);
+    }
+
+    #[test]
+    fn imagenet_flops_near_published() {
+        // Published ResNet-34 @224: ~3.6 GMACs conv trunk ≈ 7.3 GFLOPs.
+        let m = resnet34(224, 1000);
+        let gf = m.total_flops() / 1e9;
+        assert!((6.0..9.0).contains(&gf), "resnet34@224 = {gf} GFLOPs");
+    }
+
+    #[test]
+    fn cifar_resolution_plausible() {
+        // With the CIFAR stem (3x3/1, no max-pool) stage 1 runs at the full
+        // 32x32 grid, giving ~2.3 GFLOPs — 1/16 of the 224px cost scaled by
+        // the (224/32)^2 grid ratio except for the undownsampled stem.
+        let m = resnet34(32, 10);
+        let gf = m.total_flops() / 1e9;
+        assert!((1.5..3.0).contains(&gf), "resnet34@32 = {gf} GFLOPs");
+    }
+
+    #[test]
+    fn stage_transitions_halve_spatial_dims() {
+        let m = resnet34(32, 10);
+        // Blocks 1-3 at 32x32, 4-7 at 16x16, 8-13 at 8x8, 14-16 at 4x4.
+        assert_eq!(m.layer(0).unwrap().out_h, 32);
+        assert_eq!(m.layer(3).unwrap().out_h, 16);
+        assert_eq!(m.layer(7).unwrap().out_h, 8);
+        assert_eq!(m.layer(13).unwrap().out_h, 4);
+        assert_eq!(m.layer(15).unwrap().out_channels, 512);
+    }
+
+    #[test]
+    fn first_block_carries_stem() {
+        let m = resnet34(32, 10);
+        // Block 1 = stem conv + block convs, so it costs more than block 2
+        // (same geometry, no stem).
+        assert!(m.layer(0).unwrap().flops > m.layer(1).unwrap().flops);
+    }
+}

@@ -1,0 +1,111 @@
+use super::{branch_conv, Builder};
+use crate::{DnnChain, LayerKind};
+
+/// SqueezeNet-1.0 as a 10-position chain: `conv1` (7×7/2 + max-pool), eight
+/// fire modules (max-pools folded after fire4 and fire8), and the `conv10`
+/// 1×1 classifier convolution with its global average pool.
+///
+/// A fire module is a 1×1 squeeze convolution followed by parallel 1×1 and
+/// 3×3 expand convolutions whose outputs concatenate.
+///
+/// # Panics
+///
+/// Panics if `input_hw < 64` (the three stride-2 stages would collapse the
+/// feature map before fire9).
+pub fn squeezenet_1_0(input_hw: usize, num_classes: usize) -> DnnChain {
+    assert!(
+        input_hw >= 64,
+        "squeezenet_1_0 requires input >= 64, got {input_hw}"
+    );
+    let mut b = Builder::new(3, input_hw, input_hw);
+
+    b.conv("conv1", 96, 7, 2, 0);
+    b.fold_pool(3, 2, 0);
+
+    // (squeeze, expand1x1, expand3x3, pool_after)
+    let fires: [(usize, usize, usize, bool); 8] = [
+        (16, 64, 64, false),  // fire2
+        (16, 64, 64, false),  // fire3
+        (32, 128, 128, true), // fire4 + pool
+        (32, 128, 128, false), // fire5
+        (48, 192, 192, false), // fire6
+        (48, 192, 192, false), // fire7
+        (64, 256, 256, true), // fire8 + pool
+        (64, 256, 256, false), // fire9
+    ];
+    for (i, &(s, e1, e3, pool)) in fires.iter().enumerate() {
+        let c_in = b.channels();
+        let (h, w) = b.hw();
+        let (f_sq, h, w) = branch_conv(c_in, s, 1, 1, h, w, 1, 0, 0);
+        let (f_e1, _, _) = branch_conv(s, e1, 1, 1, h, w, 1, 0, 0);
+        let (f_e3, _, _) = branch_conv(s, e3, 3, 3, h, w, 1, 1, 1);
+        b.composite(
+            &format!("fire{}", i + 2),
+            LayerKind::FireModule,
+            f_sq + f_e1 + f_e3,
+            e1 + e3,
+            h,
+            w,
+        );
+        if pool {
+            b.fold_pool(3, 2, 0);
+        }
+    }
+
+    // conv10: 1x1 to num_classes, then global average pool folded in.
+    let c_in = b.channels();
+    let (h, w) = b.hw();
+    let (f10, h10, w10) = branch_conv(c_in, num_classes, 1, 1, h, w, 1, 0, 0);
+    b.composite("conv10", LayerKind::Conv, f10, num_classes, h10, w10);
+    b.fold_pool(h10.min(w10), 1, 0);
+
+    DnnChain::new(
+        "squeezenet_1_0",
+        3,
+        input_hw,
+        input_hw,
+        num_classes,
+        b.into_layers(),
+    )
+    .expect("squeezenet chain is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_10_positions() {
+        assert_eq!(squeezenet_1_0(64, 10).num_layers(), 10);
+    }
+
+    #[test]
+    fn imagenet_flops_near_published() {
+        // Published SqueezeNet-1.0 @224: ~0.72 GMACs ≈ 1.4 GFLOPs.
+        let m = squeezenet_1_0(224, 1000);
+        let gf = m.total_flops() / 1e9;
+        assert!((1.0..2.0).contains(&gf), "squeezenet@224 = {gf} GFLOPs");
+    }
+
+    #[test]
+    fn channel_progression() {
+        let m = squeezenet_1_0(64, 10);
+        assert_eq!(m.layer(0).unwrap().out_channels, 96);
+        assert_eq!(m.layer(1).unwrap().out_channels, 128); // fire2
+        assert_eq!(m.layer(8).unwrap().out_channels, 512); // fire9
+        assert_eq!(m.layer(9).unwrap().out_channels, 10); // conv10
+    }
+
+    #[test]
+    fn conv10_output_is_global_pooled() {
+        let m = squeezenet_1_0(64, 10);
+        let last = m.layer(9).unwrap();
+        assert_eq!((last.out_h, last.out_w), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires input >= 64")]
+    fn rejects_cifar_native_resolution() {
+        squeezenet_1_0(32, 10);
+    }
+}

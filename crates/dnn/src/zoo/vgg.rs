@@ -1,0 +1,97 @@
+use super::Builder;
+use crate::DnnChain;
+
+/// VGG-16 (configuration D) as a 13-position chain of 3×3 convolutions with
+/// max-pools folded after positions 2, 4, 7, 10 and 13.
+///
+/// The three FC layers of the original classifier are *not* chain
+/// positions: in the ME-DNN construction every exit (including the final
+/// one) is replaced by the paper's uniform pool+2FC+softmax classifier, so
+/// the chain carries the convolutional trunk only — consistent with the
+/// paper counting 13 candidate exits for VGG-16.
+///
+/// # Panics
+///
+/// Panics if `input_hw < 32` (the five pooling stages would collapse the
+/// feature map).
+pub fn vgg16(input_hw: usize, num_classes: usize) -> DnnChain {
+    assert!(
+        input_hw >= 32,
+        "vgg16 requires input >= 32, got {input_hw}"
+    );
+    let mut b = Builder::new(3, input_hw, input_hw);
+    // (out_channels, pool_after)
+    let cfg: [(usize, bool); 13] = [
+        (64, false),
+        (64, true),
+        (128, false),
+        (128, true),
+        (256, false),
+        (256, false),
+        (256, true),
+        (512, false),
+        (512, false),
+        (512, true),
+        (512, false),
+        (512, false),
+        (512, true),
+    ];
+    for (i, &(c, pool)) in cfg.iter().enumerate() {
+        b.conv(&format!("conv{}", i + 1), c, 3, 1, 1);
+        if pool {
+            b.fold_pool(2, 2, 0);
+        }
+    }
+    DnnChain::new("vgg16", 3, input_hw, input_hw, num_classes, b.into_layers())
+        .expect("vgg16 chain is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_13_conv_positions() {
+        let m = vgg16(32, 10);
+        assert_eq!(m.num_layers(), 13);
+    }
+
+    #[test]
+    fn total_flops_near_published_value() {
+        // Published: ~0.31 GFLOPs (multiply-adds ×2 = 0.63 GFLOPs) for the
+        // conv trunk at 32x32. Accept a generous band: pooling folding adds
+        // a little.
+        let m = vgg16(32, 10);
+        let gf = m.total_flops() / 1e9;
+        assert!((0.4..0.8).contains(&gf), "vgg16@32 = {gf} GFLOPs");
+    }
+
+    #[test]
+    fn imagenet_resolution_flops() {
+        // At 224x224 the conv trunk is ~30.7 GFLOPs (2*15.3 GMACs).
+        let m = vgg16(224, 1000);
+        let gf = m.total_flops() / 1e9;
+        assert!((25.0..36.0).contains(&gf), "vgg16@224 = {gf} GFLOPs");
+    }
+
+    #[test]
+    fn final_feature_map_is_1x1_at_32px() {
+        let m = vgg16(32, 10);
+        let last = m.layer(12).unwrap();
+        assert_eq!((last.out_h, last.out_w), (1, 1));
+        assert_eq!(last.out_channels, 512);
+    }
+
+    #[test]
+    fn activation_sizes_decrease_at_pools() {
+        let m = vgg16(32, 10);
+        // conv2 output (after pool) is smaller than conv1 output.
+        assert!(m.layer(1).unwrap().out_bytes() < m.layer(0).unwrap().out_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires input >= 32")]
+    fn rejects_tiny_input() {
+        vgg16(16, 10);
+    }
+}

@@ -1,0 +1,197 @@
+//! Baseline exit-setting strategies.
+//!
+//! The paper's Fig. 10(a) ablates LEIME's exit setting against
+//! minimisation-of-computation, minimisation-of-transmission and
+//! average-division heuristics; its system benchmarks (§IV-A) include
+//! DDNN-style (small data + high exit probability) and Edgent-style
+//! (smallest intermediate data) placements.
+
+use leime_dnn::{DnnError, ExitCombo, ExitRates, ModelProfile};
+
+/// `min_comp`: place exits as early as possible to minimise computation
+/// before each exit — First-exit after layer 0, Second-exit after layer 1.
+///
+/// # Errors
+///
+/// Returns [`DnnError::InvalidExitCombo`] for chains shorter than 3 layers.
+pub fn min_computation(profile: &ModelProfile) -> Result<ExitCombo, DnnError> {
+    let m = profile.num_layers();
+    ExitCombo::new(0, 1, m - 1, m)
+}
+
+/// `min_tran`: place exits where the intermediate activations are smallest,
+/// minimising transmission volume (ignores where compute lives).
+///
+/// The First-exit takes the globally smallest activation among positions
+/// that leave room for a Second-exit; the Second-exit takes the smallest
+/// activation after it.
+///
+/// # Errors
+///
+/// Returns [`DnnError::InvalidExitCombo`] for chains shorter than 3 layers.
+pub fn min_transmission(profile: &ModelProfile) -> Result<ExitCombo, DnnError> {
+    let m = profile.num_layers();
+    if m < 3 {
+        return Err(DnnError::InvalidExitCombo {
+            reason: format!("chain of {m} layers cannot host 3 exits"),
+        });
+    }
+    let argmin = |lo: usize, hi: usize| -> usize {
+        (lo..hi)
+            .min_by(|&a, &b| {
+                profile.layers[a]
+                    .out_bytes
+                    .partial_cmp(&profile.layers[b].out_bytes)
+                    .expect("byte counts are finite")
+            })
+            .expect("non-empty range")
+    };
+    let first = argmin(0, m - 2);
+    let second = argmin(first + 1, m - 1);
+    ExitCombo::new(first, second, m - 1, m)
+}
+
+/// Edgent-style placement — identical heuristic to [`min_transmission`]
+/// ("exits are intuitively set at the position where intermediate data
+/// size is the smallest", §IV-A).
+///
+/// # Errors
+///
+/// Same conditions as [`min_transmission`].
+pub fn edgent_style(profile: &ModelProfile) -> Result<ExitCombo, DnnError> {
+    min_transmission(profile)
+}
+
+/// `mean`: average division — exits at one-third and two-thirds of the
+/// layer count.
+///
+/// # Errors
+///
+/// Returns [`DnnError::InvalidExitCombo`] for chains shorter than 3 layers.
+pub fn mean_division(profile: &ModelProfile) -> Result<ExitCombo, DnnError> {
+    let m = profile.num_layers();
+    if m < 3 {
+        return Err(DnnError::InvalidExitCombo {
+            reason: format!("chain of {m} layers cannot host 3 exits"),
+        });
+    }
+    let first = (m / 3).saturating_sub(1).min(m - 3);
+    let second = (2 * m / 3 - 1).clamp(first + 1, m - 2);
+    ExitCombo::new(first, second, m - 1, m)
+}
+
+/// DDNN-style placement: exits at layers with *small intermediate data and
+/// high exit probability* (§IV-A). Scores each candidate by
+/// `σ_i / d_i` (exit probability per transmitted byte) and picks the two
+/// best-scoring positions in order.
+///
+/// # Errors
+///
+/// Returns [`DnnError::InvalidExitCombo`] for chains shorter than 3 layers
+/// or [`DnnError::ExitRateMismatch`] when rates do not cover the chain.
+pub fn ddnn_style(profile: &ModelProfile, rates: &ExitRates) -> Result<ExitCombo, DnnError> {
+    let m = profile.num_layers();
+    if m < 3 {
+        return Err(DnnError::InvalidExitCombo {
+            reason: format!("chain of {m} layers cannot host 3 exits"),
+        });
+    }
+    if rates.len() != m {
+        return Err(DnnError::ExitRateMismatch {
+            expected: m,
+            actual: rates.len(),
+        });
+    }
+    let score = |i: usize| -> f64 {
+        let sigma = rates.as_slice()[i];
+        sigma / profile.layers[i].out_bytes.max(1.0)
+    };
+    // Best-scoring First-exit among positions leaving room for a Second.
+    let first = (0..m - 2)
+        .max_by(|&a, &b| score(a).partial_cmp(&score(b)).expect("finite scores"))
+        .expect("non-empty range");
+    let second = (first + 1..m - 1)
+        .max_by(|&a, &b| score(a).partial_cmp(&score(b)).expect("finite scores"))
+        .expect("non-empty range");
+    ExitCombo::new(first, second, m - 1, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leime_dnn::{zoo, ExitSpec, ModelProfile};
+    use leime_workload::ExitRateModel;
+
+    fn profile(name: &str) -> ModelProfile {
+        let chain = match name {
+            "vgg16" => zoo::vgg16(32, 10),
+            "inception" => zoo::inception_v3(299, 10),
+            _ => unreachable!(),
+        };
+        ModelProfile::from_chain(&chain, ExitSpec::default()).unwrap()
+    }
+
+    #[test]
+    fn min_comp_picks_earliest() {
+        let p = profile("vgg16");
+        let c = min_computation(&p).unwrap();
+        assert_eq!((c.first, c.second), (0, 1));
+    }
+
+    #[test]
+    fn min_tran_picks_smallest_activations() {
+        let p = profile("vgg16");
+        let c = min_transmission(&p).unwrap();
+        // VGG activations shrink monotonically-ish towards the back; the
+        // picked first exit must have no smaller activation before it.
+        for i in 0..c.first {
+            assert!(p.layers[i].out_bytes >= p.layers[c.first].out_bytes);
+        }
+        assert!(c.first < c.second && c.second < p.num_layers() - 1);
+    }
+
+    #[test]
+    fn edgent_matches_min_tran() {
+        let p = profile("inception");
+        assert_eq!(edgent_style(&p).unwrap(), min_transmission(&p).unwrap());
+    }
+
+    #[test]
+    fn mean_division_thirds() {
+        let p = profile("vgg16"); // m = 13
+        let c = mean_division(&p).unwrap();
+        assert_eq!((c.first, c.second), (3, 7));
+        let p2 = profile("inception"); // m = 16
+        let c2 = mean_division(&p2).unwrap();
+        assert_eq!((c2.first, c2.second), (4, 9));
+    }
+
+    #[test]
+    fn ddnn_prefers_high_rate_small_data() {
+        let chain = zoo::inception_v3(299, 10);
+        let p = ModelProfile::from_chain(&chain, ExitSpec::default()).unwrap();
+        let rates = ExitRateModel::cifar_like().rates_for_chain(&chain);
+        let c = ddnn_style(&p, &rates).unwrap();
+        // The stem's huge early activations should never win.
+        assert!(c.first > 0, "picked the giant stem activation");
+        assert!(c.first < c.second);
+    }
+
+    #[test]
+    fn all_baselines_produce_valid_combos() {
+        for chain in zoo::cifar_models(10) {
+            let p = ModelProfile::from_chain(&chain, ExitSpec::default()).unwrap();
+            let rates = ExitRateModel::cifar_like().rates_for_chain(&chain);
+            let m = p.num_layers();
+            for combo in [
+                min_computation(&p).unwrap(),
+                min_transmission(&p).unwrap(),
+                mean_division(&p).unwrap(),
+                ddnn_style(&p, &rates).unwrap(),
+            ] {
+                assert!(combo.first < combo.second && combo.second < m - 1);
+                assert_eq!(combo.third, m - 1);
+            }
+        }
+    }
+}

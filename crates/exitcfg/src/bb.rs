@@ -1,0 +1,177 @@
+use crate::CostModel;
+use leime_dnn::{DnnError, ExitCombo};
+use serde::{Deserialize, Serialize};
+
+/// Instrumentation of one branch-and-bound run, used to validate the
+/// paper's Theorem 2 (`O(m ln m)` average comparisons) empirically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Evaluations of the two-exit bound `T({exit_i, exit_m, −})` (Eq. 5).
+    pub two_exit_evals: u64,
+    /// Evaluations of the full three-exit cost `T(E)` (Eq. 4).
+    pub combo_evals: u64,
+    /// Number of search rounds (distinct `i_k` candidates tried).
+    pub rounds: u64,
+}
+
+impl SearchStats {
+    /// Total cost evaluations, the quantity Theorem 2 bounds.
+    pub fn total_evals(&self) -> u64 {
+        self.two_exit_evals + self.combo_evals
+    }
+}
+
+/// The paper's branch-and-bound exit-setting search (§III-C).
+///
+/// Theorem 1: under monotone exit rates, if
+/// `T({exit_i1, exit_m, −}) ≤ T({exit_i2, exit_m, −})` with `i1 < i2`, then
+/// for every Second-exit `j` the full combo with First-exit `i1` beats the
+/// one with `i2`. Hence each round takes the two-exit argmin `i_k` over the
+/// current range `[0, upbound)`, evaluates only combos with First-exit
+/// `i_k` (all Second-exit choices `j ∈ (i_k, m−1)`), and shrinks the range
+/// to `[0, i_k)` — every skipped First-exit is dominated by some `i_k`.
+/// The union of the per-round bests is the global optimum (Eq. 7).
+///
+/// Returns the optimal combo, its cost, and search statistics.
+///
+/// # Errors
+///
+/// Returns [`DnnError::InvalidExitCombo`] if the chain has fewer than 3
+/// layers.
+pub fn branch_and_bound(cost: &CostModel<'_>) -> Result<(ExitCombo, f64, SearchStats), DnnError> {
+    let m = cost.num_exits();
+    if m < 3 {
+        return Err(DnnError::InvalidExitCombo {
+            reason: format!("chain of {m} layers cannot host 3 exits"),
+        });
+    }
+    let mut stats = SearchStats::default();
+    let mut best: Option<(ExitCombo, f64)> = None;
+
+    // Two-exit bounds are reused across rounds; memoise them.
+    let mut two_exit_cache: Vec<Option<f64>> = vec![None; m - 1];
+    let mut two_exit = |i: usize, stats: &mut SearchStats| -> Result<f64, DnnError> {
+        if let Some(v) = two_exit_cache[i] {
+            return Ok(v);
+        }
+        stats.two_exit_evals += 1;
+        let v = cost.two_exit(i)?;
+        two_exit_cache[i] = Some(v);
+        Ok(v)
+    };
+
+    // First exits range over [0, m-2): the First-exit must leave room for a
+    // distinct Second-exit below the fixed Third-exit (paper: upbound
+    // initialised to m-2 in 1-based numbering).
+    let mut upbound = m - 2;
+    while upbound > 0 {
+        stats.rounds += 1;
+        // i_k = argmin of the two-exit bound over the remaining range.
+        let mut ik = 0usize;
+        let mut ik_val = f64::INFINITY;
+        for i in 0..upbound {
+            let v = two_exit(i, &mut stats)?;
+            if v < ik_val {
+                ik_val = v;
+                ik = i;
+            }
+        }
+        // Evaluate all combos with First-exit = i_k.
+        for second in ik + 1..m - 1 {
+            let combo = ExitCombo::new(ik, second, m - 1, m)?;
+            stats.combo_evals += 1;
+            let t = cost.total(combo)?;
+            match best {
+                Some((_, bt)) if bt <= t => {}
+                _ => best = Some((combo, t)),
+            }
+        }
+        upbound = ik;
+    }
+
+    let (combo, t) = best.expect("at least one round ran");
+    Ok((combo, t, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{exhaustive, EnvParams};
+    use leime_dnn::{zoo, DnnChain, ExitSpec, ModelProfile};
+    use leime_workload::ExitRateModel;
+
+    fn solve_both(chain: &DnnChain, env: EnvParams, model: ExitRateModel) -> (f64, f64, SearchStats) {
+        let profile = ModelProfile::from_chain(chain, ExitSpec::default()).unwrap();
+        let rates = model.rates_for_chain(chain);
+        let cm = CostModel::new(&profile, &rates, env).unwrap();
+        let (_, bb_cost, stats) = branch_and_bound(&cm).unwrap();
+        let (_, ex_cost) = exhaustive(&cm).unwrap();
+        (bb_cost, ex_cost, stats)
+    }
+
+    #[test]
+    fn matches_exhaustive_on_all_zoo_models() {
+        for chain in zoo::cifar_models(10) {
+            for env in [EnvParams::raspberry_pi(), EnvParams::jetson_nano()] {
+                let (bb, ex, _) = solve_both(&chain, env, ExitRateModel::cifar_like());
+                assert!(
+                    (bb - ex).abs() < 1e-12,
+                    "{}: bb {bb} != exhaustive {ex}",
+                    chain.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_across_environments() {
+        let chain = zoo::inception_v3(299, 10);
+        for bw in [1e6, 4e6, 16e6, 64e6] {
+            for lat in [0.01, 0.1, 0.2] {
+                let env = EnvParams::raspberry_pi().with_edge_link(bw, lat);
+                let (bb, ex, _) = solve_both(&chain, env, ExitRateModel::cifar_like());
+                assert!((bb - ex).abs() < 1e-12, "bw {bw} lat {lat}: {bb} vs {ex}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_across_datasets() {
+        let chain = zoo::resnet34(32, 10);
+        for mid in [0.1, 0.3, 0.5, 0.8] {
+            let model = ExitRateModel::new(mid, 0.15);
+            let (bb, ex, _) = solve_both(&chain, EnvParams::raspberry_pi(), model);
+            assert!((bb - ex).abs() < 1e-12, "midpoint {mid}: {bb} vs {ex}");
+        }
+    }
+
+    #[test]
+    fn prunes_versus_exhaustive() {
+        // B&B must do fewer full-combo evaluations than the exhaustive
+        // (m-1)(m-2)/2 on a realistic instance.
+        let chain = zoo::inception_v3(299, 10);
+        let profile = ModelProfile::from_chain(&chain, ExitSpec::default()).unwrap();
+        let rates = ExitRateModel::cifar_like().rates_for_chain(&chain);
+        let cm = CostModel::new(&profile, &rates, EnvParams::raspberry_pi()).unwrap();
+        let (_, _, stats) = branch_and_bound(&cm).unwrap();
+        let m = cm.num_exits() as u64;
+        let exhaustive_combos = (m - 1) * (m - 2) / 2;
+        assert!(
+            stats.combo_evals < exhaustive_combos,
+            "no pruning: {} vs {exhaustive_combos}",
+            stats.combo_evals
+        );
+        assert!(stats.rounds >= 1);
+        assert!(stats.total_evals() > 0);
+    }
+
+    #[test]
+    fn rejects_tiny_chain() {
+        let chain = zoo::vgg16(32, 10);
+        let mut profile = ModelProfile::from_chain(&chain, ExitSpec::default()).unwrap();
+        profile.layers.truncate(2);
+        let rates = leime_dnn::ExitRates::new(vec![0.4, 1.0]).unwrap();
+        let cm = CostModel::new(&profile, &rates, EnvParams::raspberry_pi()).unwrap();
+        assert!(branch_and_bound(&cm).is_err());
+    }
+}

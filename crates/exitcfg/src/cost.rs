@@ -1,0 +1,290 @@
+use crate::EnvParams;
+use leime_dnn::{DnnError, ExitCombo, ExitRates, ModelProfile};
+
+/// Evaluator for the paper's exit-setting cost expressions (Eq. 1–5).
+///
+/// Borrows the model profile and exit rates; construction validates that
+/// their lengths agree and the environment is well-formed.
+#[derive(Debug, Clone)]
+pub struct CostModel<'a> {
+    profile: &'a ModelProfile,
+    rates: &'a ExitRates,
+    env: EnvParams,
+    offload_aware: bool,
+}
+
+impl<'a> CostModel<'a> {
+    /// Creates the paper-faithful cost model: the first block always runs
+    /// on the device (Eq. 1–4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ExitRateMismatch`] when `rates` does not cover
+    /// every candidate exit, or [`DnnError::InvalidExitRate`] when the
+    /// environment fails validation.
+    pub fn new(
+        profile: &'a ModelProfile,
+        rates: &'a ExitRates,
+        env: EnvParams,
+    ) -> Result<Self, DnnError> {
+        if rates.len() != profile.num_layers() {
+            return Err(DnnError::ExitRateMismatch {
+                expected: profile.num_layers(),
+                actual: rates.len(),
+            });
+        }
+        if let Err(reason) = env.validate() {
+            return Err(DnnError::InvalidExitRate { reason });
+        }
+        Ok(CostModel {
+            profile,
+            rates,
+            env,
+            offload_aware: false,
+        })
+    }
+
+    /// Creates the *offload-aware* cost model: the first leg of `T(E)` is
+    /// the cheaper of running the first block locally (then shipping the
+    /// First-exit activation for survivors) or offloading the raw input
+    /// and running the first block on the edge share.
+    ///
+    /// The paper's Eq. 1–4 price the first block at device speed only,
+    /// while the deployed system is free to offload it (§III-D); under an
+    /// offloading controller, placements optimal for Eq. 4 can be
+    /// dominated at runtime. This variant closes the gap and is what the
+    /// LEIME deployment uses (see DESIGN.md §5); the Theorem-1 pruning
+    /// structure is preserved because the first-leg cost still depends
+    /// only on the First-exit and the σ-coupling term is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CostModel::new`].
+    pub fn new_offload_aware(
+        profile: &'a ModelProfile,
+        rates: &'a ExitRates,
+        env: EnvParams,
+    ) -> Result<Self, DnnError> {
+        let mut cm = CostModel::new(profile, rates, env)?;
+        cm.offload_aware = true;
+        Ok(cm)
+    }
+
+    /// Whether the offload-aware first-leg variant is active.
+    pub fn is_offload_aware(&self) -> bool {
+        self.offload_aware
+    }
+
+    /// First-leg cost when the raw input is offloaded: transfer `d_0`,
+    /// then run the first block (layers + First-exit classifier) on the
+    /// edge share.
+    fn offloaded_first_leg(&self, first: usize) -> f64 {
+        let layers = self.profile.flops_range(0, first + 1);
+        let exit = self.profile.layers[first].exit_flops;
+        self.profile.input_bytes * 8.0 / self.env.edge_bandwidth_bps
+            + self.env.edge_latency_s
+            + (layers + exit) / self.env.edge_flops
+    }
+
+    /// Local first-leg cost including the survivor transfer of `d_1`
+    /// (the transfer term of Eq. 2, which depends only on `first`).
+    fn local_first_leg(&self, first: usize) -> f64 {
+        let sigma1 = self.rates.as_slice()[first];
+        let transfer =
+            self.profile.layers[first].out_bytes * 8.0 / self.env.edge_bandwidth_bps
+                + self.env.edge_latency_s;
+        self.t_device(first) + (1.0 - sigma1) * transfer
+    }
+
+    /// The first-leg cost under the active mode: everything in `T(E)` that
+    /// depends on the First-exit alone.
+    fn first_leg(&self, first: usize) -> f64 {
+        if self.offload_aware {
+            self.local_first_leg(first)
+                .min(self.offloaded_first_leg(first))
+        } else {
+            self.local_first_leg(first)
+        }
+    }
+
+    /// Number of candidate exits `m`.
+    pub fn num_exits(&self) -> usize {
+        self.profile.num_layers()
+    }
+
+    /// The environment in use.
+    pub fn env(&self) -> EnvParams {
+        self.env
+    }
+
+    /// The model profile in use.
+    pub fn profile(&self) -> &ModelProfile {
+        self.profile
+    }
+
+    /// The exit rates in use.
+    pub fn rates(&self) -> &ExitRates {
+        self.rates
+    }
+
+    /// Device-tier cost `t^d` (Eq. 1): layers `0..=first` plus the
+    /// First-exit classifier, at device speed.
+    pub fn t_device(&self, first: usize) -> f64 {
+        let layers = self.profile.flops_range(0, first + 1);
+        let exit = self.profile.layers[first].exit_flops;
+        (layers + exit) / self.env.device_flops
+    }
+
+    /// Edge-tier cost `t^e` (Eq. 2): layers `first+1..=second` plus the
+    /// Second-exit classifier at edge speed, plus the device→edge transfer
+    /// of the First-exit activation.
+    pub fn t_edge(&self, first: usize, second: usize) -> f64 {
+        let layers = self.profile.flops_range(first + 1, second + 1);
+        let exit = self.profile.layers[second].exit_flops;
+        let transfer =
+            self.profile.layers[first].out_bytes * 8.0 / self.env.edge_bandwidth_bps;
+        (layers + exit) / self.env.edge_flops + transfer + self.env.edge_latency_s
+    }
+
+    /// Cloud-tier cost `t^c` (Eq. 3): layers `second+1..m` plus the
+    /// Third-exit classifier at cloud speed, plus the edge→cloud transfer
+    /// of the Second-exit activation.
+    pub fn t_cloud(&self, second: usize) -> f64 {
+        let m = self.num_exits();
+        let layers = self.profile.flops_range(second + 1, m);
+        let exit = self.profile.layers[m - 1].exit_flops;
+        let transfer =
+            self.profile.layers[second].out_bytes * 8.0 / self.env.cloud_bandwidth_bps;
+        (layers + exit) / self.env.cloud_flops + transfer + self.env.cloud_latency_s
+    }
+
+    /// Expected completion time `T(E)` for a full combo (Eq. 4 with
+    /// `σ_3 = 1`): `t_d + (1−σ_1)·t_e + (1−σ_2)·t_c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidExitCombo`] for an ill-formed combo.
+    pub fn total(&self, combo: ExitCombo) -> Result<f64, DnnError> {
+        let combo = ExitCombo::new(combo.first, combo.second, combo.third, self.num_exits())?;
+        let s1 = self.rates.rate(combo.first)?;
+        let s2 = self.rates.rate(combo.second)?;
+        // Edge-block compute (the d_1 transfer term of Eq. 2 lives in the
+        // first leg, where its dependence on the First-exit belongs).
+        let edge_compute = (self.profile.flops_range(combo.first + 1, combo.second + 1)
+            + self.profile.layers[combo.second].exit_flops)
+            / self.env.edge_flops;
+        Ok(self.first_leg(combo.first)
+            + (1.0 - s1) * edge_compute
+            + (1.0 - s2) * self.t_cloud(combo.second))
+    }
+
+    /// Two-exit cost `T({exit_i, exit_m, −})` of Theorem 1 (Eq. 5): the
+    /// ME-DNN split in two, device block ending at exit `i`, everything
+    /// else on the edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::IndexOutOfRange`] when `first >= m−1`.
+    pub fn two_exit(&self, first: usize) -> Result<f64, DnnError> {
+        let m = self.num_exits();
+        if first + 1 >= m {
+            return Err(DnnError::IndexOutOfRange {
+                what: "first exit",
+                index: first,
+                len: m - 1,
+            });
+        }
+        let s1 = self.rates.rate(first)?;
+        let rest = self.profile.flops_range(first + 1, m)
+            + self.profile.layers[m - 1].exit_flops;
+        Ok(self.first_leg(first) + (1.0 - s1) * rest / self.env.edge_flops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leime_dnn::{zoo, ExitSpec, ModelProfile};
+    use leime_workload::ExitRateModel;
+
+    fn setup() -> (ModelProfile, ExitRates) {
+        let chain = zoo::vgg16(32, 10);
+        let profile = ModelProfile::from_chain(&chain, ExitSpec::default()).unwrap();
+        let rates = ExitRateModel::cifar_like().rates_for_chain(&chain);
+        (profile, rates)
+    }
+
+    #[test]
+    fn rejects_mismatched_rates() {
+        let (profile, _) = setup();
+        let bad = ExitRates::new(vec![0.5, 1.0]).unwrap();
+        assert!(CostModel::new(&profile, &bad, EnvParams::raspberry_pi()).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_env() {
+        let (profile, rates) = setup();
+        let mut env = EnvParams::raspberry_pi();
+        env.cloud_flops = -1.0;
+        assert!(CostModel::new(&profile, &rates, env).is_err());
+    }
+
+    #[test]
+    fn total_decomposes_into_tiers() {
+        let (profile, rates) = setup();
+        let cm = CostModel::new(&profile, &rates, EnvParams::raspberry_pi()).unwrap();
+        let m = cm.num_exits();
+        let combo = ExitCombo::new(2, 7, m - 1, m).unwrap();
+        let s1 = rates.rate(2).unwrap();
+        let s2 = rates.rate(7).unwrap();
+        let manual = cm.t_device(2) + (1.0 - s1) * cm.t_edge(2, 7) + (1.0 - s2) * cm.t_cloud(7);
+        assert!((cm.total(combo).unwrap() - manual).abs() < 1e-15);
+    }
+
+    #[test]
+    fn higher_exit_rate_reduces_cost() {
+        // Same topology, easier dataset -> lower expected TCT.
+        let chain = zoo::vgg16(32, 10);
+        let profile = ModelProfile::from_chain(&chain, ExitSpec::default()).unwrap();
+        let easy = ExitRateModel::new(0.15, 0.15).rates_for_chain(&chain);
+        let hard = ExitRateModel::new(0.7, 0.15).rates_for_chain(&chain);
+        let env = EnvParams::raspberry_pi();
+        let m = chain.num_layers();
+        let combo = ExitCombo::new(1, 6, m - 1, m).unwrap();
+        let cm_easy = CostModel::new(&profile, &easy, env).unwrap();
+        let cm_hard = CostModel::new(&profile, &hard, env).unwrap();
+        assert!(cm_easy.total(combo).unwrap() < cm_hard.total(combo).unwrap());
+    }
+
+    #[test]
+    fn slower_network_increases_cost() {
+        let (profile, rates) = setup();
+        let fast = EnvParams::raspberry_pi().with_edge_link(30e6, 0.01);
+        let slow = EnvParams::raspberry_pi().with_edge_link(1e6, 0.2);
+        let m = profile.num_layers();
+        let combo = ExitCombo::new(1, 6, m - 1, m).unwrap();
+        let cf = CostModel::new(&profile, &rates, fast).unwrap();
+        let cs = CostModel::new(&profile, &rates, slow).unwrap();
+        assert!(cf.total(combo).unwrap() < cs.total(combo).unwrap());
+    }
+
+    #[test]
+    fn two_exit_bounds() {
+        let (profile, rates) = setup();
+        let cm = CostModel::new(&profile, &rates, EnvParams::raspberry_pi()).unwrap();
+        assert!(cm.two_exit(0).is_ok());
+        assert!(cm.two_exit(cm.num_exits() - 1).is_err());
+    }
+
+    #[test]
+    fn total_rejects_bad_combo() {
+        let (profile, rates) = setup();
+        let cm = CostModel::new(&profile, &rates, EnvParams::raspberry_pi()).unwrap();
+        let bad = ExitCombo {
+            first: 5,
+            second: 2,
+            third: cm.num_exits() - 1,
+        };
+        assert!(cm.total(bad).is_err());
+    }
+}

@@ -1,0 +1,70 @@
+use crate::CostModel;
+use leime_dnn::{DnnError, ExitCombo};
+
+/// Exhaustive `O(m²)` search over all `(first, second)` pairs — the ground
+/// truth the branch-and-bound search is verified against, and the fallback
+/// for tiny chains.
+///
+/// Returns the optimal combo and its cost.
+///
+/// # Errors
+///
+/// Returns [`DnnError::InvalidExitCombo`] if the chain has fewer than 3
+/// layers (no 3-exit combo exists).
+pub fn exhaustive(cost: &CostModel<'_>) -> Result<(ExitCombo, f64), DnnError> {
+    let m = cost.num_exits();
+    if m < 3 {
+        return Err(DnnError::InvalidExitCombo {
+            reason: format!("chain of {m} layers cannot host 3 exits"),
+        });
+    }
+    let mut best: Option<(ExitCombo, f64)> = None;
+    for first in 0..m - 2 {
+        for second in first + 1..m - 1 {
+            let combo = ExitCombo::new(first, second, m - 1, m)?;
+            let t = cost.total(combo)?;
+            match best {
+                Some((_, bt)) if bt <= t => {}
+                _ => best = Some((combo, t)),
+            }
+        }
+    }
+    Ok(best.expect("m >= 3 guarantees at least one combo"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EnvParams;
+    use leime_dnn::{zoo, ExitRates, ExitSpec, ModelProfile};
+    use leime_workload::ExitRateModel;
+
+    #[test]
+    fn finds_global_minimum() {
+        let chain = zoo::squeezenet_1_0(64, 10);
+        let profile = ModelProfile::from_chain(&chain, ExitSpec::default()).unwrap();
+        let rates = ExitRateModel::cifar_like().rates_for_chain(&chain);
+        let cm = CostModel::new(&profile, &rates, EnvParams::raspberry_pi()).unwrap();
+        let (best, bt) = exhaustive(&cm).unwrap();
+        // No combo beats it.
+        let m = cm.num_exits();
+        for first in 0..m - 2 {
+            for second in first + 1..m - 1 {
+                let combo = ExitCombo::new(first, second, m - 1, m).unwrap();
+                assert!(cm.total(combo).unwrap() >= bt - 1e-15);
+            }
+        }
+        assert!(best.first < best.second && best.second < m - 1);
+    }
+
+    #[test]
+    fn rejects_tiny_chain() {
+        // Build a 2-layer profile by truncating.
+        let chain = zoo::vgg16(32, 10);
+        let mut profile = ModelProfile::from_chain(&chain, ExitSpec::default()).unwrap();
+        profile.layers.truncate(2);
+        let rates = ExitRates::new(vec![0.5, 1.0]).unwrap();
+        let cm = CostModel::new(&profile, &rates, EnvParams::raspberry_pi()).unwrap();
+        assert!(exhaustive(&cm).is_err());
+    }
+}

@@ -1,0 +1,249 @@
+use crate::CalibrationResult;
+use leime_dnn::ExitCombo;
+use leime_tensor::nn::Mlp;
+use leime_workload::{FeatureCascade, Sample};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Which tier a task exited at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExitDecision {
+    /// Exited at the First-exit (device).
+    Device,
+    /// Exited at the Second-exit (edge).
+    Edge,
+    /// Reached the Third-exit (cloud).
+    Cloud,
+}
+
+impl ExitDecision {
+    /// Tier index: 0 device, 1 edge, 2 cloud.
+    pub fn tier(self) -> usize {
+        match self {
+            ExitDecision::Device => 0,
+            ExitDecision::Edge => 1,
+            ExitDecision::Cloud => 2,
+        }
+    }
+}
+
+/// Early-exit inference for a deployed ME-DNN: the three chosen exits with
+/// their trained classifiers and calibrated thresholds.
+///
+/// This is what the live runtime executes — the device evaluates the
+/// First-exit classifier on real tensors; if confidence falls short the
+/// (simulated) intermediate data moves to the edge, and so on.
+#[derive(Debug, Clone)]
+pub struct EarlyExitPipeline {
+    combo: ExitCombo,
+    classifiers: [Mlp; 3],
+    thresholds: [f64; 3],
+    depths: [f64; 3],
+}
+
+impl EarlyExitPipeline {
+    /// Assembles a pipeline from a calibration result and a chosen combo.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combo indexes outside the calibrated exits.
+    pub fn from_calibration(cal: &CalibrationResult, combo: ExitCombo) -> Self {
+        let pick = |i: usize| cal.classifiers()[i].clone();
+        EarlyExitPipeline {
+            combo,
+            classifiers: [pick(combo.first), pick(combo.second), pick(combo.third)],
+            thresholds: [
+                cal.thresholds()[combo.first],
+                cal.thresholds()[combo.second],
+                0.0,
+            ],
+            depths: [
+                cal.depth_fractions()[combo.first],
+                cal.depth_fractions()[combo.second],
+                cal.depth_fractions()[combo.third],
+            ],
+        }
+    }
+
+    /// The deployed exit combo.
+    pub fn combo(&self) -> ExitCombo {
+        self.combo
+    }
+
+    /// Evaluates the exit classifier at tier `idx` (0 = First, 1 = Second,
+    /// 2 = Third) on fresh cascade features for `sample`.
+    fn eval_exit(
+        &self,
+        idx: usize,
+        cascade: &FeatureCascade,
+        sample: Sample,
+        rng: &mut StdRng,
+    ) -> (usize, f64, bool) {
+        let features = cascade.features(sample, self.depths[idx], rng);
+        let (pred, conf) = self.classifiers[idx]
+            .predict(&features)
+            .expect("feature width matches classifier");
+        (pred, f64::from(conf), pred == sample.class)
+    }
+
+    /// Runs only the First-exit (device tier). Returns
+    /// [`ExitDecision::Device`] when the task exits here, or
+    /// [`ExitDecision::Edge`] meaning "continue to the edge".
+    pub fn infer_first(
+        &self,
+        cascade: &FeatureCascade,
+        sample: Sample,
+        rng: &mut StdRng,
+    ) -> (ExitDecision, usize, f64, bool) {
+        let (pred, conf, correct) = self.eval_exit(0, cascade, sample, rng);
+        let tier = if conf >= self.thresholds[0] {
+            ExitDecision::Device
+        } else {
+            ExitDecision::Edge
+        };
+        (tier, pred, conf, correct)
+    }
+
+    /// Runs only the Second-exit (edge tier). Returns
+    /// [`ExitDecision::Edge`] when the task exits here, or
+    /// [`ExitDecision::Cloud`] meaning "continue to the cloud".
+    pub fn infer_second(
+        &self,
+        cascade: &FeatureCascade,
+        sample: Sample,
+        rng: &mut StdRng,
+    ) -> (ExitDecision, usize, f64, bool) {
+        let (pred, conf, correct) = self.eval_exit(1, cascade, sample, rng);
+        let tier = if conf >= self.thresholds[1] {
+            ExitDecision::Edge
+        } else {
+            ExitDecision::Cloud
+        };
+        (tier, pred, conf, correct)
+    }
+
+    /// Runs the unconditional Third-exit (cloud tier); returns the
+    /// prediction and its correctness.
+    pub fn infer_third(
+        &self,
+        cascade: &FeatureCascade,
+        sample: Sample,
+        rng: &mut StdRng,
+    ) -> (usize, bool) {
+        let (pred, _conf, correct) = self.eval_exit(2, cascade, sample, rng);
+        (pred, correct)
+    }
+
+    /// Runs one task through the pipeline: evaluates the exits in order on
+    /// cascade features, stopping at the first confident one.
+    ///
+    /// Returns the exit tier, the predicted class, the confidence at the
+    /// exiting classifier, and whether the prediction was correct.
+    pub fn infer(
+        &self,
+        cascade: &FeatureCascade,
+        sample: Sample,
+        rng: &mut StdRng,
+    ) -> (ExitDecision, usize, f64, bool) {
+        let tiers = [ExitDecision::Device, ExitDecision::Edge, ExitDecision::Cloud];
+        for (i, &tier) in tiers.iter().enumerate() {
+            let features = cascade.features(sample, self.depths[i], rng);
+            let (pred, conf) = self.classifiers[i]
+                .predict(&features)
+                .expect("feature width matches classifier");
+            let conf = f64::from(conf);
+            if conf >= self.thresholds[i] || tier == ExitDecision::Cloud {
+                return (tier, pred, conf, pred == sample.class);
+            }
+        }
+        unreachable!("the cloud tier always exits")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{calibrate, CalibrationConfig, TrainConfig};
+    use leime_dnn::zoo;
+    use leime_workload::{CascadeParams, ComplexityDist, SyntheticDataset};
+    use rand::SeedableRng;
+
+    fn pipeline() -> (EarlyExitPipeline, FeatureCascade) {
+        let chain = zoo::squeezenet_1_0(64, 10);
+        let cascade = FeatureCascade::new(10, CascadeParams::default(), 21);
+        let ds = SyntheticDataset::cifar_like();
+        let mut rng = StdRng::seed_from_u64(21);
+        let cal = calibrate(
+            &chain,
+            &cascade,
+            &ds,
+            CalibrationConfig {
+                train_samples: 192,
+                val_samples: 192,
+                train: TrainConfig {
+                    epochs: 6,
+                    ..TrainConfig::default()
+                },
+                accuracy_target_ratio: 0.95,
+            },
+            &mut rng,
+        );
+        let m = chain.num_layers();
+        let combo = ExitCombo::new(1, m / 2, m - 1, m).unwrap();
+        (EarlyExitPipeline::from_calibration(&cal, combo), cascade)
+    }
+
+    #[test]
+    fn easy_samples_mostly_exit_on_device() {
+        let (pipe, cascade) = pipeline();
+        let ds = SyntheticDataset::new(10, ComplexityDist::Fixed { value: 0.02 });
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut device_exits = 0usize;
+        let n = 200;
+        for _ in 0..n {
+            let s = ds.draw(&mut rng);
+            let (tier, _, _, _) = pipe.infer(&cascade, s, &mut rng);
+            if tier == ExitDecision::Device {
+                device_exits += 1;
+            }
+        }
+        assert!(
+            device_exits > n / 2,
+            "only {device_exits}/{n} easy samples exited on device"
+        );
+    }
+
+    #[test]
+    fn hard_samples_travel_deeper() {
+        let (pipe, cascade) = pipeline();
+        let ds = SyntheticDataset::new(10, ComplexityDist::Fixed { value: 0.95 });
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cloud_or_edge = 0usize;
+        let n = 200;
+        for _ in 0..n {
+            let s = ds.draw(&mut rng);
+            let (tier, _, _, _) = pipe.infer(&cascade, s, &mut rng);
+            if tier != ExitDecision::Device {
+                cloud_or_edge += 1;
+            }
+        }
+        assert!(
+            cloud_or_edge > n / 2,
+            "only {cloud_or_edge}/{n} hard samples travelled past the device"
+        );
+    }
+
+    #[test]
+    fn every_inference_terminates_with_valid_output() {
+        let (pipe, cascade) = pipeline();
+        let ds = SyntheticDataset::cifar_like();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = ds.draw(&mut rng);
+            let (tier, pred, conf, _) = pipe.infer(&cascade, s, &mut rng);
+            assert!(tier.tier() <= 2);
+            assert!(pred < 10);
+            assert!(conf > 0.0 && conf <= 1.0);
+        }
+    }
+}

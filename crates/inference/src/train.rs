@@ -1,0 +1,145 @@
+use leime_tensor::nn::{Mlp, MlpConfig, Sgd};
+use leime_workload::{FeatureCascade, Sample};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for training one exit classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Hidden width of the classifier MLP (the paper's exit is pool + two
+    /// FC layers; after pooling that is a one-hidden-layer MLP).
+    pub hidden_dim: usize,
+    /// Number of SGD epochs over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            hidden_dim: 32,
+            epochs: 12,
+            batch_size: 64,
+            lr: 0.05,
+            momentum: 0.9,
+        }
+    }
+}
+
+/// Trains one exit classifier at `depth_fraction` on features emitted by
+/// the cascade for `train_samples`.
+///
+/// Feature generation is part of training: each epoch re-samples the noise
+/// (the cascade is stochastic), which doubles as data augmentation and
+/// matches how a CNN trunk would present slightly different activations
+/// across augmented views.
+///
+/// # Panics
+///
+/// Panics if `train_samples` is empty or `depth_fraction` is outside
+/// `(0, 1]`.
+pub fn train_exit_classifier(
+    cascade: &FeatureCascade,
+    train_samples: &[Sample],
+    depth_fraction: f64,
+    config: TrainConfig,
+    rng: &mut StdRng,
+) -> Mlp {
+    assert!(!train_samples.is_empty(), "no training samples");
+    let mlp_config = MlpConfig {
+        input_dim: cascade.params().feature_dim,
+        hidden_dim: config.hidden_dim,
+        num_classes: cascade.num_classes(),
+    };
+    let mut mlp = Mlp::new(mlp_config, rng);
+    let mut opt = Sgd::new(Mlp::NUM_PARAMS, config.lr, config.momentum);
+
+    for _epoch in 0..config.epochs {
+        for chunk in train_samples.chunks(config.batch_size) {
+            let (x, y) = cascade.batch_features(chunk, depth_fraction, rng);
+            mlp.train_step(&x, &y, &mut opt)
+                .expect("batch shapes are consistent by construction");
+        }
+    }
+    mlp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leime_workload::{CascadeParams, ComplexityDist, SyntheticDataset};
+    use rand::SeedableRng;
+
+    #[test]
+    fn deep_classifier_beats_shallow_on_hard_samples() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let cascade = FeatureCascade::new(4, CascadeParams::default(), 3);
+        let ds = SyntheticDataset::new(4, ComplexityDist::Fixed { value: 0.8 });
+        let train = ds.draw_batch(400, &mut rng);
+        let val = ds.draw_batch(400, &mut rng);
+        let cfg = TrainConfig::default();
+
+        let shallow = train_exit_classifier(&cascade, &train, 0.15, cfg, &mut rng);
+        let deep = train_exit_classifier(&cascade, &train, 1.0, cfg, &mut rng);
+
+        let (xv_s, yv) = cascade.batch_features(&val, 0.15, &mut rng);
+        let (xv_d, _) = cascade.batch_features(&val, 1.0, &mut rng);
+        let acc_s = shallow.accuracy(&xv_s, &yv).unwrap();
+        let acc_d = deep.accuracy(&xv_d, &yv).unwrap();
+        assert!(
+            acc_d > acc_s + 0.15,
+            "deep {acc_d} should beat shallow {acc_s} on hard samples"
+        );
+    }
+
+    #[test]
+    fn shallow_classifier_handles_easy_samples() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let cascade = FeatureCascade::new(4, CascadeParams::default(), 3);
+        let ds = SyntheticDataset::new(4, ComplexityDist::Fixed { value: 0.05 });
+        let train = ds.draw_batch(400, &mut rng);
+        let val = ds.draw_batch(400, &mut rng);
+        let mlp = train_exit_classifier(&cascade, &train, 0.3, TrainConfig::default(), &mut rng);
+        let (xv, yv) = cascade.batch_features(&val, 0.3, &mut rng);
+        let acc = mlp.accuracy(&xv, &yv).unwrap();
+        assert!(acc > 0.8, "easy samples at matching depth: acc {acc}");
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let cascade = FeatureCascade::new(3, CascadeParams::default(), 5);
+        let ds = SyntheticDataset::new(3, ComplexityDist::Uniform);
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let train = ds.draw_batch(100, &mut rng);
+            let m = train_exit_classifier(
+                &cascade,
+                &train,
+                0.5,
+                TrainConfig {
+                    epochs: 2,
+                    ..TrainConfig::default()
+                },
+                &mut rng,
+            );
+            let mut vrng = StdRng::seed_from_u64(99);
+            let val = ds.draw_batch(50, &mut vrng);
+            let (x, y) = cascade.batch_features(&val, 0.5, &mut vrng);
+            (m.accuracy(&x, &y).unwrap() * 1e6) as i64
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "no training samples")]
+    fn rejects_empty_training_set() {
+        let cascade = FeatureCascade::new(3, CascadeParams::default(), 5);
+        let mut rng = StdRng::seed_from_u64(0);
+        train_exit_classifier(&cascade, &[], 0.5, TrainConfig::default(), &mut rng);
+    }
+}

@@ -1,0 +1,242 @@
+use crate::{DeviceParams, SharedParams};
+
+/// Per-slot cost evaluator for one device (Eq. 12–14 and the
+/// drift-plus-penalty objective of Eq. 18–19).
+///
+/// All methods are parameterised by the offloading ratio `x ∈ [0, 1]`;
+/// arrivals split into `A = (1−x)·k` local and `D = x·k` offloaded tasks.
+#[derive(Debug, Clone, Copy)]
+pub struct SlotCost {
+    shared: SharedParams,
+    device: DeviceParams,
+    /// Device queue length `Q_i(t)` at the slot start.
+    pub q: f64,
+    /// Edge queue length `H_i(t)` at the slot start.
+    pub h: f64,
+    /// Edge resource share `p_i` of this device.
+    pub p_share: f64,
+}
+
+impl SlotCost {
+    /// Creates an evaluator for one device-slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if queue lengths are negative or `p_share` is outside
+    /// `[0, 1]`.
+    pub fn new(shared: SharedParams, device: DeviceParams, q: f64, h: f64, p_share: f64) -> Self {
+        assert!(q >= 0.0 && h >= 0.0, "queue lengths must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&p_share),
+            "p_share {p_share} outside [0, 1]"
+        );
+        SlotCost {
+            shared,
+            device,
+            q,
+            h,
+            p_share,
+        }
+    }
+
+    /// The shared parameters in use.
+    pub fn shared(&self) -> SharedParams {
+        self.shared
+    }
+
+    /// The device parameters in use.
+    pub fn device(&self) -> DeviceParams {
+        self.device
+    }
+
+    /// Edge FLOPS devoted to this device's *first-block* tasks,
+    /// `F^e_{i,1}` (Eq. 9): the share `p_i F^e` is split between first- and
+    /// second-block work in proportion to their demand.
+    pub fn edge_first_block_flops(&self, x: f64) -> f64 {
+        let s = &self.shared;
+        let denom = x * s.mu1 + (1.0 - s.sigma1) * s.mu2;
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        x * s.mu1 * self.p_share * s.edge_flops / denom
+    }
+
+    /// Device service quota `b_i(t) = F_i^d · τ / μ_1` (tasks per slot).
+    pub fn device_quota(&self) -> f64 {
+        self.device.flops * self.shared.slot_len_s / self.shared.mu1
+    }
+
+    /// Edge service quota `c_i(t) = F^e_{i,1} · τ / μ_1` (tasks per slot).
+    pub fn edge_quota(&self, x: f64) -> f64 {
+        self.edge_first_block_flops(x) * self.shared.slot_len_s / self.shared.mu1
+    }
+
+    /// Device-side slot cost `T_i^d(t)` (Eq. 12): backlog wait `C^d_1`,
+    /// own processing + intra-batch queueing `C^d_2`, and the First-exit
+    /// intermediate-data transmission `C^d_3`.
+    pub fn t_device(&self, x: f64) -> f64 {
+        let s = &self.shared;
+        let d = &self.device;
+        let a = (1.0 - x) * d.arrival_mean;
+        if a <= 0.0 {
+            return 0.0;
+        }
+        let per_task = s.mu1 / d.flops;
+        let c1 = a * self.q * per_task;
+        // A(A−1)/2 intra-batch queueing; clamped at 0 for fluid A < 1.
+        let c2 = a * per_task + (a * (a - 1.0) / 2.0).max(0.0) * per_task;
+        let c3 = (1.0 - s.sigma1)
+            * a
+            * (s.d1_bytes * 8.0 / d.bandwidth_bps + d.latency_s);
+        c1 + c2 + c3
+    }
+
+    /// Edge-side slot cost `T_i^e(t)` (Eq. 13): raw-input transmission
+    /// `C^e_1`, backlog wait `C^e_2`, own processing + intra-batch queueing
+    /// `C^e_3`.
+    ///
+    /// Returns `f64::INFINITY` when tasks are offloaded (`x > 0`) but the
+    /// device holds no edge share.
+    pub fn t_edge(&self, x: f64) -> f64 {
+        let s = &self.shared;
+        let d = &self.device;
+        let dd = x * d.arrival_mean;
+        if dd <= 0.0 {
+            return 0.0;
+        }
+        let f_e1 = self.edge_first_block_flops(x);
+        if f_e1 <= 0.0 {
+            return f64::INFINITY;
+        }
+        let per_task = s.mu1 / f_e1;
+        let c1 = dd * (s.d0_bytes * 8.0 / d.bandwidth_bps + d.latency_s);
+        let c2 = dd * self.h * per_task;
+        let c3 = dd * per_task + (dd * (dd - 1.0) / 2.0).max(0.0) * per_task;
+        c1 + c2 + c3
+    }
+
+    /// Total slot cost `Y_i(t) = T_i^d + T_i^e` (Eq. 14).
+    pub fn y(&self, x: f64) -> f64 {
+        self.t_device(x) + self.t_edge(x)
+    }
+
+    /// Drift-plus-penalty objective for this device (Eq. 19):
+    /// `V·Y_i + Q_i·(A_i − b_i) + H_i·(D_i − c_i)`.
+    pub fn drift_plus_penalty(&self, x: f64) -> f64 {
+        let k = self.device.arrival_mean;
+        let a = (1.0 - x) * k;
+        let dd = x * k;
+        self.shared.v * self.y(x)
+            + self.q * (a - self.device_quota())
+            + self.h * (dd - self.edge_quota(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared() -> SharedParams {
+        SharedParams {
+            slot_len_s: 1.0,
+            v: 100.0,
+            mu1: 2e8,
+            mu2: 5e8,
+            sigma1: 0.4,
+            d0_bytes: 12_288.0,
+            d1_bytes: 65_536.0,
+            edge_flops: 40e9,
+        }
+    }
+
+    fn cost(x_q: f64, h: f64) -> SlotCost {
+        SlotCost::new(shared(), DeviceParams::raspberry_pi(10.0), x_q, h, 0.25)
+    }
+
+    #[test]
+    fn t_device_zero_when_all_offloaded() {
+        assert_eq!(cost(0.0, 0.0).t_device(1.0), 0.0);
+    }
+
+    #[test]
+    fn t_edge_zero_when_none_offloaded() {
+        assert_eq!(cost(0.0, 0.0).t_edge(0.0), 0.0);
+    }
+
+    #[test]
+    fn t_device_decreases_in_x() {
+        let c = cost(5.0, 0.0);
+        let mut prev = f64::INFINITY;
+        for i in 0..=10 {
+            let x = i as f64 / 10.0;
+            let t = c.t_device(x);
+            assert!(t <= prev + 1e-12, "t_device not decreasing at x={x}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn t_edge_increases_in_x() {
+        let c = cost(0.0, 5.0);
+        let mut prev = 0.0;
+        for i in 1..=10 {
+            let x = i as f64 / 10.0;
+            let t = c.t_edge(x);
+            assert!(t >= prev - 1e-12, "t_edge not increasing at x={x}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn edge_first_block_split_matches_eq9() {
+        let c = cost(0.0, 0.0);
+        let s = shared();
+        let x = 0.6;
+        let f1 = c.edge_first_block_flops(x);
+        // Check the proportionality F1/F2 = x*mu1 / ((1-sigma1)*mu2):
+        let f_total = c.p_share * s.edge_flops;
+        let f2 = f_total - f1;
+        let want_ratio = x * s.mu1 / ((1.0 - s.sigma1) * s.mu2);
+        assert!((f1 / f2 - want_ratio).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_share_means_infinite_edge_cost() {
+        let c = SlotCost::new(shared(), DeviceParams::raspberry_pi(10.0), 0.0, 0.0, 0.0);
+        assert!(c.t_edge(0.5).is_infinite());
+        assert_eq!(c.t_edge(0.0), 0.0);
+    }
+
+    #[test]
+    fn backlog_raises_cost() {
+        let empty = cost(0.0, 0.0);
+        let backed = cost(20.0, 0.0);
+        assert!(backed.t_device(0.0) > empty.t_device(0.0));
+        let backed_edge = cost(0.0, 20.0);
+        assert!(backed_edge.t_edge(0.5) > empty.t_edge(0.5));
+    }
+
+    #[test]
+    fn quotas_match_formulas() {
+        let c = cost(0.0, 0.0);
+        assert!((c.device_quota() - 1.0e9 / 2e8).abs() < 1e-12);
+        let f1 = c.edge_first_block_flops(0.5);
+        assert!((c.edge_quota(0.5) - f1 / 2e8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drift_penalty_composes() {
+        let c = cost(3.0, 2.0);
+        let x = 0.4;
+        let manual = 100.0 * c.y(x)
+            + 3.0 * ((1.0 - x) * 10.0 - c.device_quota())
+            + 2.0 * (x * 10.0 - c.edge_quota(x));
+        assert!((c.drift_plus_penalty(x) - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "p_share")]
+    fn rejects_bad_share() {
+        SlotCost::new(shared(), DeviceParams::raspberry_pi(1.0), 0.0, 0.0, 1.5);
+    }
+}

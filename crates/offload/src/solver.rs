@@ -1,0 +1,251 @@
+//! Per-slot offloading-ratio solvers.
+
+use crate::SlotCost;
+
+/// The bandwidth-feasible offloading-ratio interval from constraint (8):
+///
+/// ```text
+/// D·d_0 + A·(1−σ_1)·d_1 ≤ B_i^e · (τ − L_i^e)    (bits)
+/// ```
+///
+/// The left side is linear in `x`, so the feasible set is an interval.
+/// Returns it clamped to `[0, 1]`; when no `x` is feasible (the link cannot
+/// carry even the least-transmission choice within a slot), returns the
+/// degenerate interval at the least-transmission endpoint — the controller
+/// must still pick something.
+pub fn feasible_interval(cost: &SlotCost) -> (f64, f64) {
+    let s = cost.shared();
+    let d = cost.device();
+    let k = d.arrival_mean;
+    if k <= 0.0 {
+        return (0.0, 1.0);
+    }
+    let cap_bits = d.bandwidth_bps * (s.slot_len_s - d.latency_s).max(0.0);
+    // bits(x) = 8·k·[ x·d0 + (1−x)·(1−σ1)·d1 ] = base + slope·x.
+    let base = 8.0 * k * (1.0 - s.sigma1) * s.d1_bytes;
+    let slope = 8.0 * k * (s.d0_bytes - (1.0 - s.sigma1) * s.d1_bytes);
+    if slope.abs() < f64::EPSILON {
+        return if base <= cap_bits { (0.0, 1.0) } else { (0.0, 0.0) };
+    }
+    let x_star = (cap_bits - base) / slope;
+    if slope > 0.0 {
+        // Transmission grows with x: feasible is [0, x*].
+        if x_star < 0.0 {
+            (0.0, 0.0) // infeasible; least transmission at x = 0
+        } else {
+            (0.0, x_star.min(1.0))
+        }
+    } else {
+        // Transmission shrinks with x: feasible is [x*, 1].
+        if x_star > 1.0 {
+            (1.0, 1.0) // infeasible; least transmission at x = 1
+        } else {
+            (x_star.max(0.0), 1.0)
+        }
+    }
+}
+
+/// The decentralized balance solver of §III-D4: as `V → ∞`, the per-slot
+/// optimum equalises the device- and edge-side costs,
+/// `T_i^d(x) = T_i^e(x)` (Cauchy–Schwarz, Eq. 20). `T_d` is non-increasing
+/// and `T_e` non-decreasing in `x`, so bisection on their difference finds
+/// the balance point in `O(log 1/ε)` evaluations; the result is clamped to
+/// the bandwidth-feasible interval.
+// The `hi - lo < EPSILON` width test is an interval-degeneracy check.
+#[allow(clippy::float_equality_without_abs)]
+pub fn balance_solve(cost: &SlotCost) -> f64 {
+    let (lo, hi) = feasible_interval(cost);
+    if hi - lo < f64::EPSILON {
+        return lo;
+    }
+    let g = |x: f64| cost.t_device(x) - cost.t_edge(x);
+    // If even full offloading leaves the device side dearer, offload all.
+    if g(hi) >= 0.0 {
+        return hi;
+    }
+    // If keeping everything local is already cheaper than any offloading,
+    // stay local.
+    if g(lo) <= 0.0 {
+        return lo;
+    }
+    let (mut a, mut b) = (lo, hi);
+    for _ in 0..60 {
+        let mid = 0.5 * (a + b);
+        if g(mid) >= 0.0 {
+            a = mid;
+        } else {
+            b = mid;
+        }
+    }
+    let x = 0.5 * (a + b);
+    // A device without edge capacity sees an infinite edge cost for any
+    // x > 0; fall back to keeping everything local.
+    if cost.t_edge(x).is_finite() {
+        x
+    } else {
+        lo
+    }
+}
+
+/// Centralized reference solver: golden-section minimisation of the full
+/// drift-plus-penalty objective (Eq. 19) over the feasible interval. The
+/// paper notes `P1′` is convex; this is the "common method" LEIME's
+/// decentralized solver is compared against.
+///
+/// The objective has a jump discontinuity at `x = 0` — with an edge
+/// backlog `H > 0`, the waiting term `D·H·μ_1/F^e_{i,1}` tends to a
+/// strictly positive limit as `x → 0⁺` but is exactly zero at `x = 0`
+/// (no task is offloaded, so none waits). The interior search therefore
+/// finishes with an explicit comparison against both endpoints.
+// The `hi - lo < EPSILON` width test is an interval-degeneracy check.
+#[allow(clippy::float_equality_without_abs)]
+pub fn golden_section_solve(cost: &SlotCost) -> f64 {
+    let (lo, hi) = feasible_interval(cost);
+    if hi - lo < f64::EPSILON {
+        return lo;
+    }
+    let f = |x: f64| cost.drift_plus_penalty(x);
+    let inv_phi = (5.0f64.sqrt() - 1.0) / 2.0;
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - inv_phi * (b - a);
+    let mut d = a + inv_phi * (b - a);
+    let (mut fc, mut fd) = (f(c), f(d));
+    for _ in 0..80 {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - inv_phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + inv_phi * (b - a);
+            fd = f(d);
+        }
+    }
+    let interior = 0.5 * (a + b);
+    [lo, interior, hi]
+        .into_iter()
+        .min_by(|&x, &y| f(x).partial_cmp(&f(y)).expect("objective is finite"))
+        .expect("candidate set is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeviceParams, SharedParams};
+
+    fn shared() -> SharedParams {
+        SharedParams {
+            slot_len_s: 1.0,
+            v: 1e4,
+            mu1: 2e8,
+            mu2: 5e8,
+            sigma1: 0.4,
+            d0_bytes: 12_288.0,
+            d1_bytes: 30_000.0,
+            edge_flops: 40e9,
+        }
+    }
+
+    fn cost_with(k: f64, q: f64, h: f64) -> SlotCost {
+        SlotCost::new(shared(), DeviceParams::raspberry_pi(k), q, h, 0.25)
+    }
+
+    #[test]
+    fn balance_point_equalises_costs() {
+        let c = cost_with(10.0, 0.0, 0.0);
+        let x = balance_solve(&c);
+        if x > 0.001 && x < 0.999 {
+            let (td, te) = (c.t_device(x), c.t_edge(x));
+            assert!(
+                (td - te).abs() / td.max(te) < 1e-6,
+                "not balanced: {td} vs {te} at x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn weak_device_offloads_more() {
+        let weak = SlotCost::new(shared(), DeviceParams::raspberry_pi(10.0), 0.0, 0.0, 0.25);
+        let strong = SlotCost::new(shared(), DeviceParams::jetson_nano(10.0), 0.0, 0.0, 0.25);
+        assert!(balance_solve(&weak) > balance_solve(&strong));
+    }
+
+    #[test]
+    fn device_backlog_pushes_offload_up() {
+        let idle = cost_with(10.0, 0.0, 0.0);
+        let backed = cost_with(10.0, 50.0, 0.0);
+        assert!(balance_solve(&backed) >= balance_solve(&idle));
+    }
+
+    #[test]
+    fn edge_backlog_pushes_offload_down() {
+        let idle = cost_with(10.0, 0.0, 0.0);
+        let backed = cost_with(10.0, 0.0, 50.0);
+        assert!(balance_solve(&backed) <= balance_solve(&idle));
+    }
+
+    #[test]
+    fn golden_section_no_worse_than_balance_on_objective() {
+        for &(q, h) in &[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0), (5.0, 5.0)] {
+            let c = cost_with(8.0, q, h);
+            let xg = golden_section_solve(&c);
+            let xb = balance_solve(&c);
+            assert!(
+                c.drift_plus_penalty(xg) <= c.drift_plus_penalty(xb) + 1e-6,
+                "golden {xg} worse than balance {xb} at (q={q}, h={h})"
+            );
+        }
+    }
+
+    #[test]
+    fn golden_section_finds_grid_minimum() {
+        let c = cost_with(10.0, 3.0, 2.0);
+        let xg = golden_section_solve(&c);
+        let best_grid = (0..=1000)
+            .map(|i| i as f64 / 1000.0)
+            .map(|x| c.drift_plus_penalty(x))
+            .fold(f64::INFINITY, f64::min);
+        assert!(c.drift_plus_penalty(xg) <= best_grid + 1e-6);
+    }
+
+    #[test]
+    fn feasible_interval_tightens_with_low_bandwidth() {
+        // Make the raw input dominate the First-exit activation so that
+        // offloading raises transmission, then starve the link: the upper
+        // bound must fall below 1.
+        let mut s = shared();
+        s.d1_bytes = 2_000.0;
+        let mut dev = DeviceParams::raspberry_pi(10.0);
+        dev.bandwidth_bps = 0.5e6;
+        let c = SlotCost::new(s, dev, 0.0, 0.0, 0.25);
+        let (lo, hi) = feasible_interval(&c);
+        assert!(lo == 0.0 && hi < 1.0, "({lo}, {hi})");
+        let x = balance_solve(&c);
+        assert!(x <= hi);
+    }
+
+    #[test]
+    fn feasible_interval_flips_when_d1_dominates() {
+        // When the intermediate activation is much larger than the raw
+        // input, offloading *reduces* transmission, so feasibility binds
+        // from below.
+        let mut s = shared();
+        s.d1_bytes = 400_000.0;
+        s.sigma1 = 0.0;
+        let mut dev = DeviceParams::raspberry_pi(10.0);
+        dev.bandwidth_bps = 20e6;
+        let c = SlotCost::new(s, dev, 0.0, 0.0, 0.25);
+        let (lo, hi) = feasible_interval(&c);
+        assert!(hi == 1.0 && lo > 0.0, "({lo}, {hi})");
+    }
+
+    #[test]
+    fn zero_arrivals_leave_full_interval() {
+        let c = cost_with(0.0, 0.0, 0.0);
+        assert_eq!(feasible_interval(&c), (0.0, 1.0));
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the offloading layer: queue-recursion invariants,
+//! KKT allocation feasibility and optimality structure, and slot-cost
+//! monotonicity over random parameters.
+
+use leime_offload::{
+    kkt_allocation, kkt_allocation_with_floor, DeviceParams, QueuePair, SharedParams, SlotCost,
+};
+use proptest::prelude::*;
+
+fn shared(sigma1: f64, d0: f64, d1: f64) -> SharedParams {
+    SharedParams {
+        slot_len_s: 1.0,
+        v: 1e4,
+        mu1: 2e8,
+        mu2: 5e8,
+        sigma1,
+        d0_bytes: d0,
+        d1_bytes: d1,
+        edge_flops: 12e9,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Queues never go negative and follow the exact recursion.
+    #[test]
+    fn queue_recursion_invariants(
+        steps in prop::collection::vec((0.0f64..50.0, 0.0f64..50.0, 0.0f64..50.0, 0.0f64..50.0), 1..100),
+    ) {
+        let mut qp = QueuePair::new();
+        let (mut q_ref, mut h_ref) = (0.0f64, 0.0f64);
+        for &(a, d, b, c) in &steps {
+            qp.step(a, d, b, c);
+            q_ref = (q_ref - b).max(0.0) + a;
+            h_ref = (h_ref - c).max(0.0) + d;
+            prop_assert!(qp.q() >= 0.0 && qp.h() >= 0.0);
+            prop_assert!((qp.q() - q_ref).abs() < 1e-9);
+            prop_assert!((qp.h() - h_ref).abs() < 1e-9);
+        }
+    }
+
+    /// KKT shares are a valid allocation for arbitrary fleets: p_i >= 0,
+    /// sum = 1, zero-demand devices get zero.
+    #[test]
+    fn kkt_is_feasible(
+        fleet in prop::collection::vec((1e8f64..1e11, 0.0f64..100.0), 1..30),
+        edge in 1e9f64..1e12,
+    ) {
+        let flops: Vec<f64> = fleet.iter().map(|f| f.0).collect();
+        let means: Vec<f64> = fleet.iter().map(|f| f.1).collect();
+        let p = kkt_allocation(&flops, &means, edge);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        for (i, &share) in p.iter().enumerate() {
+            prop_assert!(share >= -1e-12);
+            if means[i] == 0.0 && means.iter().any(|&k| k > 0.0) {
+                prop_assert!(share.abs() < 1e-12, "idle device got a share");
+            }
+        }
+    }
+
+    /// The floored variant keeps feasibility and honours the floor.
+    #[test]
+    fn kkt_floor_is_feasible(
+        fleet in prop::collection::vec((1e8f64..1e11, 0.01f64..100.0), 1..30),
+        edge in 1e9f64..1e12,
+    ) {
+        let flops: Vec<f64> = fleet.iter().map(|f| f.0).collect();
+        let means: Vec<f64> = fleet.iter().map(|f| f.1).collect();
+        let floor = 1e-3;
+        let p = kkt_allocation_with_floor(&flops, &means, edge, floor);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        // Every demanding device holds at least (floor / max-possible-sum).
+        let min_effective = floor / (1.0 + flops.len() as f64 * floor);
+        for &share in &p {
+            prop_assert!(share >= min_effective - 1e-12);
+        }
+    }
+
+    /// KKT optimality structure: among active devices with equal FLOPS,
+    /// higher demand gets the larger share.
+    #[test]
+    fn kkt_monotone_in_demand(k1 in 0.1f64..50.0, k2 in 0.1f64..50.0, edge in 1e9f64..1e11) {
+        let p = kkt_allocation(&[1e9, 1e9], &[k1, k2], edge);
+        if k1 > k2 {
+            prop_assert!(p[0] >= p[1] - 1e-12);
+        } else {
+            prop_assert!(p[1] >= p[0] - 1e-12);
+        }
+    }
+
+    /// The device-side slot cost is non-increasing and the edge-side
+    /// non-decreasing in the offloading ratio, for any state.
+    #[test]
+    fn slot_costs_are_monotone_in_x(
+        q in 0.0f64..100.0,
+        h in 0.0f64..100.0,
+        k in 0.1f64..40.0,
+        sigma1 in 0.0f64..1.0,
+        d0 in 1e3f64..1e6,
+        d1 in 1e2f64..1e6,
+        p_share in 0.01f64..1.0,
+    ) {
+        let cost = SlotCost::new(
+            shared(sigma1, d0, d1),
+            DeviceParams::raspberry_pi(k),
+            q,
+            h,
+            p_share,
+        );
+        let mut prev_d = f64::INFINITY;
+        let mut prev_e = 0.0f64;
+        for i in 0..=20 {
+            let x = i as f64 / 20.0;
+            let td = cost.t_device(x);
+            let te = cost.t_edge(x);
+            prop_assert!(td <= prev_d + 1e-9, "t_device rose at x={x}");
+            prop_assert!(te >= prev_e - 1e-9, "t_edge fell at x={x}");
+            prev_d = td;
+            prev_e = te;
+        }
+    }
+
+    /// The Eq.-9 split always hands out exactly the device's share:
+    /// F_e1 + F_e2 = p * F_e for any x in (0, 1].
+    #[test]
+    fn edge_split_is_exhaustive(
+        x in 0.01f64..1.0,
+        sigma1 in 0.0f64..0.99,
+        p_share in 0.01f64..1.0,
+    ) {
+        let s = shared(sigma1, 1e4, 1e4);
+        let cost = SlotCost::new(s, DeviceParams::raspberry_pi(5.0), 0.0, 0.0, p_share);
+        let f1 = cost.edge_first_block_flops(x);
+        let total = p_share * s.edge_flops;
+        prop_assert!(f1 >= 0.0 && f1 <= total + 1e-6);
+        // Check the proportionality of Eq. 9 directly.
+        let f2 = total - f1;
+        let want = x * s.mu1 / ((1.0 - sigma1) * s.mu2);
+        if f2 > 1e-6 {
+            prop_assert!((f1 / f2 - want).abs() < 1e-6 * want.max(1.0));
+        }
+    }
+}

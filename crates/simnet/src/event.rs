@@ -1,0 +1,180 @@
+use crate::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A deterministic time-ordered event queue.
+///
+/// Events scheduled for the same instant pop in FIFO order (a strictly
+/// increasing sequence number breaks ties), so simulations are reproducible
+/// regardless of heap internals.
+///
+/// The queue also maintains the *current time*: popping an event advances
+/// the clock to that event's timestamp. Scheduling into the past is a
+/// programming error and panics.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest time pops first,
+        // then lowest sequence number (FIFO).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulation time (timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the current time — discrete-event
+    /// causality would be violated.
+    pub fn schedule_at(&mut self, time: SimTime, payload: E) {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < now {now}",
+            now = self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Schedules `payload` after a relative delay from the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, payload: E) {
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| {
+            self.now = e.time;
+            (e.time, e.payload)
+        })
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(3.0), "c");
+        q.schedule_at(SimTime::from_secs(1.0), "a");
+        q.schedule_at(SimTime::from_secs(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_tie_break() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5.0);
+        for i in 0..10 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(2.0), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(2.0));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(1.0), "first");
+        q.pop();
+        q.schedule_in(SimTime::from_secs(0.5), "second");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t.as_secs(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(2.0), ());
+        q.pop();
+        q.schedule_at(SimTime::from_secs(1.0), ());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(4.0), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(4.0)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,304 @@
+//! Online statistics and experiment recording.
+
+use crate::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Welford's online algorithm for mean and variance — numerically stable
+/// for long simulations.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 with < 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merges another accumulator (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n = (self.count + other.count) as f64;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / n;
+        self.mean += delta * other.count as f64 / n;
+        self.count += other.count;
+    }
+}
+
+/// Collects samples and answers quantile queries (exact, sort-on-demand).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Percentiles {
+    samples: Vec<f64>,
+}
+
+impl Percentiles {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Percentiles::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were collected.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`) by nearest-rank with linear
+    /// interpolation, or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+
+    /// Median shortcut.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+}
+
+/// A `(time, value)` series recorder with windowed averaging, used to
+/// produce the paper's time-series plots (Fig. 9).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends an observation. Timestamps need not be unique but must not
+    /// decrease.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the last recorded timestamp.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t >= last, "time series must be non-decreasing");
+        }
+        self.points.push((t, value));
+    }
+
+    /// The raw points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Averages values into consecutive windows of `width`, returning
+    /// `(window_end, mean)` per non-empty window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn windowed_mean(&self, width: SimTime) -> Vec<(SimTime, f64)> {
+        assert!(width > SimTime::ZERO, "window width must be positive");
+        let mut out = Vec::new();
+        if self.points.is_empty() {
+            return out;
+        }
+        let mut window_end = width;
+        let mut acc = Welford::new();
+        for &(t, v) in &self.points {
+            while t >= window_end {
+                if acc.count() > 0 {
+                    out.push((window_end, acc.mean()));
+                    acc = Welford::new();
+                }
+                window_end += width;
+            }
+            acc.push(v);
+        }
+        if acc.count() > 0 {
+            out.push((window_end, acc.mean()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert!((w.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        let mut all = Welford::new();
+        for i in 0..100 {
+            let x = (i as f64).sin() * 10.0;
+            if i % 2 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+            all.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.count(), all.count());
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        let before = a;
+        a.merge(&Welford::new());
+        assert_eq!(a, before);
+        let mut e = Welford::new();
+        e.merge(&a);
+        assert_eq!(e, a);
+    }
+
+    #[test]
+    fn percentiles_quantiles() {
+        let mut p = Percentiles::new();
+        for i in 1..=100 {
+            p.push(i as f64);
+        }
+        assert_eq!(p.quantile(0.0), Some(1.0));
+        assert_eq!(p.quantile(1.0), Some(100.0));
+        assert!((p.median().unwrap() - 50.5).abs() < 1e-9);
+        assert!((p.quantile(0.99).unwrap() - 99.01).abs() < 1e-9);
+        assert_eq!(p.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn percentiles_empty() {
+        let p = Percentiles::new();
+        assert_eq!(p.median(), None);
+        assert_eq!(p.mean(), None);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn time_series_windowing() {
+        let mut ts = TimeSeries::new();
+        for i in 0..10 {
+            ts.push(SimTime::from_secs(i as f64), i as f64);
+        }
+        let w = ts.windowed_mean(SimTime::from_secs(5.0));
+        // Window [0,5): values 0..=4 mean 2; window [5,10): values 5..=9 mean 7.
+        assert_eq!(w.len(), 2);
+        assert!((w[0].1 - 2.0).abs() < 1e-12);
+        assert!((w[1].1 - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_series_skips_empty_windows() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(0.5), 1.0);
+        ts.push(SimTime::from_secs(10.5), 3.0);
+        let w = ts.windowed_mean(SimTime::from_secs(1.0));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].1, 1.0);
+        assert_eq!(w[1].1, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn time_series_rejects_regression() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(2.0), 0.0);
+        ts.push(SimTime::from_secs(1.0), 0.0);
+    }
+}

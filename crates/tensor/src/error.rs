@@ -1,0 +1,98 @@
+use std::fmt;
+
+/// Error type for all fallible tensor operations.
+///
+/// Every variant carries enough context to diagnose the failing call without
+/// a debugger: the offending shapes or sizes are embedded in the message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of supplied elements does not match the shape's volume.
+    SizeMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// Two operands have incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Name of the operation that failed (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+    /// The operation requires a tensor of a different rank.
+    RankMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Required rank.
+        expected: usize,
+        /// Rank of the supplied tensor.
+        actual: usize,
+    },
+    /// A structural parameter (kernel size, stride, …) is invalid for the
+    /// input, e.g. a pooling window larger than the feature map.
+    InvalidParam {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Human-readable description of the violated requirement.
+        what: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::SizeMismatch { expected, actual } => write!(
+                f,
+                "size mismatch: shape requires {expected} elements, got {actual}"
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op}: expected rank {expected}, got rank {actual}"),
+            TensorError::InvalidParam { op, what } => write!(f, "{op}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_size_mismatch() {
+        let e = TensorError::SizeMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        assert_eq!(
+            e.to_string(),
+            "size mismatch: shape requires 6 elements, got 5"
+        );
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 2],
+        };
+        assert!(e.to_string().contains("matmul"));
+        assert!(e.to_string().contains("[2, 3]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,72 @@
+//! Weight initialisers.
+//!
+//! The calibration pipeline trains small softmax classifiers; sensible
+//! initial scales matter for SGD to converge in the few epochs we give it.
+//! Both initialisers draw from seeded RNGs so runs are reproducible.
+
+use crate::{Shape, Tensor};
+use rand::rngs::StdRng;
+
+/// Xavier/Glorot uniform initialisation for a dense layer.
+///
+/// Samples `U[-a, a]` with `a = sqrt(6 / (fan_in + fan_out))` — the classic
+/// choice for tanh/linear/softmax layers.
+///
+/// ```
+/// use leime_tensor::init;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let w = init::xavier_uniform(64, 10, &mut rng);
+/// assert_eq!(w.shape().dims(), &[64, 10]);
+/// let bound = (6.0f32 / (64.0 + 10.0)).sqrt();
+/// assert!(w.data().iter().all(|&x| x.abs() <= bound));
+/// ```
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::uniform(Shape::d2(fan_in, fan_out), -a, a, rng)
+}
+
+/// He (Kaiming) normal initialisation for a dense layer feeding a ReLU.
+///
+/// Samples `N(0, 2 / fan_in)`.
+pub fn he_normal(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    let std = (2.0 / fan_in as f32).sqrt();
+    Tensor::randn(Shape::d2(fan_in, fan_out), rng).scale(std)
+}
+
+/// Zero-initialised bias vector of length `n`.
+pub fn zero_bias(n: usize) -> Tensor {
+    Tensor::zeros(Shape::d1(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = xavier_uniform(100, 50, &mut rng);
+        let bound = (6.0f32 / 150.0).sqrt();
+        assert!(w.data().iter().all(|&x| x.abs() <= bound));
+        assert_eq!(w.len(), 5000);
+    }
+
+    #[test]
+    fn he_normal_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = he_normal(512, 512, &mut rng);
+        let mean = w.mean();
+        let var =
+            w.data().iter().map(|&x| (x - mean).powi(2)).sum::<f32>() / w.len() as f32;
+        let expect = 2.0 / 512.0;
+        assert!((var - expect).abs() / expect < 0.1, "var {var}, want {expect}");
+    }
+
+    #[test]
+    fn zero_bias_is_zero() {
+        assert!(zero_bias(16).data().iter().all(|&x| x == 0.0));
+    }
+}

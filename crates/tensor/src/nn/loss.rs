@@ -1,0 +1,101 @@
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Mean cross-entropy of row-wise softmax probabilities against integer
+/// class labels.
+///
+/// `probs` must be `(N, K)` with rows summing to 1 (the output of
+/// [`crate::ops::softmax_rows`]); `labels` holds `N` class indices `< K`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParam`] if `labels.len() != N` or any label
+/// is out of range.
+pub fn cross_entropy(probs: &Tensor, labels: &[usize]) -> Result<f32> {
+    if probs.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "cross_entropy",
+            expected: 2,
+            actual: probs.shape().rank(),
+        });
+    }
+    let (n, k) = (probs.shape().dim(0), probs.shape().dim(1));
+    if labels.len() != n {
+        return Err(TensorError::InvalidParam {
+            op: "cross_entropy",
+            what: format!("{} labels for {} rows", labels.len(), n),
+        });
+    }
+    let mut total = 0.0f32;
+    for (row, &y) in probs.data().chunks(k).zip(labels) {
+        if y >= k {
+            return Err(TensorError::InvalidParam {
+                op: "cross_entropy",
+                what: format!("label {y} out of range for {k} classes"),
+            });
+        }
+        // Clamp away from zero so log stays finite even for confident
+        // mispredictions early in training.
+        total -= row[y].max(1e-12).ln();
+    }
+    Ok(total / n as f32)
+}
+
+/// Builds an `(N, K)` one-hot matrix from integer labels.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParam`] if any label is `>= num_classes`.
+pub fn one_hot(labels: &[usize], num_classes: usize) -> Result<Tensor> {
+    let mut data = vec![0.0f32; labels.len() * num_classes];
+    for (i, &y) in labels.iter().enumerate() {
+        if y >= num_classes {
+            return Err(TensorError::InvalidParam {
+                op: "one_hot",
+                what: format!("label {y} out of range for {num_classes} classes"),
+            });
+        }
+        data[i * num_classes + y] = 1.0;
+    }
+    Tensor::from_vec(Shape::d2(labels.len(), num_classes), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_zero_loss() {
+        let p = Tensor::from_vec(Shape::d2(2, 2), vec![1., 0., 0., 1.]).unwrap();
+        let loss = cross_entropy(&p, &[0, 1]).unwrap();
+        assert!(loss.abs() < 1e-5);
+    }
+
+    #[test]
+    fn uniform_prediction_has_log_k_loss() {
+        let p = Tensor::full(Shape::d2(3, 4), 0.25);
+        let loss = cross_entropy(&p, &[0, 1, 2]).unwrap();
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn loss_finite_for_zero_probability() {
+        let p = Tensor::from_vec(Shape::d2(1, 2), vec![0., 1.]).unwrap();
+        let loss = cross_entropy(&p, &[0]).unwrap();
+        assert!(loss.is_finite());
+        assert!(loss > 10.0);
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let p = Tensor::full(Shape::d2(1, 2), 0.5);
+        assert!(cross_entropy(&p, &[2]).is_err());
+        assert!(cross_entropy(&p, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn one_hot_layout() {
+        let t = one_hot(&[1, 0], 3).unwrap();
+        assert_eq!(t.data(), &[0., 1., 0., 1., 0., 0.]);
+        assert!(one_hot(&[3], 3).is_err());
+    }
+}

@@ -1,0 +1,355 @@
+use crate::nn::{cross_entropy, one_hot, Sgd};
+use crate::ops::{linear, relu, relu_grad_mask, softmax_rows};
+use crate::{init, Result, Shape, Tensor, TensorError};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a one-hidden-layer MLP classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Input feature dimension (after pooling).
+    pub input_dim: usize,
+    /// Hidden layer width.
+    pub hidden_dim: usize,
+    /// Number of output classes.
+    pub num_classes: usize,
+}
+
+/// A one-hidden-layer MLP with a softmax head:
+/// `x → W1·x + b1 → ReLU → W2·h + b2 → softmax`.
+///
+/// This is the trainable core of the paper's exit classifier (the pooling
+/// stage happens upstream). Backprop is hand-written; training uses
+/// mini-batch SGD with momentum via [`Sgd`].
+///
+/// ```
+/// use leime_tensor::nn::{Mlp, MlpConfig};
+/// use leime_tensor::{Shape, Tensor};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), leime_tensor::TensorError> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mlp = Mlp::new(MlpConfig { input_dim: 4, hidden_dim: 8, num_classes: 3 }, &mut rng);
+/// let x = Tensor::zeros(Shape::d2(2, 4));
+/// let probs = mlp.forward(&x)?;
+/// assert_eq!(probs.shape().dims(), &[2, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    config: MlpConfig,
+    w1: Tensor,
+    b1: Tensor,
+    w2: Tensor,
+    b2: Tensor,
+}
+
+/// Intermediate activations retained for the backward pass.
+struct ForwardCache {
+    input: Tensor,
+    pre1: Tensor,
+    hidden: Tensor,
+    probs: Tensor,
+}
+
+impl Mlp {
+    /// Creates an MLP with He-initialised first layer (feeds a ReLU) and
+    /// Xavier-initialised softmax head.
+    pub fn new(config: MlpConfig, rng: &mut StdRng) -> Self {
+        Mlp {
+            config,
+            w1: init::he_normal(config.input_dim, config.hidden_dim, rng),
+            b1: init::zero_bias(config.hidden_dim),
+            w2: init::xavier_uniform(config.hidden_dim, config.num_classes, rng),
+            b2: init::zero_bias(config.num_classes),
+        }
+    }
+
+    /// The network's configuration.
+    pub fn config(&self) -> MlpConfig {
+        self.config
+    }
+
+    /// Number of parameter tensors (for sizing an [`Sgd`]).
+    pub const NUM_PARAMS: usize = 4;
+
+    /// Forward pass: `(N, input_dim)` → class probabilities `(N, K)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `input` is not `(N, input_dim)`.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        Ok(self.forward_cached(input)?.probs)
+    }
+
+    fn forward_cached(&self, input: &Tensor) -> Result<ForwardCache> {
+        if input.shape().rank() != 2 || input.shape().dim(1) != self.config.input_dim {
+            return Err(TensorError::ShapeMismatch {
+                op: "mlp_forward",
+                lhs: input.shape().dims().to_vec(),
+                rhs: vec![0, self.config.input_dim],
+            });
+        }
+        let pre1 = linear(input, &self.w1, &self.b1)?;
+        let hidden = relu(&pre1);
+        let logits = linear(&hidden, &self.w2, &self.b2)?;
+        let probs = softmax_rows(&logits)?;
+        Ok(ForwardCache {
+            input: input.clone(),
+            pre1,
+            hidden,
+            probs,
+        })
+    }
+
+    /// Class prediction and confidence (max softmax probability) for a
+    /// single rank-1 feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `features.len() != input_dim`.
+    pub fn predict(&self, features: &Tensor) -> Result<(usize, f32)> {
+        let row = features.reshape(Shape::d2(1, features.len()))?;
+        let probs = self.forward(&row)?;
+        let (idx, conf) = probs.argmax().expect("softmax output is non-empty");
+        Ok((idx, conf))
+    }
+
+    /// One SGD step on a mini-batch; returns the batch's mean cross-entropy
+    /// *before* the update.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/label errors from the forward pass and loss.
+    pub fn train_step(
+        &mut self,
+        input: &Tensor,
+        labels: &[usize],
+        opt: &mut Sgd,
+    ) -> Result<f32> {
+        let cache = self.forward_cached(input)?;
+        let loss = cross_entropy(&cache.probs, labels)?;
+        let n = input.shape().dim(0) as f32;
+
+        // dL/dlogits = (probs - onehot) / N   (softmax + CE fused gradient)
+        let target = one_hot(labels, self.config.num_classes)?;
+        let dlogits = cache.probs.sub(&target)?.scale(1.0 / n);
+
+        // Second layer grads.
+        let dw2 = cache.hidden.transpose()?.matmul(&dlogits)?;
+        let db2 = column_sums(&dlogits);
+
+        // Back through W2 and ReLU.
+        let dhidden = dlogits.matmul(&self.w2.transpose()?)?;
+        let dpre1 = dhidden.mul(&relu_grad_mask(&cache.pre1))?;
+
+        // First layer grads.
+        let dw1 = cache.input.transpose()?.matmul(&dpre1)?;
+        let db1 = column_sums(&dpre1);
+
+        opt.step(
+            &mut [&mut self.w1, &mut self.b1, &mut self.w2, &mut self.b2],
+            &[dw1, db1, dw2, db2],
+        )?;
+        Ok(loss)
+    }
+
+    /// Fraction of rows whose argmax matches the label.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass shape errors; returns
+    /// [`TensorError::InvalidParam`] on a label-count mismatch.
+    pub fn accuracy(&self, input: &Tensor, labels: &[usize]) -> Result<f32> {
+        let probs = self.forward(input)?;
+        let (n, k) = (probs.shape().dim(0), probs.shape().dim(1));
+        if labels.len() != n {
+            return Err(TensorError::InvalidParam {
+                op: "accuracy",
+                what: format!("{} labels for {} rows", labels.len(), n),
+            });
+        }
+        let mut correct = 0usize;
+        for (row, &y) in probs.data().chunks(k).zip(labels) {
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("probs are finite"))
+                .map(|(i, _)| i)
+                .expect("non-empty row");
+            if pred == y {
+                correct += 1;
+            }
+        }
+        Ok(correct as f32 / n as f32)
+    }
+}
+
+/// Sum over rows, producing a rank-1 tensor of column sums (bias gradient).
+fn column_sums(m: &Tensor) -> Tensor {
+    let (n, k) = (m.shape().dim(0), m.shape().dim(1));
+    let mut out = vec![0.0f32; k];
+    for row in m.data().chunks(k) {
+        for (o, &x) in out.iter_mut().zip(row) {
+            *o += x;
+        }
+    }
+    let _ = n;
+    Tensor::from_vec(Shape::d1(k), out).expect("column sums shape is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn toy_blobs(
+        n_per_class: usize,
+        rng: &mut StdRng,
+    ) -> (Tensor, Vec<usize>) {
+        // Three well-separated 2-D Gaussian blobs.
+        let centers = [(0.0f32, 0.0f32), (4.0, 4.0), (-4.0, 4.0)];
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..n_per_class {
+                xs.push(cx + rng.gen_range(-0.5..0.5));
+                xs.push(cy + rng.gen_range(-0.5..0.5));
+                ys.push(c);
+            }
+        }
+        (
+            Tensor::from_vec(Shape::d2(3 * n_per_class, 2), xs).unwrap(),
+            ys,
+        )
+    }
+
+    #[test]
+    fn forward_shape_and_normalisation() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(
+            MlpConfig {
+                input_dim: 5,
+                hidden_dim: 7,
+                num_classes: 4,
+            },
+            &mut rng,
+        );
+        let x = Tensor::randn(Shape::d2(3, 5), &mut rng);
+        let p = mlp.forward(&x).unwrap();
+        assert_eq!(p.shape().dims(), &[3, 4]);
+        for row in p.data().chunks(4) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn forward_rejects_wrong_width() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(
+            MlpConfig {
+                input_dim: 5,
+                hidden_dim: 7,
+                num_classes: 4,
+            },
+            &mut rng,
+        );
+        let x = Tensor::zeros(Shape::d2(3, 6));
+        assert!(mlp.forward(&x).is_err());
+    }
+
+    #[test]
+    fn training_separates_blobs() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let (x, y) = toy_blobs(40, &mut rng);
+        let mut mlp = Mlp::new(
+            MlpConfig {
+                input_dim: 2,
+                hidden_dim: 16,
+                num_classes: 3,
+            },
+            &mut rng,
+        );
+        let mut opt = Sgd::new(Mlp::NUM_PARAMS, 0.1, 0.9);
+        let first_loss = mlp.train_step(&x, &y, &mut opt).unwrap();
+        let mut last_loss = first_loss;
+        for _ in 0..200 {
+            last_loss = mlp.train_step(&x, &y, &mut opt).unwrap();
+        }
+        assert!(last_loss < first_loss * 0.2, "{first_loss} -> {last_loss}");
+        assert!(mlp.accuracy(&x, &y).unwrap() > 0.98);
+    }
+
+    #[test]
+    fn predict_confidence_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(
+            MlpConfig {
+                input_dim: 3,
+                hidden_dim: 4,
+                num_classes: 5,
+            },
+            &mut rng,
+        );
+        let f = Tensor::randn(Shape::d1(3), &mut rng);
+        let (class, conf) = mlp.predict(&f).unwrap();
+        assert!(class < 5);
+        assert!(conf > 0.0 && conf <= 1.0);
+        // Confidence is at least 1/K (argmax of a distribution).
+        assert!(conf >= 1.0 / 5.0 - 1e-6);
+    }
+
+    #[test]
+    fn gradient_check_numeric() {
+        // Finite-difference check of dL/dw2[0,0] against backprop.
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = MlpConfig {
+            input_dim: 3,
+            hidden_dim: 4,
+            num_classes: 2,
+        };
+        let mlp = Mlp::new(cfg, &mut rng);
+        let x = Tensor::randn(Shape::d2(5, 3), &mut rng);
+        let y = vec![0, 1, 0, 1, 1];
+
+        // Analytic gradient via a zero-momentum, lr=1 "probe": replicate the
+        // internals by recomputing the same quantities.
+        let cache = mlp.forward_cached(&x).unwrap();
+        let target = one_hot(&y, 2).unwrap();
+        let dlogits = cache.probs.sub(&target).unwrap().scale(1.0 / 5.0);
+        let dw2 = cache.hidden.transpose().unwrap().matmul(&dlogits).unwrap();
+        let analytic = dw2.data()[0];
+
+        // Numeric gradient.
+        let eps = 1e-3f32;
+        let mut plus = mlp.clone();
+        plus.w2.data_mut()[0] += eps;
+        let mut minus = mlp.clone();
+        minus.w2.data_mut()[0] -= eps;
+        let lp = cross_entropy(&plus.forward(&x).unwrap(), &y).unwrap();
+        let lm = cross_entropy(&minus.forward(&x).unwrap(), &y).unwrap();
+        let numeric = (lp - lm) / (2.0 * eps);
+
+        assert!(
+            (analytic - numeric).abs() < 1e-2,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn accuracy_rejects_label_mismatch() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(
+            MlpConfig {
+                input_dim: 2,
+                hidden_dim: 2,
+                num_classes: 2,
+            },
+            &mut rng,
+        );
+        let x = Tensor::zeros(Shape::d2(3, 2));
+        assert!(mlp.accuracy(&x, &[0, 1]).is_err());
+    }
+}

@@ -1,0 +1,15 @@
+//! A tiny neural-network module system with manual backprop.
+//!
+//! The paper's exit classifiers are "a pooling layer, two fully connected
+//! layers, and a softmax layer" (§III-B2). After the pooling stage that is
+//! exactly a one-hidden-layer MLP with a softmax head, which is what
+//! [`Mlp`] implements — forward, cross-entropy backward, and SGD updates —
+//! with no autograd machinery.
+
+mod loss;
+mod mlp;
+mod sgd;
+
+pub use loss::{cross_entropy, one_hot};
+pub use mlp::{Mlp, MlpConfig};
+pub use sgd::Sgd;

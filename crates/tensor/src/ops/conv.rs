@@ -1,0 +1,279 @@
+use crate::{Result, Shape, Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Structural parameters of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dParams {
+    /// Square kernel side length.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Symmetric zero padding in both spatial dimensions.
+    pub padding: usize,
+}
+
+impl Conv2dParams {
+    /// 3×3 / stride-1 / padding-1 "same" convolution — the most common
+    /// configuration in the model zoo.
+    pub fn same3x3() -> Self {
+        Conv2dParams {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        }
+    }
+
+    /// Output spatial extent for an input extent, or `None` if the kernel
+    /// does not fit.
+    pub fn out_extent(&self, input: usize) -> Option<usize> {
+        let padded = input + 2 * self.padding;
+        if padded < self.kernel || self.stride == 0 {
+            return None;
+        }
+        Some((padded - self.kernel) / self.stride + 1)
+    }
+}
+
+impl Default for Conv2dParams {
+    fn default() -> Self {
+        Conv2dParams::same3x3()
+    }
+}
+
+/// Direct 2-D convolution of a `(C_in, H, W)` input with a
+/// `(C_out, C_in, K, K)` weight tensor and a `(C_out,)` bias.
+///
+/// Returns a `(C_out, H_out, W_out)` tensor.
+///
+/// # Errors
+///
+/// * [`TensorError::RankMismatch`] if the input is not rank-3 or the weight
+///   not rank-4.
+/// * [`TensorError::ShapeMismatch`] if channel counts disagree or the bias
+///   length differs from `C_out`.
+/// * [`TensorError::InvalidParam`] if the kernel does not fit the padded
+///   input or `stride == 0`.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    params: Conv2dParams,
+) -> Result<Tensor> {
+    if input.shape().rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            op: "conv2d",
+            expected: 3,
+            actual: input.shape().rank(),
+        });
+    }
+    if weight.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "conv2d",
+            expected: 4,
+            actual: weight.shape().rank(),
+        });
+    }
+    let (c_in, h, w) = (
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+    );
+    let (c_out, wc_in, kh, kw) = (
+        weight.shape().dim(0),
+        weight.shape().dim(1),
+        weight.shape().dim(2),
+        weight.shape().dim(3),
+    );
+    if wc_in != c_in || kh != params.kernel || kw != params.kernel {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: input.shape().dims().to_vec(),
+            rhs: weight.shape().dims().to_vec(),
+        });
+    }
+    if bias.len() != c_out {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: vec![c_out],
+            rhs: bias.shape().dims().to_vec(),
+        });
+    }
+    let (h_out, w_out) = match (params.out_extent(h), params.out_extent(w)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(TensorError::InvalidParam {
+                op: "conv2d",
+                what: format!(
+                    "kernel {k}x{k} stride {s} pad {p} does not fit input {h}x{w}",
+                    k = params.kernel,
+                    s = params.stride,
+                    p = params.padding
+                ),
+            })
+        }
+    };
+
+    let k = params.kernel as isize;
+    let pad = params.padding as isize;
+    let stride = params.stride as isize;
+    let x = input.data();
+    let wt = weight.data();
+    let b = bias.data();
+    let mut out = vec![0.0f32; c_out * h_out * w_out];
+
+    for co in 0..c_out {
+        for oy in 0..h_out {
+            for ox in 0..w_out {
+                let mut acc = b[co];
+                let iy0 = oy as isize * stride - pad;
+                let ix0 = ox as isize * stride - pad;
+                for ci in 0..c_in {
+                    let in_base = ci * h * w;
+                    let w_base = ((co * c_in + ci) * params.kernel) * params.kernel;
+                    for ky in 0..k {
+                        let iy = iy0 + ky;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = ix0 + kx;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            acc += x[in_base + iy as usize * w + ix as usize]
+                                * wt[w_base + (ky * k + kx) as usize];
+                        }
+                    }
+                }
+                out[(co * h_out + oy) * w_out + ox] = acc;
+            }
+        }
+    }
+    Tensor::from_vec(Shape::d3(c_out, h_out, w_out), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input_3x3() -> Tensor {
+        Tensor::from_vec(
+            Shape::d3(1, 3, 3),
+            vec![1., 2., 3., 4., 5., 6., 7., 8., 9.],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        // 1x1 kernel with weight 1, bias 0 ≡ identity.
+        let input = input_3x3();
+        let w = Tensor::from_vec(Shape::d4(1, 1, 1, 1), vec![1.0]).unwrap();
+        let b = Tensor::zeros(Shape::d1(1));
+        let out = conv2d(
+            &input,
+            &w,
+            &b,
+            Conv2dParams {
+                kernel: 1,
+                stride: 1,
+                padding: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn box_filter_sums_neighbourhood() {
+        let input = input_3x3();
+        let w = Tensor::full(Shape::d4(1, 1, 3, 3), 1.0);
+        let b = Tensor::zeros(Shape::d1(1));
+        let out = conv2d(&input, &w, &b, Conv2dParams::same3x3()).unwrap();
+        // Centre output = sum of all 9 elements = 45.
+        assert_eq!(out.get(&[0, 1, 1]), Some(45.0));
+        // Corner output = sum of the 2x2 corner block = 1+2+4+5 = 12.
+        assert_eq!(out.get(&[0, 0, 0]), Some(12.0));
+    }
+
+    #[test]
+    fn stride_two_halves_output() {
+        let input = Tensor::zeros(Shape::d3(2, 8, 8));
+        let w = Tensor::zeros(Shape::d4(4, 2, 3, 3));
+        let b = Tensor::zeros(Shape::d1(4));
+        let out = conv2d(
+            &input,
+            &w,
+            &b,
+            Conv2dParams {
+                kernel: 3,
+                stride: 2,
+                padding: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(out.shape().dims(), &[4, 4, 4]);
+    }
+
+    #[test]
+    fn bias_is_added() {
+        let input = Tensor::zeros(Shape::d3(1, 2, 2));
+        let w = Tensor::zeros(Shape::d4(3, 1, 1, 1));
+        let b = Tensor::from_vec(Shape::d1(3), vec![0.5, 1.5, -1.0]).unwrap();
+        let out = conv2d(
+            &input,
+            &w,
+            &b,
+            Conv2dParams {
+                kernel: 1,
+                stride: 1,
+                padding: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(out.get(&[0, 0, 0]), Some(0.5));
+        assert_eq!(out.get(&[1, 1, 1]), Some(1.5));
+        assert_eq!(out.get(&[2, 0, 1]), Some(-1.0));
+    }
+
+    #[test]
+    fn rejects_channel_mismatch() {
+        let input = Tensor::zeros(Shape::d3(3, 4, 4));
+        let w = Tensor::zeros(Shape::d4(8, 2, 3, 3));
+        let b = Tensor::zeros(Shape::d1(8));
+        assert!(conv2d(&input, &w, &b, Conv2dParams::same3x3()).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_kernel() {
+        let input = Tensor::zeros(Shape::d3(1, 2, 2));
+        let w = Tensor::zeros(Shape::d4(1, 1, 5, 5));
+        let b = Tensor::zeros(Shape::d1(1));
+        let p = Conv2dParams {
+            kernel: 5,
+            stride: 1,
+            padding: 0,
+        };
+        assert!(matches!(
+            conv2d(&input, &w, &b, p),
+            Err(TensorError::InvalidParam { op: "conv2d", .. })
+        ));
+    }
+
+    #[test]
+    fn out_extent_math() {
+        let p = Conv2dParams {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        assert_eq!(p.out_extent(32), Some(16));
+        assert_eq!(p.out_extent(33), Some(17));
+        let q = Conv2dParams {
+            kernel: 7,
+            stride: 1,
+            padding: 0,
+        };
+        assert_eq!(q.out_extent(3), None);
+    }
+}

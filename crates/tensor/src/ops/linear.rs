@@ -1,0 +1,88 @@
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Batched fully connected layer: `(N, D_in) · (D_in, D_out) + bias`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`]
+/// when operands are not matrices or the inner dimension / bias length
+/// disagree.
+pub fn linear(input: &Tensor, weight: &Tensor, bias: &Tensor) -> Result<Tensor> {
+    let mut out = input.matmul(weight)?;
+    let d_out = out.shape().dim(1);
+    if bias.len() != d_out {
+        return Err(TensorError::ShapeMismatch {
+            op: "linear",
+            lhs: vec![d_out],
+            rhs: bias.shape().dims().to_vec(),
+        });
+    }
+    let b = bias.data();
+    for row in out.data_mut().chunks_mut(d_out) {
+        for (x, &bi) in row.iter_mut().zip(b) {
+            *x += bi;
+        }
+    }
+    Ok(out)
+}
+
+/// Fully connected layer for a single rank-1 feature vector: `(D_in,)` →
+/// `(D_out,)`.
+///
+/// # Errors
+///
+/// Same conditions as [`linear`].
+pub fn linear_single(input: &Tensor, weight: &Tensor, bias: &Tensor) -> Result<Tensor> {
+    if input.shape().rank() != 1 {
+        return Err(TensorError::RankMismatch {
+            op: "linear_single",
+            expected: 1,
+            actual: input.shape().rank(),
+        });
+    }
+    let row = input.reshape(Shape::d2(1, input.len()))?;
+    let out = linear(&row, weight, bias)?;
+    let n = out.len();
+    out.reshape(Shape::d1(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_matches_manual() {
+        let x = Tensor::from_vec(Shape::d2(2, 2), vec![1., 2., 3., 4.]).unwrap();
+        let w = Tensor::from_vec(Shape::d2(2, 3), vec![1., 0., 1., 0., 1., 1.]).unwrap();
+        let b = Tensor::from_vec(Shape::d1(3), vec![10., 20., 30.]).unwrap();
+        let y = linear(&x, &w, &b).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 3]);
+        assert_eq!(y.data(), &[11., 22., 33., 13., 24., 37.]);
+    }
+
+    #[test]
+    fn linear_single_round_trip() {
+        let x = Tensor::from_vec(Shape::d1(2), vec![1., 1.]).unwrap();
+        let w = Tensor::from_vec(Shape::d2(2, 2), vec![1., 2., 3., 4.]).unwrap();
+        let b = Tensor::zeros(Shape::d1(2));
+        let y = linear_single(&x, &w, &b).unwrap();
+        assert_eq!(y.shape().dims(), &[2]);
+        assert_eq!(y.data(), &[4., 6.]);
+    }
+
+    #[test]
+    fn linear_rejects_bias_mismatch() {
+        let x = Tensor::zeros(Shape::d2(1, 2));
+        let w = Tensor::zeros(Shape::d2(2, 3));
+        let b = Tensor::zeros(Shape::d1(4));
+        assert!(linear(&x, &w, &b).is_err());
+    }
+
+    #[test]
+    fn linear_single_rejects_matrix_input() {
+        let x = Tensor::zeros(Shape::d2(2, 2));
+        let w = Tensor::zeros(Shape::d2(2, 2));
+        let b = Tensor::zeros(Shape::d1(2));
+        assert!(linear_single(&x, &w, &b).is_err());
+    }
+}

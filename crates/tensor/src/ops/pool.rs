@@ -1,0 +1,172 @@
+use crate::{Result, Shape, Tensor, TensorError};
+
+fn check_pool(op: &'static str, input: &Tensor, window: usize, stride: usize) -> Result<(usize, usize, usize, usize, usize)> {
+    if input.shape().rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 3,
+            actual: input.shape().rank(),
+        });
+    }
+    let (c, h, w) = (
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+    );
+    if window == 0 || stride == 0 || window > h || window > w {
+        return Err(TensorError::InvalidParam {
+            op,
+            what: format!("window {window} / stride {stride} invalid for input {h}x{w}"),
+        });
+    }
+    let h_out = (h - window) / stride + 1;
+    let w_out = (w - window) / stride + 1;
+    Ok((c, h, w, h_out, w_out))
+}
+
+/// Max pooling over a `(C, H, W)` input with a square window.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-3 inputs and
+/// [`TensorError::InvalidParam`] if the window does not fit.
+pub fn max_pool2d(input: &Tensor, window: usize, stride: usize) -> Result<Tensor> {
+    let (c, h, w, h_out, w_out) = check_pool("max_pool2d", input, window, stride)?;
+    let x = input.data();
+    let mut out = vec![0.0f32; c * h_out * w_out];
+    for ci in 0..c {
+        for oy in 0..h_out {
+            for ox in 0..w_out {
+                let mut best = f32::NEG_INFINITY;
+                for ky in 0..window {
+                    for kx in 0..window {
+                        let v = x[(ci * h + oy * stride + ky) * w + ox * stride + kx];
+                        if v > best {
+                            best = v;
+                        }
+                    }
+                }
+                out[(ci * h_out + oy) * w_out + ox] = best;
+            }
+        }
+    }
+    Tensor::from_vec(Shape::d3(c, h_out, w_out), out)
+}
+
+/// Average pooling over a `(C, H, W)` input with a square window.
+///
+/// # Errors
+///
+/// Same conditions as [`max_pool2d`].
+pub fn avg_pool2d(input: &Tensor, window: usize, stride: usize) -> Result<Tensor> {
+    let (c, h, w, h_out, w_out) = check_pool("avg_pool2d", input, window, stride)?;
+    let x = input.data();
+    let denom = (window * window) as f32;
+    let mut out = vec![0.0f32; c * h_out * w_out];
+    for ci in 0..c {
+        for oy in 0..h_out {
+            for ox in 0..w_out {
+                let mut acc = 0.0f32;
+                for ky in 0..window {
+                    for kx in 0..window {
+                        acc += x[(ci * h + oy * stride + ky) * w + ox * stride + kx];
+                    }
+                }
+                out[(ci * h_out + oy) * w_out + ox] = acc / denom;
+            }
+        }
+    }
+    Tensor::from_vec(Shape::d3(c, h_out, w_out), out)
+}
+
+/// Global average pooling: `(C, H, W)` → rank-1 `(C,)`.
+///
+/// This is the pooling stage of the paper's exit classifier (pool + 2×FC +
+/// softmax).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-3 inputs.
+pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
+    if input.shape().rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            op: "global_avg_pool",
+            expected: 3,
+            actual: input.shape().rank(),
+        });
+    }
+    let (c, h, w) = (
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+    );
+    let x = input.data();
+    let denom = (h * w) as f32;
+    let out: Vec<f32> = (0..c)
+        .map(|ci| x[ci * h * w..(ci + 1) * h * w].iter().sum::<f32>() / denom)
+        .collect();
+    Tensor::from_vec(Shape::d1(c), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(c: usize, h: usize, w: usize) -> Tensor {
+        Tensor::from_vec(
+            Shape::d3(c, h, w),
+            (0..c * h * w).map(|i| i as f32).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn max_pool_picks_maximum() {
+        let t = ramp(1, 4, 4);
+        let out = max_pool2d(&t, 2, 2).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 2, 2]);
+        assert_eq!(out.data(), &[5., 7., 13., 15.]);
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let t = ramp(1, 4, 4);
+        let out = avg_pool2d(&t, 2, 2).unwrap();
+        assert_eq!(out.data(), &[2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn overlapping_stride() {
+        let t = ramp(1, 3, 3);
+        let out = max_pool2d(&t, 2, 1).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 2, 2]);
+        assert_eq!(out.data(), &[4., 5., 7., 8.]);
+    }
+
+    #[test]
+    fn global_avg_pool_per_channel() {
+        let t = Tensor::from_vec(
+            Shape::d3(2, 2, 2),
+            vec![1., 2., 3., 4., 10., 20., 30., 40.],
+        )
+        .unwrap();
+        let out = global_avg_pool(&t).unwrap();
+        assert_eq!(out.shape().dims(), &[2]);
+        assert_eq!(out.data(), &[2.5, 25.0]);
+    }
+
+    #[test]
+    fn pool_rejects_oversized_window() {
+        let t = ramp(1, 2, 2);
+        assert!(max_pool2d(&t, 3, 1).is_err());
+        assert!(avg_pool2d(&t, 0, 1).is_err());
+        assert!(avg_pool2d(&t, 2, 0).is_err());
+    }
+
+    #[test]
+    fn pool_rejects_bad_rank() {
+        let t = Tensor::zeros(Shape::d2(4, 4));
+        assert!(max_pool2d(&t, 2, 2).is_err());
+        assert!(global_avg_pool(&t).is_err());
+    }
+}

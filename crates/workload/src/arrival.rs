@@ -1,0 +1,400 @@
+//! Task arrival processes.
+
+use leime_simnet::{SimTime, TimeTrace};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-slot task count generator — the paper's `M_i(t)`, i.i.d. over slots
+/// within `[0, M_max]` with expectation `k_i`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SlotArrivals {
+    /// Exactly `k` tasks every slot (deterministic load).
+    Deterministic {
+        /// Tasks per slot.
+        k: f64,
+    },
+    /// Uniform integer count on `[lo, hi]` (mean `(lo+hi)/2`).
+    Uniform {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    },
+    /// Poisson count with the given mean, truncated at `max` (the paper
+    /// bounds `M_i(t)` by `M_{i,max}`).
+    Poisson {
+        /// Mean tasks per slot `k_i`.
+        mean: f64,
+        /// Truncation bound `M_{i,max}`.
+        max: u64,
+    },
+}
+
+impl SlotArrivals {
+    /// Draws the task count for one slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variant parameters are inconsistent (`lo > hi`,
+    /// negative mean).
+    pub fn draw(&self, rng: &mut StdRng) -> u64 {
+        match *self {
+            SlotArrivals::Deterministic { k } => {
+                assert!(k >= 0.0, "negative arrival mean {k}");
+                // Deterministic fractional rates: floor + Bernoulli remainder
+                // keeps the long-run mean exact.
+                let base = k.floor() as u64;
+                let frac = k - k.floor();
+                base + u64::from(rng.gen_bool(frac.clamp(0.0, 1.0)))
+            }
+            SlotArrivals::Uniform { lo, hi } => {
+                assert!(lo <= hi, "uniform arrivals lo {lo} > hi {hi}");
+                rng.gen_range(lo..=hi)
+            }
+            SlotArrivals::Poisson { mean, max } => {
+                assert!(mean >= 0.0, "negative arrival mean {mean}");
+                poisson_draw(mean, rng).min(max)
+            }
+        }
+    }
+
+    /// Long-run expected tasks per slot `k_i` (ignoring truncation bias,
+    /// which is negligible when `max ≳ 3·mean`).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            SlotArrivals::Deterministic { k } => k,
+            SlotArrivals::Uniform { lo, hi } => (lo + hi) as f64 / 2.0,
+            SlotArrivals::Poisson { mean, .. } => mean,
+        }
+    }
+}
+
+/// Knuth's algorithm for small means; normal approximation above 30 to
+/// avoid O(mean) work.
+fn poisson_draw(mean: f64, rng: &mut StdRng) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean > 30.0 {
+        // Normal approximation N(mean, mean), rounded and clamped.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        return (mean + z * mean.sqrt()).round().max(0.0) as u64;
+    }
+    let l = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// A two-state Markov-modulated Poisson process (bursty arrivals): each
+/// slot the process sits in a *calm* or *burst* state with its own Poisson
+/// mean, switching state with the given per-slot probabilities — the
+/// classic model for the unpredictable load spikes of the "wild edge"
+/// (§II-A: "task arrival rates vary dynamically").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mmpp {
+    calm_mean: f64,
+    burst_mean: f64,
+    p_enter_burst: f64,
+    p_leave_burst: f64,
+    max: u64,
+    in_burst: bool,
+}
+
+impl Mmpp {
+    /// Creates a bursty process starting in the calm state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if means are negative or switching probabilities are outside
+    /// `[0, 1]`.
+    pub fn new(
+        calm_mean: f64,
+        burst_mean: f64,
+        p_enter_burst: f64,
+        p_leave_burst: f64,
+        max: u64,
+    ) -> Self {
+        assert!(
+            calm_mean >= 0.0 && burst_mean >= 0.0,
+            "negative MMPP means"
+        );
+        assert!(
+            (0.0..=1.0).contains(&p_enter_burst) && (0.0..=1.0).contains(&p_leave_burst),
+            "MMPP switching probabilities outside [0, 1]"
+        );
+        Mmpp {
+            calm_mean,
+            burst_mean,
+            p_enter_burst,
+            p_leave_burst,
+            max,
+            in_burst: false,
+        }
+    }
+
+    /// Whether the process is currently bursting.
+    pub fn in_burst(&self) -> bool {
+        self.in_burst
+    }
+
+    /// Long-run mean tasks per slot (stationary distribution of the
+    /// two-state chain).
+    pub fn stationary_mean(&self) -> f64 {
+        let denom = self.p_enter_burst + self.p_leave_burst;
+        if denom == 0.0 {
+            return self.calm_mean; // absorbing calm start
+        }
+        let pi_burst = self.p_enter_burst / denom;
+        (1.0 - pi_burst) * self.calm_mean + pi_burst * self.burst_mean
+    }
+
+    /// Advances the state machine one slot and returns the new state's
+    /// mean (for rate-driven consumers like the DES, which sample their
+    /// own arrivals from it).
+    pub fn advance_mean(&mut self, rng: &mut StdRng) -> f64 {
+        let switch = if self.in_burst {
+            self.p_leave_burst
+        } else {
+            self.p_enter_burst
+        };
+        if rng.gen_bool(switch) {
+            self.in_burst = !self.in_burst;
+        }
+        if self.in_burst {
+            self.burst_mean
+        } else {
+            self.calm_mean
+        }
+    }
+
+    /// Advances the state machine one slot and draws that slot's count.
+    pub fn draw(&mut self, rng: &mut StdRng) -> u64 {
+        let switch = if self.in_burst {
+            self.p_leave_burst
+        } else {
+            self.p_enter_burst
+        };
+        if rng.gen_bool(switch) {
+            self.in_burst = !self.in_burst;
+        }
+        let mean = if self.in_burst {
+            self.burst_mean
+        } else {
+            self.calm_mean
+        };
+        poisson_draw(mean, rng).min(self.max)
+    }
+}
+
+/// Poisson process inter-arrival generator for the task-level DES.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoissonArrivals {
+    rate_per_sec: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with the given rate (tasks per second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_sec` is not strictly positive and finite.
+    pub fn new(rate_per_sec: f64) -> Self {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec > 0.0,
+            "arrival rate must be positive, got {rate_per_sec}"
+        );
+        PoissonArrivals { rate_per_sec }
+    }
+
+    /// The rate in tasks per second.
+    pub fn rate(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// Draws the next exponential inter-arrival gap.
+    pub fn next_gap(&self, rng: &mut StdRng) -> SimTime {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        SimTime::from_secs(-u.ln() / self.rate_per_sec)
+    }
+}
+
+/// A time-varying arrival process: a [`TimeTrace`] modulates the per-slot
+/// Poisson mean — the workload of the Fig. 9 stability experiment, where
+/// the arrival rate steps up and down over the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceArrivals {
+    trace: TimeTrace,
+    max: u64,
+}
+
+impl TraceArrivals {
+    /// Creates a process whose per-slot mean follows `trace`, truncated at
+    /// `max` tasks per slot.
+    pub fn new(trace: TimeTrace, max: u64) -> Self {
+        TraceArrivals { trace, max }
+    }
+
+    /// Draws the task count for the slot starting at `slot_start`.
+    pub fn draw(&self, slot_start: SimTime, rng: &mut StdRng) -> u64 {
+        let mean = self.trace.value_at(slot_start).max(0.0);
+        poisson_draw(mean, rng).min(self.max)
+    }
+
+    /// The underlying rate trace.
+    pub fn trace(&self) -> &TimeTrace {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_integer_rate() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = SlotArrivals::Deterministic { k: 5.0 };
+        for _ in 0..10 {
+            assert_eq!(a.draw(&mut rng), 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_fractional_rate_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = SlotArrivals::Deterministic { k: 2.5 };
+        let total: u64 = (0..20_000).map(|_| a.draw(&mut rng)).sum();
+        let mean = total as f64 / 20_000.0;
+        assert!((mean - 2.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = SlotArrivals::Uniform { lo: 2, hi: 8 };
+        let mut total = 0u64;
+        for _ in 0..10_000 {
+            let x = a.draw(&mut rng);
+            assert!((2..=8).contains(&x));
+            total += x;
+        }
+        assert!((total as f64 / 10_000.0 - 5.0).abs() < 0.1);
+        assert_eq!(a.mean(), 5.0);
+    }
+
+    #[test]
+    fn poisson_small_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = SlotArrivals::Poisson { mean: 4.0, max: 100 };
+        let total: u64 = (0..20_000).map(|_| a.draw(&mut rng)).sum();
+        let mean = total as f64 / 20_000.0;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_approx() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = SlotArrivals::Poisson {
+            mean: 100.0,
+            max: 10_000,
+        };
+        let total: u64 = (0..5_000).map(|_| a.draw(&mut rng)).sum();
+        let mean = total as f64 / 5_000.0;
+        assert!((mean - 100.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_truncation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = SlotArrivals::Poisson { mean: 50.0, max: 10 };
+        for _ in 0..100 {
+            assert!(a.draw(&mut rng) <= 10);
+        }
+    }
+
+    #[test]
+    fn exponential_gaps_have_correct_mean() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = PoissonArrivals::new(10.0);
+        let total: f64 = (0..20_000).map(|_| p.next_gap(&mut rng).as_secs()).sum();
+        let mean = total / 20_000.0;
+        assert!((mean - 0.1).abs() < 0.01, "mean gap {mean}");
+    }
+
+    #[test]
+    fn trace_arrivals_follow_trace() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let trace = TimeTrace::from_points(vec![
+            (SimTime::ZERO, 2.0),
+            (SimTime::from_secs(100.0), 20.0),
+        ])
+        .unwrap();
+        let a = TraceArrivals::new(trace, 1000);
+        let early: u64 = (0..2000).map(|_| a.draw(SimTime::from_secs(1.0), &mut rng)).sum();
+        let late: u64 = (0..2000)
+            .map(|_| a.draw(SimTime::from_secs(150.0), &mut rng))
+            .sum();
+        assert!((early as f64 / 2000.0 - 2.0).abs() < 0.2);
+        assert!((late as f64 / 2000.0 - 20.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn poisson_arrivals_reject_zero_rate() {
+        PoissonArrivals::new(0.0);
+    }
+
+    #[test]
+    fn mmpp_long_run_mean_matches_stationary() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut p = Mmpp::new(2.0, 20.0, 0.05, 0.2, 1000);
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| p.draw(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        let want = p.stationary_mean(); // pi_burst = 0.2 -> 2*0.8 + 20*0.2 = 5.6
+        assert!((want - 5.6).abs() < 1e-9);
+        assert!((mean - want).abs() / want < 0.05, "mean {mean}, want {want}");
+    }
+
+    #[test]
+    fn mmpp_bursts_are_bursty() {
+        // Variance of an MMPP must exceed a Poisson of the same mean
+        // (index of dispersion > 1).
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut p = Mmpp::new(2.0, 30.0, 0.02, 0.1, 1000);
+        let xs: Vec<f64> = (0..50_000).map(|_| p.draw(&mut rng) as f64).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(var / mean > 2.0, "dispersion {}", var / mean);
+    }
+
+    #[test]
+    fn mmpp_state_machine_switches() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut p = Mmpp::new(1.0, 10.0, 0.5, 0.5, 100);
+        assert!(!p.in_burst());
+        let mut saw_burst = false;
+        for _ in 0..100 {
+            p.draw(&mut rng);
+            saw_burst |= p.in_burst();
+        }
+        assert!(saw_burst);
+    }
+
+    #[test]
+    #[should_panic(expected = "switching probabilities")]
+    fn mmpp_validates_probabilities() {
+        Mmpp::new(1.0, 2.0, 1.5, 0.1, 10);
+    }
+}

@@ -1,0 +1,290 @@
+//! The depth-indexed feature cascade.
+//!
+//! A trained CNN trunk maps an input to progressively more separable
+//! features; how fast separability grows depends on the sample and the
+//! architecture. The cascade reproduces that geometry synthetically so the
+//! calibration pipeline can train *real* softmax exit classifiers and
+//! measure genuine exit rates and accuracies, without training VGG-16 on
+//! CIFAR-10 (see DESIGN.md §2 for the substitution argument).
+
+use crate::dataset::Sample;
+use leime_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Architecture-dependent parameters of the cascade.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CascadeParams {
+    /// Feature dimension produced at every depth.
+    pub feature_dim: usize,
+    /// How sharply separability rises once depth exceeds the sample's
+    /// complexity (logistic slope).
+    pub sharpness: f64,
+    /// Strength of the "overthinking" degradation for easy samples at deep
+    /// exits (Kaya et al.): 0 disables it.
+    pub overthink_strength: f64,
+    /// How far past the sample's complexity the degradation starts
+    /// (in depth-fraction units).
+    pub overthink_onset: f64,
+    /// Standard deviation of the additive feature noise.
+    pub noise: f64,
+}
+
+impl Default for CascadeParams {
+    fn default() -> Self {
+        CascadeParams {
+            feature_dim: 32,
+            sharpness: 10.0,
+            overthink_strength: 0.35,
+            overthink_onset: 0.25,
+            noise: 0.55,
+        }
+    }
+}
+
+impl CascadeParams {
+    /// Parameter presets qualitatively matching the paper's Fig. 6
+    /// architecture split: ResNet-34 and SqueezeNet-1.0 show strong
+    /// overthinking (shallow exits often *beat* the final exit), while
+    /// Inception v3 and VGG-16 favour deeper exits.
+    pub fn for_architecture(name: &str) -> CascadeParams {
+        let base = CascadeParams::default();
+        match name {
+            "resnet34" => CascadeParams {
+                overthink_strength: 0.55,
+                overthink_onset: 0.18,
+                sharpness: 12.0,
+                ..base
+            },
+            "squeezenet_1_0" => CascadeParams {
+                overthink_strength: 0.6,
+                overthink_onset: 0.2,
+                sharpness: 9.0,
+                ..base
+            },
+            "inception_v3" => CascadeParams {
+                overthink_strength: 0.15,
+                overthink_onset: 0.4,
+                sharpness: 8.0,
+                ..base
+            },
+            "vgg16" => CascadeParams {
+                overthink_strength: 0.2,
+                overthink_onset: 0.35,
+                sharpness: 10.0,
+                ..base
+            },
+            _ => base,
+        }
+    }
+}
+
+/// Depth-indexed feature extractor for a fixed class set.
+///
+/// For a sample `(class, complexity c)` at depth fraction `δ ∈ (0, 1]` the
+/// emitted feature vector is
+///
+/// ```text
+/// x = α(δ, c) · prototype[class] + noise · ε,   ε ~ N(0, I)
+/// α(δ, c) = sigmoid(sharpness · (δ − c))
+///           − overthink_strength · max(0, δ − c − overthink_onset)
+/// ```
+///
+/// so separability rises once depth passes the sample's complexity and
+/// *decays* again for easy samples far past it (overthinking).
+#[derive(Debug, Clone)]
+pub struct FeatureCascade {
+    params: CascadeParams,
+    prototypes: Vec<Tensor>,
+}
+
+impl FeatureCascade {
+    /// Builds a cascade for `num_classes` classes with deterministic
+    /// prototypes derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes < 2` or `feature_dim == 0`.
+    pub fn new(num_classes: usize, params: CascadeParams, seed: u64) -> Self {
+        assert!(num_classes >= 2, "need at least 2 classes");
+        assert!(params.feature_dim > 0, "feature_dim must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prototypes = (0..num_classes)
+            .map(|_| {
+                let t = Tensor::randn(Shape::d1(params.feature_dim), &mut rng);
+                let n = t.norm().max(1e-6);
+                // Unit-norm prototypes scaled up so signal can dominate noise.
+                t.scale(3.0 / n)
+            })
+            .collect();
+        FeatureCascade { params, prototypes }
+    }
+
+    /// The cascade parameters.
+    pub fn params(&self) -> CascadeParams {
+        self.params
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.prototypes.len()
+    }
+
+    /// Signal strength `α(δ, c)` — exposed for tests and diagnostics.
+    pub fn signal_strength(&self, depth_fraction: f64, complexity: f64) -> f64 {
+        let p = &self.params;
+        let rise = 1.0 / (1.0 + (-p.sharpness * (depth_fraction - complexity)).exp());
+        let overshoot = (depth_fraction - complexity - p.overthink_onset).max(0.0);
+        (rise - p.overthink_strength * overshoot).max(0.0)
+    }
+
+    /// Emits the feature vector for `sample` at `depth_fraction ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth_fraction` is outside `(0, 1]` or the sample's class
+    /// is unknown.
+    pub fn features(&self, sample: Sample, depth_fraction: f64, rng: &mut StdRng) -> Tensor {
+        assert!(
+            depth_fraction > 0.0 && depth_fraction <= 1.0,
+            "depth fraction {depth_fraction} outside (0, 1]"
+        );
+        let proto = self
+            .prototypes
+            .get(sample.class)
+            .unwrap_or_else(|| panic!("unknown class {}", sample.class));
+        let alpha = self.signal_strength(depth_fraction, sample.complexity) as f32;
+        let noise = Tensor::randn(Shape::d1(self.params.feature_dim), rng)
+            .scale(self.params.noise as f32);
+        proto
+            .scale(alpha)
+            .add(&noise)
+            .expect("prototype and noise share a shape")
+    }
+
+    /// Emits a feature matrix `(n, feature_dim)` plus labels for a batch of
+    /// samples at one depth.
+    pub fn batch_features(
+        &self,
+        samples: &[Sample],
+        depth_fraction: f64,
+        rng: &mut StdRng,
+    ) -> (Tensor, Vec<usize>) {
+        let d = self.params.feature_dim;
+        let mut data = Vec::with_capacity(samples.len() * d);
+        let mut labels = Vec::with_capacity(samples.len());
+        for &s in samples {
+            let f = self.features(s, depth_fraction, rng);
+            data.extend_from_slice(f.data());
+            labels.push(s.class);
+        }
+        (
+            Tensor::from_vec(Shape::d2(samples.len(), d), data)
+                .expect("batch dimensions are consistent"),
+            labels,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cascade() -> FeatureCascade {
+        FeatureCascade::new(4, CascadeParams::default(), 7)
+    }
+
+    #[test]
+    fn signal_rises_with_depth() {
+        let c = cascade();
+        let easy = Sample {
+            class: 0,
+            complexity: 0.2,
+        };
+        let shallow = c.signal_strength(0.1, easy.complexity);
+        let at = c.signal_strength(0.3, easy.complexity);
+        assert!(at > shallow);
+    }
+
+    #[test]
+    fn hard_samples_need_depth() {
+        let c = cascade();
+        // A hard sample has weak signal at shallow depth but strong at 1.0.
+        assert!(c.signal_strength(0.2, 0.9) < 0.3);
+        assert!(c.signal_strength(1.0, 0.9) > 0.6);
+    }
+
+    #[test]
+    fn overthinking_degrades_easy_samples_at_depth() {
+        let c = cascade();
+        // Easy sample: best signal shortly after its complexity, lower at
+        // full depth.
+        let peak = c.signal_strength(0.3, 0.05);
+        let deep = c.signal_strength(1.0, 0.05);
+        assert!(deep < peak, "peak {peak}, deep {deep}");
+    }
+
+    #[test]
+    fn no_overthinking_when_disabled() {
+        let params = CascadeParams {
+            overthink_strength: 0.0,
+            ..CascadeParams::default()
+        };
+        let c = FeatureCascade::new(3, params, 0);
+        assert!(c.signal_strength(1.0, 0.1) >= c.signal_strength(0.3, 0.1) - 1e-9);
+    }
+
+    #[test]
+    fn features_have_expected_shape() {
+        let c = cascade();
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = Sample {
+            class: 1,
+            complexity: 0.5,
+        };
+        let f = c.features(s, 0.5, &mut rng);
+        assert_eq!(f.shape().dims(), &[32]);
+    }
+
+    #[test]
+    fn batch_features_stack_rows() {
+        let c = cascade();
+        let mut rng = StdRng::seed_from_u64(0);
+        let samples = vec![
+            Sample {
+                class: 0,
+                complexity: 0.1,
+            },
+            Sample {
+                class: 3,
+                complexity: 0.9,
+            },
+        ];
+        let (x, y) = c.batch_features(&samples, 0.7, &mut rng);
+        assert_eq!(x.shape().dims(), &[2, 32]);
+        assert_eq!(y, vec![0, 3]);
+    }
+
+    #[test]
+    fn architecture_presets_differ() {
+        let r = CascadeParams::for_architecture("resnet34");
+        let i = CascadeParams::for_architecture("inception_v3");
+        assert!(r.overthink_strength > i.overthink_strength);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn rejects_zero_depth() {
+        let c = cascade();
+        let mut rng = StdRng::seed_from_u64(0);
+        c.features(
+            Sample {
+                class: 0,
+                complexity: 0.5,
+            },
+            0.0,
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Parametric cumulative exit-rate curves.
+//!
+//! The large-scale simulation experiments need the per-exit cumulative exit
+//! probabilities `σ_exit_i` without running the full calibration pipeline
+//! for every sweep point. This module provides a two-parameter logistic
+//! family fitted to the calibration results (and matching the paper's own
+//! knob — it synthesises datasets "reflected by the exit rate of
+//! First-exit", Fig. 3b).
+
+use leime_dnn::{DnnChain, ExitRates};
+use serde::{Deserialize, Serialize};
+
+/// A logistic cumulative exit-rate curve over depth fraction `δ ∈ (0, 1]`:
+///
+/// ```text
+/// σ(δ) = F(δ) / F(1),   F(δ) = 1 / (1 + exp(−(δ − midpoint) / spread))
+/// ```
+///
+/// `midpoint` tracks dataset difficulty (larger = harder, fewer early
+/// exits); `spread` controls how gradually exits accumulate. Normalising by
+/// `F(1)` guarantees `σ(1) = 1` (every task exits at the final exit).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExitRateModel {
+    midpoint: f64,
+    spread: f64,
+}
+
+impl ExitRateModel {
+    /// Creates a model with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spread` is not strictly positive.
+    pub fn new(midpoint: f64, spread: f64) -> Self {
+        assert!(spread > 0.0, "spread must be positive, got {spread}");
+        ExitRateModel { midpoint, spread }
+    }
+
+    /// A CIFAR-10-like default: ≈60 % of tasks exit in the first third of
+    /// the network (BranchyNet reports the majority of CIFAR-10 exiting at
+    /// the first branch of an AlexNet-depth model).
+    pub fn cifar_like() -> Self {
+        ExitRateModel::new(0.25, 0.18)
+    }
+
+    /// Dataset-difficulty midpoint.
+    pub fn midpoint(&self) -> f64 {
+        self.midpoint
+    }
+
+    /// Spread parameter.
+    pub fn spread(&self) -> f64 {
+        self.spread
+    }
+
+    /// Cumulative exit probability at depth fraction `delta ∈ [0, 1]`.
+    pub fn sigma(&self, delta: f64) -> f64 {
+        let f = |d: f64| 1.0 / (1.0 + (-(d - self.midpoint) / self.spread).exp());
+        (f(delta) / f(1.0)).clamp(0.0, 1.0)
+    }
+
+    /// Fits the midpoint so that `σ(delta) = target` at the given depth,
+    /// holding `spread` fixed — the Fig. 3(b) knob ("First-exit exit rate").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is outside `(0, 1)` or `delta` outside `(0, 1)`.
+    pub fn with_sigma_at(delta: f64, target: f64, spread: f64) -> Self {
+        assert!(
+            target > 0.0 && target < 1.0,
+            "target rate {target} outside (0, 1)"
+        );
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "depth {delta} outside (0, 1)"
+        );
+        // Bisection on the midpoint: sigma is strictly decreasing in it.
+        let (mut lo, mut hi) = (-5.0f64, 5.0f64);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            let m = ExitRateModel::new(mid, spread);
+            if m.sigma(delta) > target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        ExitRateModel::new(0.5 * (lo + hi), spread)
+    }
+
+    /// Materialises cumulative [`ExitRates`] for every candidate exit of a
+    /// chain, weighting depth by *cumulative FLOPs* (a layer's depth
+    /// fraction is the share of total compute done once it finishes — the
+    /// quantity that actually determines separability, not the layer
+    /// index).
+    pub fn rates_for_chain(&self, chain: &DnnChain) -> ExitRates {
+        let prefix = chain.flops_prefix();
+        let total = chain.total_flops();
+        let m = chain.num_layers();
+        let mut rates: Vec<f64> = (0..m)
+            .map(|i| self.sigma(prefix[i + 1] / total))
+            .collect();
+        // Enforce exact terminal condition and monotonicity under rounding.
+        rates[m - 1] = 1.0;
+        for i in 1..m {
+            if rates[i] < rates[i - 1] {
+                rates[i] = rates[i - 1];
+            }
+        }
+        ExitRates::new(rates).expect("constructed rates are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leime_dnn::zoo;
+
+    #[test]
+    fn sigma_is_monotone_and_terminal() {
+        let m = ExitRateModel::cifar_like();
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let d = i as f64 / 20.0;
+            let s = m.sigma(d);
+            assert!(s >= prev - 1e-12, "sigma not monotone at {d}");
+            assert!((0.0..=1.0).contains(&s));
+            prev = s;
+        }
+        assert!((m.sigma(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harder_midpoint_lowers_early_rate() {
+        let easy = ExitRateModel::new(0.2, 0.15);
+        let hard = ExitRateModel::new(0.6, 0.15);
+        assert!(easy.sigma(0.3) > hard.sigma(0.3));
+    }
+
+    #[test]
+    fn with_sigma_at_hits_target() {
+        for &target in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+            let m = ExitRateModel::with_sigma_at(0.2, target, 0.15);
+            assert!(
+                (m.sigma(0.2) - target).abs() < 1e-6,
+                "target {target} got {}",
+                m.sigma(0.2)
+            );
+        }
+    }
+
+    #[test]
+    fn chain_rates_are_valid_and_flops_weighted() {
+        let chain = zoo::vgg16(32, 10);
+        let rates = ExitRateModel::cifar_like().rates_for_chain(&chain);
+        assert_eq!(rates.len(), chain.num_layers());
+        assert!((rates.rate(chain.num_layers() - 1).unwrap() - 1.0).abs() < 1e-12);
+        // Early VGG layers are cheap, so the first exit's cumulative-FLOPs
+        // depth is small and its rate is well below the midpoint rate.
+        assert!(rates.rate(0).unwrap() < 0.5);
+    }
+
+    #[test]
+    fn cifar_like_majority_exits_early() {
+        let chain = zoo::vgg16(32, 10);
+        let rates = ExitRateModel::cifar_like().rates_for_chain(&chain);
+        // By two-thirds of the layer count, most tasks have exited.
+        let idx = chain.num_layers() * 2 / 3;
+        assert!(rates.rate(idx).unwrap() > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "spread must be positive")]
+    fn rejects_zero_spread() {
+        ExitRateModel::new(0.5, 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Fleet scaling: how many devices can one edge box serve before latency
+//! degrades? Sweeps the fleet size for LEIME and the benchmarks and prints
+//! the largest fleet each system supports under a latency budget —
+//! the operational question behind the paper's Fig. 11.
+//!
+//! ```sh
+//! cargo run --release -p leime --example fleet_scaling
+//! ```
+
+use leime::{systems, ModelKind, Scenario};
+
+const LATENCY_BUDGET_S: f64 = 1.0;
+
+fn main() -> Result<(), leime::LeimeError> {
+    println!(
+        "latency budget: {LATENCY_BUDGET_S} s mean TCT | model: ResNet-34 | 2 tasks/s per camera\n"
+    );
+    println!(
+        "{:>8}  {:>12}  {:>14}  {:>10}  {:>10}",
+        "devices", "LEIME", "Neurosurgeon", "Edgent", "DDNN"
+    );
+
+    let mut max_supported = vec![0usize; 4];
+    for n in [1usize, 2, 4, 8, 16, 24, 32, 48] {
+        let base = Scenario::raspberry_pi_cluster(ModelKind::ResNet34, n, 2.0);
+        let mut cells = Vec::new();
+        for (i, spec) in systems::all().iter().enumerate() {
+            let (_, r) = spec.run_slotted(&base, 80, 3)?;
+            if r.mean_tct_s() <= LATENCY_BUDGET_S {
+                max_supported[i] = max_supported[i].max(n);
+            }
+            cells.push(format!("{:.2}s", r.mean_tct_s()));
+        }
+        println!(
+            "{:>8}  {:>12}  {:>14}  {:>10}  {:>10}",
+            n, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+
+    println!("\nlargest fleet within budget:");
+    for (spec, &n) in systems::all().iter().zip(&max_supported) {
+        println!("  {:>12}: {} devices", spec.name, n);
+    }
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Quickstart: deploy LEIME for one model on a small fleet and compare it
+//! against the paper's three benchmark systems.
+//!
+//! ```sh
+//! cargo run --release -p leime --example quickstart
+//! ```
+
+use leime::{systems, ExitStrategy, ModelKind, Scenario};
+
+fn main() -> Result<(), leime::LeimeError> {
+    // Two Raspberry-Pi-class devices, each launching ~5 recognition tasks
+    // per second against ME-SqueezeNet-1.0, behind 10 Mbps WiFi, with the
+    // default i7-class edge and V100-class cloud.
+    let scenario = Scenario::raspberry_pi_cluster(ModelKind::SqueezeNet, 2, 5.0);
+
+    // Model level: the branch-and-bound exit setting (§III-C).
+    let deployment = scenario.deploy(ExitStrategy::Leime)?;
+    let (first, second, third) = deployment.combo.to_one_based();
+    println!("LEIME exit setting: exits {first}, {second}, {third}");
+    println!(
+        "block FLOPs [μ1, μ2, μ3] = [{:.1}M, {:.1}M, {:.1}M]",
+        deployment.mu[0] / 1e6,
+        deployment.mu[1] / 1e6,
+        deployment.mu[2] / 1e6
+    );
+    println!(
+        "exit probabilities [σ1, σ2, σ3] = [{:.2}, {:.2}, {:.2}]",
+        deployment.sigma[0], deployment.sigma[1], deployment.sigma[2]
+    );
+    if let Some(stats) = deployment.search_stats {
+        println!(
+            "search cost: {} evaluations in {} rounds (exhaustive would be {})",
+            stats.total_evals(),
+            stats.rounds,
+            (scenario.chain().num_layers() - 1) * (scenario.chain().num_layers() - 2) / 2
+        );
+    }
+
+    // Computation level: run 300 slots of the slotted system with the
+    // Lyapunov offloading controller.
+    let report = scenario.run_slotted(&deployment, 300, 42)?;
+    println!(
+        "\nLEIME: {} tasks, mean TCT {:.1} ms (p95 {:.1} ms), mean offload ratio {:.2}",
+        report.tasks(),
+        report.mean_tct_ms(),
+        report.p95_tct_s() * 1e3,
+        report.mean_offload_ratio()
+    );
+    let tiers = report.tiers();
+    println!(
+        "exits: {} on device, {} at edge, {} at cloud",
+        tiers.first, tiers.second, tiers.third
+    );
+
+    // Compare against the paper's benchmarks (same scenario).
+    println!("\nBenchmarks:");
+    for spec in [systems::neurosurgeon(), systems::edgent(), systems::ddnn()] {
+        let (_, r) = spec.run_slotted(&scenario, 300, 42)?;
+        println!(
+            "  {:>12}: mean TCT {:.1} ms  (LEIME speedup {:.2}x)",
+            spec.name,
+            r.mean_tct_ms(),
+            report.speedup_vs(&r)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,126 @@
+//! Integration tests for the live multi-threaded runtime: real classifier
+//! inference on device/edge/cloud threads with emulated links.
+
+use leime::runtime::{run_live, RuntimeConfig};
+use leime::ModelKind;
+use leime_dnn::ExitCombo;
+use leime_inference::{calibrate, CalibrationConfig, EarlyExitPipeline, TrainConfig};
+use leime_workload::{CascadeParams, ComplexityDist, FeatureCascade, SyntheticDataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_pipeline(seed: u64) -> (EarlyExitPipeline, FeatureCascade) {
+    let chain = ModelKind::SqueezeNet.build(10);
+    let cascade = FeatureCascade::new(10, CascadeParams::default(), seed);
+    let dataset = SyntheticDataset::cifar_like();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cal = calibrate(
+        &chain,
+        &cascade,
+        &dataset,
+        CalibrationConfig {
+            train_samples: 192,
+            val_samples: 192,
+            train: TrainConfig {
+                epochs: 6,
+                ..TrainConfig::default()
+            },
+            accuracy_target_ratio: 0.95,
+        },
+        &mut rng,
+    );
+    let m = chain.num_layers();
+    let combo = ExitCombo::new(1, m / 2, m - 1, m).unwrap();
+    (EarlyExitPipeline::from_calibration(&cal, combo), cascade)
+}
+
+#[test]
+fn live_pipeline_processes_a_fleet() {
+    let (pipeline, cascade) = build_pipeline(55);
+    let dataset = SyntheticDataset::cifar_like();
+    let config = RuntimeConfig {
+        num_devices: 4,
+        tasks_per_device: 25,
+        offload_ratio: 0.25,
+        time_scale: 0.0005,
+        ..RuntimeConfig::default()
+    };
+    let report = run_live(&pipeline, &cascade, &dataset, config).unwrap();
+    assert_eq!(report.completed, 100);
+    assert_eq!(report.tiers.total(), 100);
+    // With an easy-skewed dataset a meaningful share exits before cloud.
+    assert!(
+        report.tiers.first + report.tiers.second > 20,
+        "tiers: {:?}",
+        report.tiers
+    );
+    assert!(report.accuracy() > 0.3, "accuracy {}", report.accuracy());
+}
+
+#[test]
+fn hard_workload_pushes_tasks_to_the_cloud() {
+    let (pipeline, cascade) = build_pipeline(56);
+    let easy_ds = SyntheticDataset::new(10, ComplexityDist::Fixed { value: 0.02 });
+    let hard_ds = SyntheticDataset::new(10, ComplexityDist::Fixed { value: 0.95 });
+    let config = RuntimeConfig {
+        num_devices: 2,
+        tasks_per_device: 40,
+        offload_ratio: 0.0,
+        time_scale: 0.0,
+        ..RuntimeConfig::default()
+    };
+    let easy = run_live(&pipeline, &cascade, &easy_ds, config).unwrap();
+    let hard = run_live(&pipeline, &cascade, &hard_ds, config).unwrap();
+    assert!(
+        easy.tiers.first > hard.tiers.first,
+        "easy {:?} vs hard {:?}",
+        easy.tiers,
+        hard.tiers
+    );
+    assert!(
+        hard.tiers.third > easy.tiers.third,
+        "easy {:?} vs hard {:?}",
+        easy.tiers,
+        hard.tiers
+    );
+}
+
+#[test]
+fn offloaded_tasks_still_complete() {
+    let (pipeline, cascade) = build_pipeline(57);
+    let dataset = SyntheticDataset::cifar_like();
+    let config = RuntimeConfig {
+        num_devices: 2,
+        tasks_per_device: 30,
+        offload_ratio: 1.0, // everything goes through the edge
+        time_scale: 0.0,
+        ..RuntimeConfig::default()
+    };
+    let report = run_live(&pipeline, &cascade, &dataset, config).unwrap();
+    assert_eq!(report.completed, 60);
+}
+
+#[test]
+fn link_emulation_slows_completion() {
+    let (pipeline, cascade) = build_pipeline(58);
+    let dataset = SyntheticDataset::cifar_like();
+    let fast = RuntimeConfig {
+        num_devices: 1,
+        tasks_per_device: 15,
+        offload_ratio: 1.0,
+        time_scale: 0.0,
+        ..RuntimeConfig::default()
+    };
+    let slow = RuntimeConfig {
+        time_scale: 0.02,
+        ..fast
+    };
+    let fast_r = run_live(&pipeline, &cascade, &dataset, fast).unwrap();
+    let slow_r = run_live(&pipeline, &cascade, &dataset, slow).unwrap();
+    assert!(
+        slow_r.mean_tct_s > fast_r.mean_tct_s,
+        "emulated link delay had no effect: {} vs {}",
+        slow_r.mean_tct_s,
+        fast_r.mean_tct_s
+    );
+}
