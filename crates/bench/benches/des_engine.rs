@@ -13,10 +13,7 @@ fn bench_event_queue(c: &mut Criterion) {
             b.iter(|| {
                 let mut q = EventQueue::new();
                 for i in 0..n {
-                    q.schedule_at(
-                        SimTime::from_secs(((i * 2_654_435_761) % n) as f64),
-                        i,
-                    );
+                    q.schedule_at(SimTime::from_secs(((i * 2_654_435_761) % n) as f64), i);
                 }
                 while let Some(e) = q.pop() {
                     black_box(e);

@@ -29,7 +29,9 @@ fn main() {
     // uplink is the WiFi bottleneck plus both hops' latency.
     let direct_cloud = TierEnv {
         flops: base[2].flops,
-        uplink_bandwidth_bps: base[1].uplink_bandwidth_bps.min(base[2].uplink_bandwidth_bps),
+        uplink_bandwidth_bps: base[1]
+            .uplink_bandwidth_bps
+            .min(base[2].uplink_bandwidth_bps),
         uplink_latency_s: base[1].uplink_latency_s + base[2].uplink_latency_s,
     };
     let hierarchies: Vec<(&str, Vec<TierEnv>)> = vec![
@@ -53,8 +55,7 @@ fn main() {
         let mut rows = Vec::new();
         for (name, tiers) in &hierarchies {
             let (exits, t) = multi_tier_exits(&profile, &rates, tiers).unwrap();
-            let exits_1based: Vec<String> =
-                exits.iter().map(|e| (e + 1).to_string()).collect();
+            let exits_1based: Vec<String> = exits.iter().map(|e| (e + 1).to_string()).collect();
             rows.push(vec![
                 name.to_string(),
                 tiers.len().to_string(),
@@ -64,7 +65,10 @@ fn main() {
         }
         println!(
             "{}",
-            render_table(&header(&["hierarchy", "tiers", "exits", "expected_TCT"]), &rows)
+            render_table(
+                &header(&["hierarchy", "tiers", "exits", "expected_TCT"]),
+                &rows
+            )
         );
         println!();
     }

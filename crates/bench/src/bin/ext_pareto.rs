@@ -27,23 +27,23 @@ fn main() {
     };
     for model in ModelKind::ALL {
         let chain = model.build(10);
-        let cascade =
-            FeatureCascade::new(10, CascadeParams::for_architecture(model.name()), 91);
+        let cascade = FeatureCascade::new(10, CascadeParams::for_architecture(model.name()), 91);
         let dataset = SyntheticDataset::cifar_like();
         let mut rng = StdRng::seed_from_u64(91);
         let cal = calibrate(&chain, &cascade, &dataset, config, &mut rng);
-        let front = Deployment::pareto_front(
-            &chain,
-            ExitSpec::default(),
-            &cal,
-            EnvParams::raspberry_pi(),
-        )
-        .unwrap();
+        let front =
+            Deployment::pareto_front(&chain, ExitSpec::default(), &cal, EnvParams::raspberry_pi())
+                .unwrap();
 
-        println!("-- {} ({} non-dominated of {} combos) --", model.name(), front.len(), {
-            let m = chain.num_layers();
-            (m - 1) * (m - 2) / 2
-        });
+        println!(
+            "-- {} ({} non-dominated of {} combos) --",
+            model.name(),
+            front.len(),
+            {
+                let m = chain.num_layers();
+                (m - 1) * (m - 2) / 2
+            }
+        );
         let rows: Vec<Vec<String>> = front
             .iter()
             .map(|&(combo, tct, loss)| {

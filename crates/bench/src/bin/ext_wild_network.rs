@@ -6,6 +6,7 @@
 use leime::{systems, ControllerKind, ExitStrategy, ModelKind, Scenario, WorkloadKind};
 use leime_bench::{fmt_time, render_table};
 use leime_simnet::{SimTime, TimeTrace};
+use leime_telemetry::Registry;
 
 const SLOTS: usize = 400;
 const SEED: u64 = 31;
@@ -33,11 +34,16 @@ fn main() {
     println!("== Extension: compound wild-edge dynamics ==");
     println!("(bandwidth square wave 100%/20% every 60 s + 6x MMPP arrival bursts)\n");
 
+    let json_path = leime_bench::json_out_path();
+    let registry = Registry::new();
+
     let base = wild_scenario();
     let mut rows = Vec::new();
     let specs = systems::all();
     for spec in &specs {
-        let (_, r) = spec.run_slotted(&base, SLOTS, SEED).unwrap();
+        let (_, r) = spec
+            .run_slotted_with_registry(&base, SLOTS, SEED, &registry)
+            .unwrap();
         rows.push(vec![
             spec.name.to_string(),
             fmt_time(r.mean_tct_s()),
@@ -65,7 +71,10 @@ fn main() {
         let mut s = base.clone();
         s.controller = kind;
         let dep = s.deploy(ExitStrategy::Leime).unwrap();
-        let r = s.run_slotted(&dep, SLOTS, SEED).unwrap();
+        let prefix = format!("ablation.{name}");
+        let r = s
+            .run_slotted_with_registry(&dep, SLOTS, SEED, &registry, &prefix)
+            .unwrap();
         rows.push(vec![
             name.to_string(),
             fmt_time(r.mean_tct_s()),
@@ -83,4 +92,7 @@ fn main() {
          best static policy chosen in hindsight -- without knowing the \
          dynamics -- while the exit-placement benchmarks collapse outright."
     );
+    if let Some(path) = json_path {
+        leime_bench::write_telemetry(&registry, &path);
+    }
 }

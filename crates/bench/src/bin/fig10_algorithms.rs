@@ -45,8 +45,7 @@ fn main() {
         "{}",
         render_table(
             &header(&[
-                "model", "LEIME", "min_comp", "speedup", "min_tran", "speedup", "mean",
-                "speedup",
+                "model", "LEIME", "min_comp", "speedup", "min_tran", "speedup", "mean", "speedup",
             ]),
             &rows
         )

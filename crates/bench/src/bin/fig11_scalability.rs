@@ -8,19 +8,30 @@
 
 use leime::{systems, ModelKind, Scenario};
 use leime_bench::{fmt_time, render_table};
+use leime_telemetry::Registry;
 
 const SLOTS: usize = 100;
 const SEED: u64 = 11;
 
-fn run_model(model: ModelKind) {
-    println!("== Fig. 11: average TCT vs number of devices ({}) ==\n", model.name());
+fn run_model(model: ModelKind, registry: &Registry) {
+    println!(
+        "== Fig. 11: average TCT vs number of devices ({}) ==\n",
+        model.name()
+    );
     let specs = systems::all();
     let mut rows = Vec::new();
     for n in [1usize, 2, 5, 10, 20, 35, 50] {
-        let base = Scenario::raspberry_pi_cluster(model, n, 2.0);
+        let mut base = Scenario::raspberry_pi_cluster(model, n, 2.0);
         let mut row = vec![n.to_string()];
         for spec in &specs {
-            let (_, r) = spec.run_slotted(&base, SLOTS, SEED).unwrap();
+            // Every (model, fleet size, system) run gets its own metric
+            // prefix, e.g. `inception_v3.n20.leime.tct_s`.
+            base.controller = spec.controller;
+            let deployment = base.deploy(spec.strategy).unwrap();
+            let prefix = format!("{}.n{n}.{}", model.name(), spec.name.to_lowercase());
+            let r = base
+                .run_slotted_with_registry(&deployment, SLOTS, SEED, registry, &prefix)
+                .unwrap();
             row.push(fmt_time(r.mean_tct_s()));
         }
         rows.push(row);
@@ -32,10 +43,15 @@ fn run_model(model: ModelKind) {
 }
 
 fn main() {
-    run_model(ModelKind::InceptionV3);
-    run_model(ModelKind::ResNet34);
+    let json_path = leime_bench::json_out_path();
+    let registry = Registry::new();
+    run_model(ModelKind::InceptionV3, &registry);
+    run_model(ModelKind::ResNet34, &registry);
     println!(
         "Paper reference: LEIME grows ~linearly with the fleet size and \
          stays lowest; benchmarks saturate or explode earlier."
     );
+    if let Some(path) = json_path {
+        leime_bench::write_telemetry(&registry, &path);
+    }
 }

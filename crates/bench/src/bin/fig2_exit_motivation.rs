@@ -91,10 +91,7 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &header(&["second_exit", "light_norm", "heavy_norm"]),
-            &rows
-        )
+        render_table(&header(&["second_exit", "light_norm", "heavy_norm"]), &rows)
     );
     for (name, exit) in &optima {
         println!("optimal Second-exit with {name}: exit-{exit}");

@@ -85,8 +85,7 @@ fn main() {
         // Fit the exit-rate curve so the First-exit (exit-1) hits `target`.
         let chain = base.chain();
         let depth1 = chain.flops_prefix()[1] / chain.total_flops();
-        base.exit_rates =
-            leime_workload::ExitRateModel::with_sigma_at(depth1, target, 0.18);
+        base.exit_rates = leime_workload::ExitRateModel::with_sigma_at(depth1, target, 0.18);
         rows.push(sweep(&base, &format!("sigma1={target}")).0);
     }
     println!("{}", render_table(&ratio_header(), &rows));

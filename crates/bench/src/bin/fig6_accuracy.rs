@@ -30,8 +30,7 @@ fn main() {
     let mut rows = Vec::new();
     for model in ModelKind::ALL {
         let chain = model.build(10);
-        let cascade =
-            FeatureCascade::new(10, CascadeParams::for_architecture(model.name()), 61);
+        let cascade = FeatureCascade::new(10, CascadeParams::for_architecture(model.name()), 61);
         let dataset = SyntheticDataset::cifar_like();
         let mut rng = StdRng::seed_from_u64(61);
         let cal = calibrate(&chain, &cascade, &dataset, config, &mut rng);

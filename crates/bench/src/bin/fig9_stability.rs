@@ -10,13 +10,20 @@
 use leime::{systems, ModelKind, WorkloadKind};
 use leime_bench::{fmt_time, render_table, single_device, sparkline};
 use leime_simnet::{SimTime, TimeTrace};
+use leime_telemetry::Registry;
 
 const SLOTS: usize = 400;
 const WINDOW_S: f64 = 50.0;
 const SEED: u64 = 9;
 
-fn run_device(nano: bool) {
-    let device = if nano { "Jetson Nano" } else { "Raspberry Pi" };
+fn run_device(nano: bool, registry: &Registry) {
+    // Both devices share one registry, so metric names carry a device tag
+    // (`pi.leime.tct_s` vs `nano.leime.tct_s`).
+    let (device, tag) = if nano {
+        ("Jetson Nano", "nano")
+    } else {
+        ("Raspberry Pi", "pi")
+    };
     println!("== Fig. 9: TCT over time under dynamic arrival rates ({device}) ==\n");
 
     // Arrival rate steps 2 -> 10 -> 2 -> 10 ... every 50 slots.
@@ -37,7 +44,12 @@ fn run_device(nano: bool) {
             trace: trace.clone(),
             max: 1000,
         };
-        let (_, r) = spec.run_slotted(&base, SLOTS, SEED).unwrap();
+        base.controller = spec.controller;
+        let deployment = base.deploy(spec.strategy).unwrap();
+        let prefix = format!("{tag}.{}", spec.name.to_lowercase());
+        let r = base
+            .run_slotted_with_registry(&deployment, SLOTS, SEED, registry, &prefix)
+            .unwrap();
         let windows = r
             .series()
             .windowed_mean(SimTime::from_secs(WINDOW_S))
@@ -46,11 +58,8 @@ fn run_device(nano: bool) {
             .collect::<Vec<_>>();
         // Stability metric: std-dev across windows.
         let mean = windows.iter().map(|w| w.1).sum::<f64>() / windows.len().max(1) as f64;
-        let var = windows
-            .iter()
-            .map(|w| (w.1 - mean).powi(2))
-            .sum::<f64>()
-            / windows.len().max(1) as f64;
+        let var =
+            windows.iter().map(|w| (w.1 - mean).powi(2)).sum::<f64>() / windows.len().max(1) as f64;
         means.push(mean);
         stds.push(var.sqrt());
         columns.push(windows);
@@ -82,11 +91,16 @@ fn run_device(nano: bool) {
 }
 
 fn main() {
-    run_device(false);
-    run_device(true);
+    let json_path = leime_bench::json_out_path();
+    let registry = Registry::new();
+    run_device(false, &registry);
+    run_device(true, &registry);
     println!(
         "Paper reference: LEIME has the smallest mean TCT and best stability \
          on both devices; the benchmarks degrade or fluctuate when the rate \
          steps up."
     );
+    if let Some(path) = json_path {
+        leime_bench::write_telemetry(&registry, &path);
+    }
 }

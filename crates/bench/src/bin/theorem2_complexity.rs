@@ -63,7 +63,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &header(&["m", "avg_evals", "m*ln(m)", "m^2/2", "evals/mlnm", "evals/m2"]),
+            &header(&[
+                "m",
+                "avg_evals",
+                "m*ln(m)",
+                "m^2/2",
+                "evals/mlnm",
+                "evals/m2"
+            ]),
             &rows
         )
     );

@@ -8,8 +8,11 @@
 //! --bin fig7_network`); this library holds the shared testbed presets and
 //! table-printing helpers.
 
+use std::path::PathBuf;
+
 use leime::{ModelKind, Scenario};
 use leime_offload::DeviceParams;
+use leime_telemetry::Registry;
 
 /// The paper's testbed fleet: 4 Raspberry Pi 3B+ and 2 Jetson Nano behind
 /// WiFi, an i7-3770 edge, a V100 cloud (§IV-A, Fig. 5).
@@ -27,6 +30,39 @@ pub fn single_device(model: ModelKind, nano: bool, arrival_mean: f64) -> Scenari
     } else {
         Scenario::raspberry_pi_cluster(model, 1, arrival_mean)
     }
+}
+
+/// Parses a `--json <path>` flag from the process arguments, if present.
+///
+/// Every experiment binary accepts this flag; when given, the binary dumps
+/// its telemetry registry snapshot (schema `leime-telemetry/1`) to `path`
+/// after printing its tables.
+///
+/// # Panics
+///
+/// Panics if `--json` is passed without a following path.
+pub fn json_out_path() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            let path = args.next().expect("--json requires a <path> argument");
+            return Some(PathBuf::from(path));
+        }
+    }
+    None
+}
+
+/// Serialises `registry`'s snapshot as pretty-printed JSON to `path`.
+///
+/// # Panics
+///
+/// Panics if serialisation or the file write fails: the experiment's whole
+/// purpose is producing this artefact, so failure should be loud.
+pub fn write_telemetry(registry: &Registry, path: &std::path::Path) {
+    let snapshot = registry.snapshot();
+    let json = serde_json::to_string_pretty(&snapshot).expect("telemetry snapshot serialises");
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    eprintln!("telemetry written to {}", path.display());
 }
 
 /// Renders an aligned text table: a header row plus data rows.
@@ -147,10 +183,7 @@ mod tests {
     fn table_alignment() {
         let t = render_table(
             &header(&["a", "long-col"]),
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -87,11 +87,8 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                             .map_err(|e| format!("--slots: {e}"))?
                     }
                     "--des" => {
-                        des_horizon = Some(
-                            value("--des")?
-                                .parse()
-                                .map_err(|e| format!("--des: {e}"))?,
-                        )
+                        des_horizon =
+                            Some(value("--des")?.parse().map_err(|e| format!("--des: {e}"))?)
                     }
                     "--seed" => {
                         seed = value("--seed")?
@@ -136,7 +133,11 @@ fn cmd_deploy(path: &str, strategy: ExitStrategy) -> Result<(), String> {
     let dep = scenario.deploy(strategy).map_err(|e| e.to_string())?;
     let (f, s, t) = dep.combo.to_one_based();
     println!("strategy:   {}", strategy.name());
-    println!("model:      {} ({} candidate exits)", scenario.model, scenario.chain().num_layers());
+    println!(
+        "model:      {} ({} candidate exits)",
+        scenario.model,
+        scenario.chain().num_layers()
+    );
     println!("exits:      {f}, {s}, {t}");
     println!(
         "block MFLOPs: [{:.1}, {:.1}, {:.1}]",

@@ -1,7 +1,7 @@
 use leime_dnn::{DnnChain, ExitCombo, ExitRates, ExitSpec, ModelProfile, MultiExitDnn};
 use leime_exitcfg::{
-    branch_and_bound, ddnn_style, edgent_style, mean_division, min_computation,
-    min_transmission, CostModel, EnvParams, SearchStats,
+    branch_and_bound, ddnn_style, edgent_style, mean_division, min_computation, min_transmission,
+    CostModel, EnvParams, SearchStats,
 };
 use serde::{Deserialize, Serialize};
 

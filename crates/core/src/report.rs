@@ -91,9 +91,20 @@ impl RunReport {
         self.tct.median().unwrap_or(0.0)
     }
 
+    /// Median TCT in seconds (alias of [`RunReport::median_tct_s`], named
+    /// to match the runtime report's percentile fields).
+    pub fn p50_tct_s(&self) -> f64 {
+        self.median_tct_s()
+    }
+
     /// 95th-percentile TCT in seconds.
     pub fn p95_tct_s(&self) -> f64 {
         self.tct.quantile(0.95).unwrap_or(0.0)
+    }
+
+    /// 99th-percentile TCT in seconds.
+    pub fn p99_tct_s(&self) -> f64 {
+        self.tct.quantile(0.99).unwrap_or(0.0)
     }
 
     /// Exit-tier counts.
@@ -185,6 +196,8 @@ mod tests {
         assert!((r.mean_tct_s() - 0.505).abs() < 1e-9);
         assert!((r.mean_tct_ms() - 505.0).abs() < 1e-6);
         assert!(r.p95_tct_s() > r.median_tct_s());
+        assert!(r.p99_tct_s() >= r.p95_tct_s());
+        assert_eq!(r.p50_tct_s(), r.median_tct_s());
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub use messages::{payload_for_bytes, EdgeRequest, TaskOutcome};
 use crate::{LeimeError, Result, TierCounts};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use leime_inference::{EarlyExitPipeline, ExitDecision};
+use leime_telemetry::{Clock, Histogram, Registry, WallClock};
 use leime_workload::{FeatureCascade, SyntheticDataset};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -90,7 +91,9 @@ impl RuntimeConfig {
             )));
         }
         if !(self.bandwidth_bps > 0.0 && self.time_scale >= 0.0 && self.latency_s >= 0.0) {
-            return Err(LeimeError::Config("invalid link emulation parameters".into()));
+            return Err(LeimeError::Config(
+                "invalid link emulation parameters".into(),
+            ));
         }
         Ok(())
     }
@@ -115,6 +118,16 @@ pub struct RuntimeReport {
     /// Mean wall-clock completion time in seconds (at the configured time
     /// scale).
     pub mean_tct_s: f64,
+    /// Median completion time in seconds (histogram estimate, relative
+    /// error ≤ one log bucket ≈ 2.2%).
+    #[serde(default)]
+    pub p50_tct_s: f64,
+    /// 95th-percentile completion time in seconds (same error bound).
+    #[serde(default)]
+    pub p95_tct_s: f64,
+    /// 99th-percentile completion time in seconds (same error bound).
+    #[serde(default)]
+    pub p99_tct_s: f64,
     /// Tasks whose raw input was offloaded to the edge.
     pub offloaded: usize,
 }
@@ -146,7 +159,58 @@ pub fn run_live(
     dataset: &SyntheticDataset,
     config: RuntimeConfig,
 ) -> Result<RuntimeReport> {
+    run_live_inner(pipeline, cascade, dataset, config, None)
+}
+
+/// Like [`run_live`], but additionally records into `registry` under
+/// `prefix`: per-tier completion-time histograms
+/// (`{prefix}.tct_s`, `{prefix}.tct_device_s`, `{prefix}.tct_edge_s`,
+/// `{prefix}.tct_cloud_s`), a `{prefix}.tasks` counter, and
+/// `{prefix}.run_wall_s` — the whole run's wall-clock duration, measured
+/// with a [`WallClock`].
+///
+/// # Errors
+///
+/// Same as [`run_live`].
+pub fn run_live_with_registry(
+    pipeline: &EarlyExitPipeline,
+    cascade: &FeatureCascade,
+    dataset: &SyntheticDataset,
+    config: RuntimeConfig,
+    registry: &Registry,
+    prefix: &str,
+) -> Result<RuntimeReport> {
+    let telemetry = RuntimeTelemetry {
+        tct: registry.histogram(&format!("{prefix}.tct_s")),
+        tct_tier: [
+            registry.histogram(&format!("{prefix}.tct_device_s")),
+            registry.histogram(&format!("{prefix}.tct_edge_s")),
+            registry.histogram(&format!("{prefix}.tct_cloud_s")),
+        ],
+        tasks: registry.counter(&format!("{prefix}.tasks")),
+        run_wall: registry.histogram(&format!("{prefix}.run_wall_s")),
+    };
+    run_live_inner(pipeline, cascade, dataset, config, Some(&telemetry))
+}
+
+/// Registry handles for one live run (see [`run_live_with_registry`]).
+struct RuntimeTelemetry {
+    tct: Arc<Histogram>,
+    /// Indexed device / edge / cloud.
+    tct_tier: [Arc<Histogram>; 3],
+    tasks: Arc<leime_telemetry::Counter>,
+    run_wall: Arc<Histogram>,
+}
+
+fn run_live_inner(
+    pipeline: &EarlyExitPipeline,
+    cascade: &FeatureCascade,
+    dataset: &SyntheticDataset,
+    config: RuntimeConfig,
+    telemetry: Option<&RuntimeTelemetry>,
+) -> Result<RuntimeReport> {
     config.validate()?;
+    let wall = WallClock::new();
     let pipeline = Arc::new(pipeline.clone());
     let cascade = Arc::new(cascade.clone());
     let dataset = Arc::new(dataset.clone());
@@ -183,31 +247,44 @@ pub fn run_live(
         let done = done_tx.clone();
         let offloaded = Arc::clone(&offload_count);
         device_handles.push(thread::spawn(move || {
-            device_loop(dev, &pipeline, &cascade, &dataset, &edge, &done, &offloaded, config)
+            device_loop(
+                dev, &pipeline, &cascade, &dataset, &edge, &done, &offloaded, config,
+            )
         }));
     }
     drop(edge_tx);
     drop(cloud_tx);
     drop(done_tx);
 
-    // ---- Collector.
+    // ---- Collector. Completion times go into lock-free histograms; the
+    // mutex guards only the scalar tallies.
     let total = config.num_devices * config.tasks_per_device;
     let stats = Mutex::new((0usize, 0usize, TierCounts::default(), 0.0f64));
+    let tct_hist = Histogram::new();
+    let tier_hists = [Histogram::new(), Histogram::new(), Histogram::new()];
     for _ in 0..total {
         let outcome = done_rx
             .recv()
             .map_err(|_| LeimeError::Runtime("completion channel closed early".into()))?;
+        let secs = outcome.elapsed.as_secs_f64();
+        let tier_idx = match outcome.tier {
+            ExitDecision::Device => 0,
+            ExitDecision::Edge => 1,
+            ExitDecision::Cloud => 2,
+        };
+        tct_hist.record(secs);
+        tier_hists[tier_idx].record(secs);
         let mut s = stats.lock();
         s.0 += 1;
         if outcome.correct {
             s.1 += 1;
         }
-        match outcome.tier {
-            ExitDecision::Device => s.2.first += 1,
-            ExitDecision::Edge => s.2.second += 1,
-            ExitDecision::Cloud => s.2.third += 1,
+        match tier_idx {
+            0 => s.2.first += 1,
+            1 => s.2.second += 1,
+            _ => s.2.third += 1,
         }
-        s.3 += outcome.elapsed.as_secs_f64();
+        s.3 += secs;
     }
 
     for h in device_handles {
@@ -221,7 +298,17 @@ pub fn run_live(
         .join()
         .map_err(|_| LeimeError::Runtime("cloud thread panicked".into()))?;
 
+    if let Some(tel) = telemetry {
+        tel.tct.merge_from(&tct_hist);
+        for (dst, src) in tel.tct_tier.iter().zip(&tier_hists) {
+            dst.merge_from(src);
+        }
+        tel.tasks.add(total as u64);
+        tel.run_wall.record(wall.now());
+    }
+
     let (completed, correct, tiers, total_secs) = stats.into_inner();
+    let snapshot = tct_hist.snapshot();
     Ok(RuntimeReport {
         completed,
         correct,
@@ -231,6 +318,9 @@ pub fn run_live(
         } else {
             total_secs / completed as f64
         },
+        p50_tct_s: snapshot.quantile(0.5).unwrap_or(0.0),
+        p95_tct_s: snapshot.quantile(0.95).unwrap_or(0.0),
+        p99_tct_s: snapshot.quantile(0.99).unwrap_or(0.0),
         offloaded: offload_count.load(std::sync::atomic::Ordering::Relaxed),
     })
 }

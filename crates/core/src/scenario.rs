@@ -8,7 +8,9 @@ use leime_simnet::TimeTrace;
 use leime_workload::ExitRateModel;
 use serde::{Deserialize, Serialize};
 
-use crate::{Deployment, ExitStrategy, LeimeError, ModelKind, Result, RunReport, SlottedSystem, TaskSim};
+use crate::{
+    Deployment, ExitStrategy, LeimeError, ModelKind, Result, RunReport, SlottedSystem, TaskSim,
+};
 
 /// Which per-slot offloading policy a scenario runs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -29,7 +31,7 @@ impl ControllerKind {
     /// Instantiates the policy object.
     pub fn build(self) -> Box<dyn OffloadController> {
         match self {
-            ControllerKind::Lyapunov => Box::new(LyapunovController),
+            ControllerKind::Lyapunov => Box::new(LyapunovController::new()),
             ControllerKind::DeviceOnly => Box::new(DeviceOnly),
             ControllerKind::EdgeOnly => Box::new(EdgeOnly),
             ControllerKind::CapabilityBased => Box::new(CapabilityBased),
@@ -161,7 +163,9 @@ impl Scenario {
             ("v", self.v),
         ] {
             if !(v > 0.0) {
-                return Err(LeimeError::Config(format!("{name} must be positive, got {v}")));
+                return Err(LeimeError::Config(format!(
+                    "{name} must be positive, got {v}"
+                )));
             }
         }
         if !(self.cloud_latency_s >= 0.0) {
@@ -235,9 +239,7 @@ impl Scenario {
     /// and an equal share of the edge per device.
     pub fn avg_env(&self) -> EnvParams {
         let n = self.devices.len().max(1) as f64;
-        let mean = |f: fn(&DeviceParams) -> f64| {
-            self.devices.iter().map(f).sum::<f64>() / n
-        };
+        let mean = |f: fn(&DeviceParams) -> f64| self.devices.iter().map(f).sum::<f64>() / n;
         EnvParams {
             device_flops: mean(|d| d.flops),
             edge_flops: self.edge_flops / n,
@@ -276,20 +278,57 @@ impl Scenario {
         SlottedSystem::new(self.clone(), deployment.clone())?.run(slots, seed)
     }
 
+    /// Like [`Scenario::run_slotted`], but records per-slot telemetry into
+    /// `registry` under `prefix` (see
+    /// [`SlottedSystem::attach_registry`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn run_slotted_with_registry(
+        &self,
+        deployment: &Deployment,
+        slots: usize,
+        seed: u64,
+        registry: &leime_telemetry::Registry,
+        prefix: &str,
+    ) -> Result<RunReport> {
+        self.validate()?;
+        let mut system = SlottedSystem::new(self.clone(), deployment.clone())?;
+        system.attach_registry(registry, prefix);
+        system.run(slots, seed)
+    }
+
     /// Runs the end-to-end task-level discrete-event simulation for
     /// `horizon_s` simulated seconds.
     ///
     /// # Errors
     ///
     /// Propagates configuration errors.
-    pub fn run_des(
+    pub fn run_des(&self, deployment: &Deployment, horizon_s: f64, seed: u64) -> Result<RunReport> {
+        self.validate()?;
+        TaskSim::new(self.clone(), deployment.clone())?.run(horizon_s, seed)
+    }
+
+    /// Like [`Scenario::run_des`], but records network and controller
+    /// telemetry into `registry` under `prefix` (see
+    /// [`TaskSim::attach_registry`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn run_des_with_registry(
         &self,
         deployment: &Deployment,
         horizon_s: f64,
         seed: u64,
+        registry: &leime_telemetry::Registry,
+        prefix: &str,
     ) -> Result<RunReport> {
         self.validate()?;
-        TaskSim::new(self.clone(), deployment.clone())?.run(horizon_s, seed)
+        let mut sim = TaskSim::new(self.clone(), deployment.clone())?;
+        sim.attach_registry(registry, prefix);
+        sim.run(horizon_s, seed)
     }
 }
 

@@ -1,8 +1,11 @@
+use std::sync::Arc;
+
 use leime_offload::{
-    kkt_allocation_with_floor, DeviceParams, OffloadController, QueuePair, SharedParams, SlotCost,
-    SlotObservation,
+    kkt_allocation_with_floor, ControllerTelemetry, DeviceParams, OffloadController, QueuePair,
+    SharedParams, SlotCost, SlotObservation,
 };
 use leime_simnet::SimTime;
+use leime_telemetry::{Histogram, Registry, Series, VirtualClock};
 use leime_workload::{Mmpp, SlotArrivals};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -30,6 +33,19 @@ pub struct SlottedSystem {
     controller: Box<dyn OffloadController>,
     /// Per-device bursty state machines (populated for `Bursty` workloads).
     mmpp: Vec<Mmpp>,
+    telemetry: Option<SlotTelemetry>,
+}
+
+/// Recording handles for one slotted run (see
+/// [`SlottedSystem::attach_registry`]).
+#[derive(Debug, Clone)]
+struct SlotTelemetry {
+    clock: VirtualClock,
+    tct: Arc<Histogram>,
+    tct_mean: Arc<Series>,
+    queue_q: Arc<Series>,
+    queue_h: Arc<Series>,
+    offload_x: Arc<Series>,
 }
 
 impl SlottedSystem {
@@ -69,12 +85,41 @@ impl SlottedSystem {
             queues,
             controller,
             mmpp,
+            telemetry: None,
         })
     }
 
     /// Current queue states (exposed for stability diagnostics).
     pub fn queues(&self) -> &[QueuePair] {
         &self.queues
+    }
+
+    /// Attaches a telemetry registry: subsequent runs record, under
+    /// `prefix`,
+    ///
+    /// * `{prefix}.tct_s` — histogram of per-task completion times,
+    /// * `{prefix}.tct_mean_s`, `{prefix}.queue_q`, `{prefix}.queue_h`,
+    ///   `{prefix}.offload_x` — per-slot series (fleet means), and
+    /// * `{prefix}.ctrl.*` — per-decision controller state, for policies
+    ///   that support [`OffloadController::attach_telemetry`].
+    ///
+    /// All series are stamped with simulated slot-start time.
+    pub fn attach_registry(&mut self, registry: &Registry, prefix: &str) {
+        let clock = VirtualClock::new();
+        self.controller
+            .attach_telemetry(ControllerTelemetry::attach(
+                registry,
+                &format!("{prefix}.ctrl"),
+                clock.clone(),
+            ));
+        self.telemetry = Some(SlotTelemetry {
+            clock,
+            tct: registry.histogram(&format!("{prefix}.tct_s")),
+            tct_mean: registry.series(&format!("{prefix}.tct_mean_s")),
+            queue_q: registry.series(&format!("{prefix}.queue_q")),
+            queue_h: registry.series(&format!("{prefix}.queue_h")),
+            offload_x: registry.series(&format!("{prefix}.offload_x")),
+        });
     }
 
     fn shared(&self) -> SharedParams {
@@ -130,8 +175,7 @@ impl SlottedSystem {
             } else {
                 // No edge capacity for the second block: fall back to the
                 // whole share (pessimistic but finite).
-                tail += survivors1 * dep.mu[1]
-                    / (cost.p_share * s.edge_flops).max(f64::EPSILON);
+                tail += survivors1 * dep.mu[1] / (cost.p_share * s.edge_flops).max(f64::EPSILON);
             }
         }
         if survivors2 > 0.0 {
@@ -154,12 +198,18 @@ impl SlottedSystem {
         let mut report = RunReport::new();
         let shared = self.shared();
         let n = self.scenario.devices.len();
+        let telemetry = self.telemetry.clone();
 
         for t in 0..slots {
             let slot_start = SimTime::from_secs(t as f64 * self.scenario.slot_len_s);
+            if let Some(tel) = &telemetry {
+                tel.clock.advance_to(slot_start.as_secs());
+            }
             let means: Vec<f64> = (0..n).map(|i| self.arrival_mean(i, slot_start)).collect();
             let flops: Vec<f64> = self.scenario.devices.iter().map(|d| d.flops).collect();
-            let shares = kkt_allocation_with_floor(&flops, &means, self.scenario.edge_flops, SHARE_FLOOR);
+            let shares =
+                kkt_allocation_with_floor(&flops, &means, self.scenario.edge_flops, SHARE_FLOOR);
+            let mut slot = SlotAccumulator::default();
 
             for i in 0..n {
                 let dev = DeviceParams {
@@ -190,18 +240,48 @@ impl SlottedSystem {
                         let tier = self.deployment.tier_for_draw(rng.gen_range(0.0..1.0))?;
                         report.record_tier(tier);
                     }
+                    if let Some(tel) = &telemetry {
+                        for _ in 0..arrivals {
+                            tel.tct.record(per_task);
+                        }
+                    }
+                    slot.tct_sum += total;
+                    slot.tasks += arrivals;
                 }
                 report.record_offload(x);
                 report.record_queues(obs.q, obs.h);
+                slot.q_sum += obs.q;
+                slot.h_sum += obs.h;
+                slot.x_sum += x;
 
                 // Queue recursions (Eq. 10–11).
                 let a = (1.0 - x) * arrivals as f64;
                 let d_off = x * arrivals as f64;
                 self.queues[i].step(a, d_off, cost.device_quota(), cost.edge_quota(x));
             }
+
+            if let Some(tel) = &telemetry {
+                let t = slot_start.as_secs();
+                if slot.tasks > 0 {
+                    tel.tct_mean.push(t, slot.tct_sum / slot.tasks as f64);
+                }
+                tel.queue_q.push(t, slot.q_sum / n as f64);
+                tel.queue_h.push(t, slot.h_sum / n as f64);
+                tel.offload_x.push(t, slot.x_sum / n as f64);
+            }
         }
         Ok(report)
     }
+}
+
+/// Fleet-wide sums over one slot, for the per-slot telemetry series.
+#[derive(Debug, Default)]
+struct SlotAccumulator {
+    tct_sum: f64,
+    tasks: u64,
+    q_sum: f64,
+    h_sum: f64,
+    x_sum: f64,
 }
 
 // SlottedSystem holds a Box<dyn OffloadController> which is Send + Sync by

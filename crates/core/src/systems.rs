@@ -6,9 +6,7 @@
 //! offloading; therefore the offloading ratios of benchmarks are fixed
 //! to 0" — they all run the device-only policy.
 
-use crate::{
-    ControllerKind, Deployment, ExitStrategy, Result, RunReport, Scenario,
-};
+use crate::{ControllerKind, Deployment, ExitStrategy, Result, RunReport, Scenario};
 use serde::{Deserialize, Serialize};
 
 /// A named end-to-end system: exit-setting strategy + offloading policy.
@@ -39,6 +37,60 @@ impl SystemSpec {
         scenario.controller = self.controller;
         let deployment = scenario.deploy(self.strategy)?;
         let report = scenario.run_slotted(&deployment, slots, seed)?;
+        Ok((deployment, report))
+    }
+
+    /// Like [`SystemSpec::run_slotted`], but records per-slot telemetry
+    /// into `registry`, with all metric names prefixed by this system's
+    /// lowercased display name (e.g. `leime.tct_s`, `ddnn.queue_q`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and model errors.
+    pub fn run_slotted_with_registry(
+        &self,
+        base: &Scenario,
+        slots: usize,
+        seed: u64,
+        registry: &leime_telemetry::Registry,
+    ) -> Result<(Deployment, RunReport)> {
+        let mut scenario = base.clone();
+        scenario.controller = self.controller;
+        let deployment = scenario.deploy(self.strategy)?;
+        let report = scenario.run_slotted_with_registry(
+            &deployment,
+            slots,
+            seed,
+            registry,
+            &self.name.to_lowercase(),
+        )?;
+        Ok((deployment, report))
+    }
+
+    /// Like [`SystemSpec::run_des`], but records network and controller
+    /// telemetry into `registry`, with all metric names prefixed by this
+    /// system's lowercased display name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and model errors.
+    pub fn run_des_with_registry(
+        &self,
+        base: &Scenario,
+        horizon_s: f64,
+        seed: u64,
+        registry: &leime_telemetry::Registry,
+    ) -> Result<(Deployment, RunReport)> {
+        let mut scenario = base.clone();
+        scenario.controller = self.controller;
+        let deployment = scenario.deploy(self.strategy)?;
+        let report = scenario.run_des_with_registry(
+            &deployment,
+            horizon_s,
+            seed,
+            registry,
+            &self.name.to_lowercase(),
+        )?;
         Ok((deployment, report))
     }
 

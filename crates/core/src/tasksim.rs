@@ -1,7 +1,11 @@
+use std::sync::Arc;
+
 use leime_offload::{
-    kkt_allocation_with_floor, DeviceParams, OffloadController, SharedParams, SlotObservation,
+    kkt_allocation_with_floor, ControllerTelemetry, DeviceParams, OffloadController, SharedParams,
+    SlotObservation,
 };
-use leime_simnet::{EventQueue, FifoServer, Link, SimTime};
+use leime_simnet::{EventQueue, FifoServer, Link, SimMonitor, SimTime};
+use leime_telemetry::{Histogram, Registry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -57,6 +61,11 @@ pub struct TaskSim {
     mmpp: Vec<leime_workload::Mmpp>,
     /// Current per-device arrival means (refreshed at each slot tick).
     current_means: Vec<f64>,
+    /// Network-side telemetry (transfer latencies, queue depths,
+    /// utilisation), populated by [`TaskSim::attach_registry`].
+    monitor: Option<SimMonitor>,
+    /// Per-task completion-time histogram, populated alongside `monitor`.
+    tct_hist: Option<Arc<Histogram>>,
 }
 
 impl TaskSim {
@@ -96,7 +105,35 @@ impl TaskSim {
             controller,
             mmpp,
             current_means,
+            monitor: None,
+            tct_hist: None,
         })
+    }
+
+    /// Attaches a telemetry registry: subsequent runs record, under
+    /// `prefix`,
+    ///
+    /// * `{prefix}.tct_s` — histogram of per-task completion times,
+    /// * `{prefix}.net.transfer_latency_s` — histogram of link transfer
+    ///   latencies (device→edge and edge→cloud),
+    /// * `{prefix}.net.queue_depth` / `{prefix}.net.utilisation` —
+    ///   per-slot series of the mean device backlog (in first-block task
+    ///   equivalents) and mean edge-share utilisation, and
+    /// * `{prefix}.ctrl.*` — per-decision controller state, for policies
+    ///   that support [`OffloadController::attach_telemetry`].
+    ///
+    /// Everything is stamped with simulated time via the monitor's
+    /// virtual clock.
+    pub fn attach_registry(&mut self, registry: &Registry, prefix: &str) {
+        let monitor = SimMonitor::attach(registry, &format!("{prefix}.net"));
+        self.controller
+            .attach_telemetry(ControllerTelemetry::attach(
+                registry,
+                &format!("{prefix}.ctrl"),
+                monitor.clock().clone(),
+            ));
+        self.tct_hist = Some(registry.histogram(&format!("{prefix}.tct_s")));
+        self.monitor = Some(monitor);
     }
 
     fn shared(&self) -> SharedParams {
@@ -130,9 +167,19 @@ impl TaskSim {
         let horizon = SimTime::from_secs(horizon_s);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut report = RunReport::new();
+        let monitor = self.monitor.clone();
+        let tct_hist = self.tct_hist.clone();
+        let record_tct = |tct_s: f64| {
+            if let Some(h) = &tct_hist {
+                h.record(tct_s);
+            }
+        };
 
-        let mut device_servers: Vec<FifoServer> =
-            scenario.devices.iter().map(|d| FifoServer::new(d.flops)).collect();
+        let mut device_servers: Vec<FifoServer> = scenario
+            .devices
+            .iter()
+            .map(|d| FifoServer::new(d.flops))
+            .collect();
         let mut dev_links: Vec<Link> = scenario
             .devices
             .iter()
@@ -164,9 +211,11 @@ impl TaskSim {
                 Event::SlotTick => {
                     self.refresh_means(now, &mut rng);
                     let means: Vec<f64> = self.current_means.clone();
-                    let flops: Vec<f64> =
-                        scenario.devices.iter().map(|d| d.flops).collect();
-                    shares = kkt_allocation_with_floor(&flops, &means, scenario.edge_flops, SHARE_FLOOR);
+                    let flops: Vec<f64> = scenario.devices.iter().map(|d| d.flops).collect();
+                    shares =
+                        kkt_allocation_with_floor(&flops, &means, scenario.edge_flops, SHARE_FLOOR);
+                    let mut q_sum = 0.0;
+                    let mut util_sum = 0.0;
                     for i in 0..n {
                         let rate = (shares[i] * scenario.edge_flops).max(1.0);
                         edge_shares[i].set_rate(rate);
@@ -193,6 +242,12 @@ impl TaskSim {
                         );
                         report.record_offload(x[i]);
                         report.record_queues(q, h);
+                        q_sum += q;
+                        util_sum += edge_shares[i].utilisation(now);
+                    }
+                    if let Some(mon) = &monitor {
+                        mon.sample_queue_depth(now, q_sum / n as f64);
+                        mon.sample_utilisation(now, util_sum / n as f64);
                     }
                     let next = now + SimTime::from_secs(scenario.slot_len_s);
                     if next < horizon {
@@ -212,6 +267,9 @@ impl TaskSim {
                             ..task
                         };
                         let arrive = dev_links[dev].transfer(now, dep.d[0]);
+                        if let Some(mon) = &monitor {
+                            mon.observe_transfer(now, arrive);
+                        }
                         queue.schedule_at(arrive, Event::EdgeArrive { dev, task });
                     } else {
                         let done = device_servers[dev].submit(now, dep.mu[0]);
@@ -227,8 +285,12 @@ impl TaskSim {
                     if task.tier == 0 {
                         report.record_tct(now, (now - task.born).as_secs());
                         report.record_tier(0);
+                        record_tct((now - task.born).as_secs());
                     } else {
                         let arrive = dev_links[dev].transfer(now, dep.d[1]);
+                        if let Some(mon) = &monitor {
+                            mon.observe_transfer(now, arrive);
+                        }
                         queue.schedule_at(arrive, Event::EdgeArrive { dev, task });
                     }
                 }
@@ -247,8 +309,12 @@ impl TaskSim {
                     if task.tier <= 1 {
                         report.record_tct(now, (now - task.born).as_secs());
                         report.record_tier(task.tier);
+                        record_tct((now - task.born).as_secs());
                     } else {
                         let arrive = cloud_link.transfer(now, dep.d[2]);
+                        if let Some(mon) = &monitor {
+                            mon.observe_transfer(now, arrive);
+                        }
                         queue.schedule_at(arrive, Event::CloudArrive { task });
                     }
                 }
@@ -259,6 +325,7 @@ impl TaskSim {
                 Event::CloudDone { task } => {
                     report.record_tct(now, (now - task.born).as_secs());
                     report.record_tier(2);
+                    record_tct((now - task.born).as_secs());
                 }
             }
         }

@@ -101,14 +101,11 @@ impl ExitRates {
     ///
     /// Returns [`DnnError::IndexOutOfRange`] when `index >= len`.
     pub fn rate(&self, index: usize) -> Result<f64> {
-        self.0
-            .get(index)
-            .copied()
-            .ok_or(DnnError::IndexOutOfRange {
-                what: "exit",
-                index,
-                len: self.0.len(),
-            })
+        self.0.get(index).copied().ok_or(DnnError::IndexOutOfRange {
+            what: "exit",
+            index,
+            len: self.0.len(),
+        })
     }
 
     /// The raw cumulative rates.

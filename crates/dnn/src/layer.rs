@@ -61,7 +61,14 @@ impl Layer {
 /// Counts multiply-accumulates as 2 FLOPs, the convention used by
 /// Neurosurgeon-style profilers (and by common FLOP tables for these
 /// architectures).
-pub fn conv_flops(c_in: usize, c_out: usize, kh: usize, kw: usize, h_out: usize, w_out: usize) -> f64 {
+pub fn conv_flops(
+    c_in: usize,
+    c_out: usize,
+    kh: usize,
+    kw: usize,
+    h_out: usize,
+    w_out: usize,
+) -> f64 {
     2.0 * (c_in * kh * kw) as f64 * (c_out * h_out * w_out) as f64
 }
 

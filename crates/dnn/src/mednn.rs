@@ -137,14 +137,11 @@ impl MultiExitDnn {
     ///
     /// Returns [`DnnError::IndexOutOfRange`] when `index` is not a layer.
     pub fn exit_classifier_flops(&self, index: usize) -> Result<f64> {
-        let layer = self
-            .chain
-            .layer(index)
-            .ok_or(DnnError::IndexOutOfRange {
-                what: "exit",
-                index,
-                len: self.chain.num_layers(),
-            })?;
+        let layer = self.chain.layer(index).ok_or(DnnError::IndexOutOfRange {
+            what: "exit",
+            index,
+            len: self.chain.num_layers(),
+        })?;
         Ok(exit_flops(layer, self.spec, self.chain.num_classes()))
     }
 
@@ -259,9 +256,7 @@ mod tests {
     #[test]
     fn partition_boundaries() {
         let me = MultiExitDnn::new(chain(5), ExitSpec::default());
-        let p = me
-            .partition(ExitCombo::new(0, 2, 4, 5).unwrap())
-            .unwrap();
+        let p = me.partition(ExitCombo::new(0, 2, 4, 5).unwrap()).unwrap();
         // All layers output 8*4*4 = 128 elems = 512 bytes.
         assert_eq!(p.device.boundary_bytes, 512.0);
         assert_eq!(p.edge.boundary_bytes, 512.0);

@@ -74,14 +74,7 @@ impl Builder {
     }
 
     /// Pushes a single convolution as its own chain position.
-    pub(crate) fn conv(
-        &mut self,
-        name: &str,
-        c_out: usize,
-        k: usize,
-        stride: usize,
-        pad: usize,
-    ) {
+    pub(crate) fn conv(&mut self, name: &str, c_out: usize, k: usize, stride: usize, pad: usize) {
         let h_out = spatial_out(self.h, k, stride, pad);
         let w_out = spatial_out(self.w, k, stride, pad);
         let flops = conv_flops(self.c, c_out, k, k, h_out, w_out);
@@ -225,7 +218,12 @@ mod tests {
         for m in cifar_models(10) {
             for l in m.layers() {
                 assert!(l.flops > 0.0, "{}: layer {} has no cost", m.name(), l.name);
-                assert!(l.out_elems() > 0, "{}: layer {} collapsed", m.name(), l.name);
+                assert!(
+                    l.out_elems() > 0,
+                    "{}: layer {} collapsed",
+                    m.name(),
+                    l.name
+                );
             }
         }
     }

@@ -24,13 +24,13 @@ pub fn squeezenet_1_0(input_hw: usize, num_classes: usize) -> DnnChain {
 
     // (squeeze, expand1x1, expand3x3, pool_after)
     let fires: [(usize, usize, usize, bool); 8] = [
-        (16, 64, 64, false),  // fire2
-        (16, 64, 64, false),  // fire3
-        (32, 128, 128, true), // fire4 + pool
+        (16, 64, 64, false),   // fire2
+        (16, 64, 64, false),   // fire3
+        (32, 128, 128, true),  // fire4 + pool
         (32, 128, 128, false), // fire5
         (48, 192, 192, false), // fire6
         (48, 192, 192, false), // fire7
-        (64, 256, 256, true), // fire8 + pool
+        (64, 256, 256, true),  // fire8 + pool
         (64, 256, 256, false), // fire9
     ];
     for (i, &(s, e1, e3, pool)) in fires.iter().enumerate() {

@@ -15,10 +15,7 @@ use crate::DnnChain;
 /// Panics if `input_hw < 32` (the five pooling stages would collapse the
 /// feature map).
 pub fn vgg16(input_hw: usize, num_classes: usize) -> DnnChain {
-    assert!(
-        input_hw >= 32,
-        "vgg16 requires input >= 32, got {input_hw}"
-    );
+    assert!(input_hw >= 32, "vgg16 requires input >= 32, got {input_hw}");
     let mut b = Builder::new(3, input_hw, input_hw);
     // (out_channels, pool_after)
     let cfg: [(usize, bool); 13] = [

@@ -100,7 +100,11 @@ mod tests {
     use leime_dnn::{zoo, DnnChain, ExitSpec, ModelProfile};
     use leime_workload::ExitRateModel;
 
-    fn solve_both(chain: &DnnChain, env: EnvParams, model: ExitRateModel) -> (f64, f64, SearchStats) {
+    fn solve_both(
+        chain: &DnnChain,
+        env: EnvParams,
+        model: ExitRateModel,
+    ) -> (f64, f64, SearchStats) {
         let profile = ModelProfile::from_chain(chain, ExitSpec::default()).unwrap();
         let rates = model.rates_for_chain(chain);
         let cm = CostModel::new(&profile, &rates, env).unwrap();

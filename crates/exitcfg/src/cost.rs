@@ -90,9 +90,8 @@ impl<'a> CostModel<'a> {
     /// (the transfer term of Eq. 2, which depends only on `first`).
     fn local_first_leg(&self, first: usize) -> f64 {
         let sigma1 = self.rates.as_slice()[first];
-        let transfer =
-            self.profile.layers[first].out_bytes * 8.0 / self.env.edge_bandwidth_bps
-                + self.env.edge_latency_s;
+        let transfer = self.profile.layers[first].out_bytes * 8.0 / self.env.edge_bandwidth_bps
+            + self.env.edge_latency_s;
         self.t_device(first) + (1.0 - sigma1) * transfer
     }
 
@@ -141,8 +140,7 @@ impl<'a> CostModel<'a> {
     pub fn t_edge(&self, first: usize, second: usize) -> f64 {
         let layers = self.profile.flops_range(first + 1, second + 1);
         let exit = self.profile.layers[second].exit_flops;
-        let transfer =
-            self.profile.layers[first].out_bytes * 8.0 / self.env.edge_bandwidth_bps;
+        let transfer = self.profile.layers[first].out_bytes * 8.0 / self.env.edge_bandwidth_bps;
         (layers + exit) / self.env.edge_flops + transfer + self.env.edge_latency_s
     }
 
@@ -153,8 +151,7 @@ impl<'a> CostModel<'a> {
         let m = self.num_exits();
         let layers = self.profile.flops_range(second + 1, m);
         let exit = self.profile.layers[m - 1].exit_flops;
-        let transfer =
-            self.profile.layers[second].out_bytes * 8.0 / self.env.cloud_bandwidth_bps;
+        let transfer = self.profile.layers[second].out_bytes * 8.0 / self.env.cloud_bandwidth_bps;
         (layers + exit) / self.env.cloud_flops + transfer + self.env.cloud_latency_s
     }
 
@@ -195,8 +192,7 @@ impl<'a> CostModel<'a> {
             });
         }
         let s1 = self.rates.rate(first)?;
-        let rest = self.profile.flops_range(first + 1, m)
-            + self.profile.layers[m - 1].exit_flops;
+        let rest = self.profile.flops_range(first + 1, m) + self.profile.layers[m - 1].exit_flops;
         Ok(self.first_leg(first) + (1.0 - s1) * rest / self.env.edge_flops)
     }
 }

@@ -112,8 +112,7 @@ mod tests {
 
     #[test]
     fn nano_is_8x_pi() {
-        let ratio =
-            EnvParams::jetson_nano().device_flops / EnvParams::raspberry_pi().device_flops;
+        let ratio = EnvParams::jetson_nano().device_flops / EnvParams::raspberry_pi().device_flops;
         assert!((ratio - 8.2).abs() < 1e-9);
     }
 

@@ -157,10 +157,10 @@ pub fn multi_tier_exits(
                     continue;
                 }
                 let survive = 1.0 - sigma[prev];
-                let transfer = profile.layers[prev].out_bytes * 8.0
-                    / tiers[j].uplink_bandwidth_bps
+                let transfer = profile.layers[prev].out_bytes * 8.0 / tiers[j].uplink_bandwidth_bps
                     + tiers[j].uplink_latency_s;
-                let cost = dp[j - 1][prev] + survive * (transfer + block(prev + 1, e, tiers[j].flops));
+                let cost =
+                    dp[j - 1][prev] + survive * (transfer + block(prev + 1, e, tiers[j].flops));
                 if cost < dp[j][e] {
                     dp[j][e] = cost;
                     parent[j][e] = prev;
@@ -190,9 +190,7 @@ pub fn multi_tier_exits(
 /// # Errors
 ///
 /// Same conditions as [`multi_tier_exits`].
-pub fn three_tier_exits(
-    cost: &CostModel<'_>,
-) -> Result<(Vec<usize>, f64), DnnError> {
+pub fn three_tier_exits(cost: &CostModel<'_>) -> Result<(Vec<usize>, f64), DnnError> {
     multi_tier_exits(cost.profile(), cost.rates(), &tiers_from_env(cost.env()))
 }
 

@@ -131,8 +131,8 @@ impl CalibrationResult {
         let mut count = 0usize;
         for first in 0..m - 2 {
             for second in first + 1..m - 1 {
-                let combo = ExitCombo::new(first, second, m - 1, m)
-                    .expect("enumerated combos are valid");
+                let combo =
+                    ExitCombo::new(first, second, m - 1, m).expect("enumerated combos are valid");
                 total += self.combo_accuracy_loss(combo);
                 count += 1;
             }
@@ -236,8 +236,8 @@ pub fn calibrate(
         correct.push(correct_i);
     }
 
-    let final_accuracy = correct[m - 1].iter().filter(|&&x| x).count() as f64
-        / correct[m - 1].len() as f64;
+    let final_accuracy =
+        correct[m - 1].iter().filter(|&&x| x).count() as f64 / correct[m - 1].len() as f64;
     let target = config.accuracy_target_ratio * final_accuracy;
 
     // Threshold search per exit: sort val confidences descending; take the
@@ -314,11 +314,8 @@ mod tests {
 
     fn run(seed: u64) -> CalibrationResult {
         let chain = zoo::squeezenet_1_0(64, 10);
-        let cascade = FeatureCascade::new(
-            10,
-            CascadeParams::for_architecture("squeezenet_1_0"),
-            seed,
-        );
+        let cascade =
+            FeatureCascade::new(10, CascadeParams::for_architecture("squeezenet_1_0"), seed);
         let ds = SyntheticDataset::cifar_like();
         let mut rng = StdRng::seed_from_u64(seed);
         calibrate(&chain, &cascade, &ds, small_config(), &mut rng)
@@ -368,7 +365,10 @@ mod tests {
         // exit mass before the final exit.
         let m = r.exit_rates().len();
         let penultimate = r.exit_rates().rate(m - 2).unwrap();
-        assert!(penultimate > 0.2, "almost nothing exits early: {penultimate}");
+        assert!(
+            penultimate > 0.2,
+            "almost nothing exits early: {penultimate}"
+        );
     }
 
     #[test]

@@ -145,7 +145,11 @@ impl EarlyExitPipeline {
         sample: Sample,
         rng: &mut StdRng,
     ) -> (ExitDecision, usize, f64, bool) {
-        let tiers = [ExitDecision::Device, ExitDecision::Edge, ExitDecision::Cloud];
+        let tiers = [
+            ExitDecision::Device,
+            ExitDecision::Edge,
+            ExitDecision::Cloud,
+        ];
         for (i, &tier) in tiers.iter().enumerate() {
             let features = cascade.features(sample, self.depths[i], rng);
             let (pred, conf) = self.classifiers[i]

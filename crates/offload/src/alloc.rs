@@ -46,8 +46,7 @@ pub fn kkt_allocation(device_flops: &[f64], arrival_means: &[f64], edge_flops: f
         let sum_sqrt_k: f64 = active.iter().map(|&i| arrival_means[i].sqrt()).sum();
         let mut any_negative = false;
         for &i in &active {
-            let p = arrival_means[i].sqrt() * (sum_fd + edge_flops)
-                / (edge_flops * sum_sqrt_k)
+            let p = arrival_means[i].sqrt() * (sum_fd + edge_flops) / (edge_flops * sum_sqrt_k)
                 - device_flops[i] / edge_flops;
             shares[i] = p;
             if p < 0.0 {

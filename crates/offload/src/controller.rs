@@ -1,6 +1,7 @@
 //! Per-slot offloading policies.
 
 use crate::solver::{balance_solve, feasible_interval, golden_section_solve};
+use crate::telemetry::ControllerTelemetry;
 use crate::{DeviceParams, SharedParams, SlotCost};
 use serde::{Deserialize, Serialize};
 
@@ -19,13 +20,21 @@ pub struct SlotObservation {
 /// offloading ratio `x_i(t) ∈ [0, 1]`.
 ///
 /// Implementations must stay within the bandwidth-feasible interval
-/// (constraint 8); the provided ones all do.
+/// (constraint 8); the provided ones all do. Policies may optionally
+/// accept [`ControllerTelemetry`] to expose their per-slot state.
 pub trait OffloadController: Send + Sync + std::fmt::Debug {
     /// Decides the offloading ratio for one device-slot.
     fn decide(&self, shared: SharedParams, device: DeviceParams, obs: SlotObservation) -> f64;
 
     /// Short policy name for experiment tables.
     fn name(&self) -> &'static str;
+
+    /// Gives the controller recording handles for its per-slot state.
+    /// The default ignores them — only policies with interesting internal
+    /// state (queues, objectives) record anything.
+    fn attach_telemetry(&mut self, telemetry: ControllerTelemetry) {
+        let _ = telemetry;
+    }
 }
 
 /// LEIME's online controller: minimises the drift-plus-penalty objective.
@@ -33,21 +42,42 @@ pub trait OffloadController: Send + Sync + std::fmt::Debug {
 /// convex per-device objective; with `V = ∞` it uses the paper's
 /// decentralized balance condition `T_d = T_e` (§III-D4) — both restricted
 /// to the bandwidth-feasible interval.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct LyapunovController;
+///
+/// When telemetry is attached, every decision records the observed
+/// queues `Q_i`/`H_i`, the chosen ratio `x_i(t)` and the
+/// drift-plus-penalty objective at the optimum.
+#[derive(Debug, Clone, Default)]
+pub struct LyapunovController {
+    telemetry: Option<ControllerTelemetry>,
+}
+
+impl LyapunovController {
+    /// A controller without telemetry (attach some later if wanted).
+    pub fn new() -> Self {
+        LyapunovController::default()
+    }
+}
 
 impl OffloadController for LyapunovController {
     fn decide(&self, shared: SharedParams, device: DeviceParams, obs: SlotObservation) -> f64 {
         let cost = SlotCost::new(shared, device, obs.q, obs.h, obs.p_share);
-        if shared.v.is_infinite() {
+        let x = if shared.v.is_infinite() {
             balance_solve(&cost)
         } else {
             golden_section_solve(&cost)
+        };
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.record_decision(&obs, x, cost.drift_plus_penalty(x));
         }
+        x
     }
 
     fn name(&self) -> &'static str {
         "leime"
+    }
+
+    fn attach_telemetry(&mut self, telemetry: ControllerTelemetry) {
+        self.telemetry = Some(telemetry);
     }
 }
 
@@ -167,7 +197,7 @@ mod tests {
     fn all_controllers_stay_in_unit_interval() {
         let dev = DeviceParams::raspberry_pi(10.0);
         let controllers: Vec<Box<dyn OffloadController>> = vec![
-            Box::new(LyapunovController),
+            Box::new(LyapunovController::new()),
             Box::new(DeviceOnly),
             Box::new(EdgeOnly),
             Box::new(CapabilityBased),
@@ -203,7 +233,7 @@ mod tests {
     fn lyapunov_with_infinite_v_balances() {
         let s = shared(f64::INFINITY);
         let dev = DeviceParams::raspberry_pi(10.0);
-        let x = LyapunovController.decide(s, dev, obs());
+        let x = LyapunovController::new().decide(s, dev, obs());
         let cost = SlotCost::new(s, dev, 0.0, 0.0, 0.25);
         if x > 0.001 && x < 0.999 {
             let (td, te) = (cost.t_device(x), cost.t_edge(x));
@@ -215,11 +245,14 @@ mod tests {
     fn lyapunov_adapts_to_edge_backlog() {
         let s = shared(1e3);
         let dev = DeviceParams::raspberry_pi(10.0);
-        let idle = LyapunovController.decide(s, dev, obs());
+        let idle = LyapunovController::new().decide(s, dev, obs());
         let mut loaded = obs();
         loaded.h = 100.0;
-        let backed = LyapunovController.decide(s, dev, loaded);
-        assert!(backed <= idle, "backlog should reduce offloading: {backed} vs {idle}");
+        let backed = LyapunovController::new().decide(s, dev, loaded);
+        assert!(
+            backed <= idle,
+            "backlog should reduce offloading: {backed} vs {idle}"
+        );
     }
 
     #[test]

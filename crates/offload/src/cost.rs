@@ -85,9 +85,7 @@ impl SlotCost {
         let c1 = a * self.q * per_task;
         // A(A−1)/2 intra-batch queueing; clamped at 0 for fluid A < 1.
         let c2 = a * per_task + (a * (a - 1.0) / 2.0).max(0.0) * per_task;
-        let c3 = (1.0 - s.sigma1)
-            * a
-            * (s.d1_bytes * 8.0 / d.bandwidth_bps + d.latency_s);
+        let c3 = (1.0 - s.sigma1) * a * (s.d1_bytes * 8.0 / d.bandwidth_bps + d.latency_s);
         c1 + c2 + c3
     }
 

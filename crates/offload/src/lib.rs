@@ -25,7 +25,10 @@
 //!   bandwidth-feasibility interval of constraint (8),
 //! * [`controller`] — pluggable per-slot policies: LEIME's Lyapunov
 //!   controller plus the paper's baselines (device-only, edge-only,
-//!   capability-based, fixed ratio).
+//!   capability-based, fixed ratio),
+//! * [`telemetry`] — optional per-slot recording of the controller state
+//!   (`Q_i`, `H_i`, `x_i(t)`, drift-plus-penalty) into a
+//!   `leime-telemetry` registry.
 
 mod alloc;
 
@@ -36,6 +39,7 @@ mod queues;
 
 pub mod controller;
 pub mod solver;
+pub mod telemetry;
 
 pub use alloc::{kkt_allocation, kkt_allocation_with_floor};
 pub use controller::{
@@ -45,3 +49,4 @@ pub use controller::{
 pub use cost::SlotCost;
 pub use params::{DeviceParams, SharedParams};
 pub use queues::QueuePair;
+pub use telemetry::ControllerTelemetry;

@@ -41,7 +41,10 @@ impl SharedParams {
         slot_len_s: f64,
         v: f64,
     ) -> Self {
-        assert!((0.0..=1.0).contains(&sigma1), "sigma1 {sigma1} outside [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&sigma1),
+            "sigma1 {sigma1} outside [0,1]"
+        );
         assert!(edge_flops > 0.0, "edge FLOPS must be positive");
         assert!(slot_len_s > 0.0, "slot length must be positive");
         assert!(v > 0.0, "V must be positive");
@@ -66,13 +69,19 @@ impl SharedParams {
     #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), String> {
         if !(self.slot_len_s > 0.0) {
-            return Err(format!("slot_len_s must be positive, got {}", self.slot_len_s));
+            return Err(format!(
+                "slot_len_s must be positive, got {}",
+                self.slot_len_s
+            ));
         }
         if !(self.v > 0.0) {
             return Err(format!("v must be positive, got {}", self.v));
         }
         if !(self.mu1 > 0.0 && self.mu2 >= 0.0) {
-            return Err(format!("block FLOPs invalid: mu1 {} mu2 {}", self.mu1, self.mu2));
+            return Err(format!(
+                "block FLOPs invalid: mu1 {} mu2 {}",
+                self.mu1, self.mu2
+            ));
         }
         if !(0.0..=1.0).contains(&self.sigma1) {
             return Err(format!("sigma1 {} outside [0, 1]", self.sigma1));

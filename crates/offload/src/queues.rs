@@ -42,7 +42,13 @@ impl QueuePair {
     /// # Panics
     ///
     /// Panics if any argument is negative or non-finite.
-    pub fn step(&mut self, arrivals_local: f64, arrivals_edge: f64, served_local: f64, served_edge: f64) {
+    pub fn step(
+        &mut self,
+        arrivals_local: f64,
+        arrivals_edge: f64,
+        served_local: f64,
+        served_edge: f64,
+    ) {
         for (name, v) in [
             ("arrivals_local", arrivals_local),
             ("arrivals_edge", arrivals_edge),

@@ -25,7 +25,11 @@ pub fn feasible_interval(cost: &SlotCost) -> (f64, f64) {
     let base = 8.0 * k * (1.0 - s.sigma1) * s.d1_bytes;
     let slope = 8.0 * k * (s.d0_bytes - (1.0 - s.sigma1) * s.d1_bytes);
     if slope.abs() < f64::EPSILON {
-        return if base <= cap_bits { (0.0, 1.0) } else { (0.0, 0.0) };
+        return if base <= cap_bits {
+            (0.0, 1.0)
+        } else {
+            (0.0, 0.0)
+        };
     }
     let x_star = (cap_bits - base) / slope;
     if slope > 0.0 {

@@ -1,0 +1,96 @@
+//! Controller-side telemetry: per-slot recording of the Lyapunov state.
+//!
+//! A [`ControllerTelemetry`] bundles the series a controller records
+//! into — device queue `Q_i(t)`, edge queue `H_i(t)`, the chosen ratio
+//! `x_i(t)` and the drift-plus-penalty objective value (Eq. 19) — plus
+//! a shared [`VirtualClock`] so the points are stamped with simulated
+//! time. The driving simulator advances the clock once per slot;
+//! controllers for several devices may share one telemetry handle, in
+//! which case each series holds one point per device per slot.
+
+use std::sync::Arc;
+
+use leime_telemetry::{Registry, Series, VirtualClock};
+
+use crate::SlotObservation;
+
+/// Recording handles for one controller (or one system's controllers).
+#[derive(Debug, Clone)]
+pub struct ControllerTelemetry {
+    clock: VirtualClock,
+    queue_q: Arc<Series>,
+    queue_h: Arc<Series>,
+    offload_x: Arc<Series>,
+    drift_plus_penalty: Arc<Series>,
+}
+
+impl ControllerTelemetry {
+    /// Creates handles recording into `registry` as
+    /// `{prefix}.queue_q`, `{prefix}.queue_h`, `{prefix}.offload_x` and
+    /// `{prefix}.drift_plus_penalty`. Points are stamped with `clock`
+    /// time — pass a clone of the simulator's clock so controller series
+    /// line up with the rest of the run's telemetry.
+    pub fn attach(registry: &Registry, prefix: &str, clock: VirtualClock) -> Self {
+        ControllerTelemetry {
+            clock,
+            queue_q: registry.series(&format!("{prefix}.queue_q")),
+            queue_h: registry.series(&format!("{prefix}.queue_h")),
+            offload_x: registry.series(&format!("{prefix}.offload_x")),
+            drift_plus_penalty: registry.series(&format!("{prefix}.drift_plus_penalty")),
+        }
+    }
+
+    /// The clock used to stamp recorded points.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Records one device-slot decision: the observed queues, the chosen
+    /// ratio and the objective value at the optimum.
+    pub fn record_decision(&self, obs: &SlotObservation, x: f64, drift_plus_penalty: f64) {
+        use leime_telemetry::Clock;
+        let t = self.clock.now();
+        self.queue_q.push(t, obs.q);
+        self.queue_h.push(t, obs.h);
+        self.offload_x.push(t, x);
+        self.drift_plus_penalty.push(t, drift_plus_penalty);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_one_point_per_series() {
+        let registry = Registry::new();
+        let clock = VirtualClock::new();
+        let telemetry = ControllerTelemetry::attach(&registry, "sys.ctrl", clock.clone());
+        clock.advance_to(2.0);
+        let obs = SlotObservation {
+            q: 3.0,
+            h: 1.5,
+            p_share: 0.25,
+        };
+        telemetry.record_decision(&obs, 0.4, 12.5);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.series_named("sys.ctrl.queue_q").unwrap().points,
+            vec![(2.0, 3.0)]
+        );
+        assert_eq!(
+            snap.series_named("sys.ctrl.queue_h").unwrap().points,
+            vec![(2.0, 1.5)]
+        );
+        assert_eq!(
+            snap.series_named("sys.ctrl.offload_x").unwrap().points,
+            vec![(2.0, 0.4)]
+        );
+        assert_eq!(
+            snap.series_named("sys.ctrl.drift_plus_penalty")
+                .unwrap()
+                .points,
+            vec![(2.0, 12.5)]
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Offline shim for the slice of `bytes` this workspace uses: an
+//! immutable, cheaply-cloneable byte buffer (`Bytes::from(Vec<u8>)`,
+//! `len`, `Clone`). Backed by `Arc<[u8]>`; see `crates/shims/README.md`.
+
+use std::sync::Arc;
+
+/// A cheaply-cloneable immutable contiguous byte buffer.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl core::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl core::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter().take(16) {
+            write!(f, "\\x{b:02x}")?;
+        }
+        if self.data.len() > 16 {
+            write!(f, "...")?;
+        }
+        write!(f, "\" ({} bytes)", self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Bytes;
+
+    #[test]
+    fn from_vec_len_and_clone_share() {
+        let b = Bytes::from(vec![0u8; 1024]);
+        let c = b.clone();
+        assert_eq!(b.len(), 1024);
+        assert_eq!(c.len(), 1024);
+        assert_eq!(b, c);
+        assert_eq!(&b[..4], &[0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Offline shim for the slice of `parking_lot` this workspace uses: a
+//! `Mutex` whose `lock()` returns the guard directly (no poisoning
+//! `Result`). Backed by `std::sync::Mutex`; see `crates/shims/README.md`.
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// A mutual-exclusion lock with `parking_lot`'s panic-free locking API.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`]; releases the lock on drop.
+pub struct MutexGuard<'a, T> {
+    guard: StdMutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wraps `value` in a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Blocks until the lock is acquired. Poisoning from a panicking
+    /// holder is ignored, matching `parking_lot` semantics.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            guard: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T> core::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> core::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(1u32);
+        *m.lock() += 41;
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn contended_increments() {
+        let m = std::sync::Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 4000);
+    }
+}

@@ -1,0 +1,283 @@
+//! Offline shim for the subset of `proptest` this workspace uses: the
+//! [`proptest!`] macro, range/tuple/`collection::vec` strategies,
+//! `prop_map`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Unlike upstream there is no shrinking and no failure persistence
+//! (`.proptest-regressions` files are ignored); each test draws
+//! `ProptestConfig::cases` inputs from a generator seeded
+//! deterministically from the test's module path and name, so failures
+//! reproduce exactly across runs. See `crates/shims/README.md`.
+
+/// Strategy combinators and implementations.
+pub mod strategy {
+    use rand::Rng;
+
+    /// The generator handed to strategies (re-exported for signatures).
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// A source of random values of an associated type.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { base: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for core::ops::Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for core::ops::RangeInclusive<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+}
+
+/// `prop::collection` — strategies for collections.
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Admissible size arguments for [`vec`]: a fixed length or a range.
+    pub trait SizeRange {
+        /// Picks a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element`-generated values.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration and seeding.
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    /// Per-test configuration (only `cases` is honored by the shim).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic generator for a test, seeded by FNV-1a of its full
+    /// path so every test gets a distinct but reproducible stream.
+    pub fn rng_for(test_path: &str) -> crate::strategy::TestRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        crate::strategy::TestRng::seed_from_u64(hash)
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(..)` works from the prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The glob-import surface used by test files.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines property tests: each `fn name(pattern in strategy, ...)` body
+/// runs for `cases` random draws.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr)) => {};
+    (@run ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $p = $crate::strategy::Strategy::generate(&($s), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure, like
+/// `assert!` — the shim has no shrinking to report).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even(limit: u64) -> impl Strategy<Value = u64> {
+        (0..limit).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 1.5f64..9.5, n in 3usize..17, k in 10u64..=12) {
+            prop_assert!((1.5..9.5).contains(&x));
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((10..=12).contains(&k));
+        }
+
+        #[test]
+        fn vec_sizes_and_tuples(
+            xs in prop::collection::vec((0.0f64..1.0, 1usize..4), 2..9),
+            fixed in prop::collection::vec(0.0f64..1.0, 5),
+        ) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 9);
+            prop_assert_eq!(fixed.len(), 5);
+            for &(f, u) in &xs {
+                prop_assert!((0.0..1.0).contains(&f));
+                prop_assert!((1..4).contains(&u));
+            }
+        }
+
+        #[test]
+        fn prop_map_applies(mut y in arb_even(100)) {
+            y += 2;
+            prop_assert_eq!(y % 2, 0);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::rng_for("mod::test");
+        let mut b = crate::test_runner::rng_for("mod::test");
+        let mut c = crate::test_runner::rng_for("mod::other");
+        let s = 0.0f64..1.0;
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        let _ = s.generate(&mut c);
+    }
+}

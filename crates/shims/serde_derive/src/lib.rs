@@ -1,0 +1,485 @@
+//! Offline shim of `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! without syn/quote (neither is available offline), using a hand-rolled
+//! parser over `proc_macro::TokenTree`.
+//!
+//! Supported input shapes — everything this workspace derives:
+//!
+//! * structs with named fields (`#[serde(default)]` honoured per field),
+//! * tuple structs (newtype structs serialize transparently, wider ones
+//!   as arrays),
+//! * enums with unit variants (as `"Name"`), newtype variants
+//!   (`{"Name": inner}`) and struct variants (`{"Name": {..}}`) — the
+//!   upstream externally-tagged representation.
+//!
+//! Generics, lifetimes and the remaining serde attributes are rejected
+//! with a `compile_error!` rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Scans one attribute (`#` was already consumed; `group` is the
+/// bracketed body) and reports whether it is `#[serde(default)]`.
+fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes from `toks[*i]`, returning whether any was
+/// `#[serde(default)]`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+                    if attr_is_serde_default(g) {
+                        default = true;
+                    }
+                    *i += 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    default
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(&toks[*i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Counts top-level fields in a tuple-struct/variant parenthesis group:
+/// comma-separated, ignoring commas nested in `<...>` generics (inner
+/// bracket/paren groups are single `TokenTree`s already).
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut angle = 0i32;
+    let mut saw_trailing_comma = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                fields += 1;
+                saw_trailing_comma = true;
+            }
+            _ => saw_trailing_comma = false,
+        }
+    }
+    if saw_trailing_comma {
+        fields -= 1;
+    }
+    fields
+}
+
+/// Parses the named fields inside a brace group.
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let default = skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_vis(&toks, &mut i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found `{other}`")),
+        }
+        // Skip the type: consume until a top-level comma.
+        let mut angle = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g)?;
+                i += 1;
+                Fields::Named(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g);
+                i += 1;
+                Fields::Tuple(n)
+            }
+            _ => Fields::Unit,
+        };
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(other) => return Err(format!("expected `,` after variant `{name}`, found `{other}`")),
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other}`")),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected item name, found `{other}`")),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde shim derive does not support generic type `{name}`"));
+    }
+    match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g)?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::Struct {
+                    name,
+                    fields: Fields::Tuple(count_tuple_fields(g)),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::Struct {
+                name,
+                fields: Fields::Unit,
+            }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g)?,
+            }),
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ---- Code generation (string-built, parsed back into a TokenStream).
+
+fn gen_named_ser(target: &mut String, fields: &[Field], access_prefix: &str) {
+    target.push_str("let mut __m = ::serde::Map::new();\n");
+    for f in fields {
+        target.push_str(&format!(
+            "__m.insert({n:?}.to_string(), ::serde::Serialize::to_value(&{p}{n}));\n",
+            n = f.name,
+            p = access_prefix
+        ));
+    }
+    target.push_str("::serde::Value::Object(__m)\n");
+}
+
+fn gen_named_de(fields: &[Field], obj: &str, ctx: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.default {
+            out.push_str(&format!(
+                "{n}: match {obj}.get({n:?}) {{ \
+                   ::core::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+                   ::core::option::Option::None => ::core::default::Default::default(), \
+                 }},\n",
+                n = f.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "{n}: match {obj}.get({n:?}) {{ \
+                   ::core::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+                   ::core::option::Option::None => return ::core::result::Result::Err(\
+                     ::serde::DeError::custom(concat!(\"missing field `\", {n:?}, \"` in {ctx}\"))), \
+                 }},\n",
+                n = f.name,
+                ctx = ctx
+            ));
+        }
+    }
+    out
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let mut body = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            match fields {
+                Fields::Named(fs) => gen_named_ser(&mut body, fs, "self."),
+                Fields::Tuple(1) => body.push_str("::serde::Serialize::to_value(&self.0)\n"),
+                Fields::Tuple(n) => {
+                    body.push_str("let mut __a = ::std::vec::Vec::new();\n");
+                    for i in 0..*n {
+                        body.push_str(&format!(
+                            "__a.push(::serde::Serialize::to_value(&self.{i}));\n"
+                        ));
+                    }
+                    body.push_str("::serde::Value::Array(__a)\n");
+                }
+                Fields::Unit => body.push_str("::serde::Value::Null\n"),
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n{body}}}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => body.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => body.push_str(&format!(
+                        "{name}::{vn}(__f0) => {{ \
+                           let mut __m = ::serde::Map::new(); \
+                           __m.insert({vn:?}.to_string(), ::serde::Serialize::to_value(__f0)); \
+                           ::serde::Value::Object(__m) }},\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let pushes: String = binders
+                            .iter()
+                            .map(|b| format!("__a.push(::serde::Serialize::to_value({b}));"))
+                            .collect();
+                        body.push_str(&format!(
+                            "{name}::{vn}({bl}) => {{ \
+                               let mut __a = ::std::vec::Vec::new(); {pushes} \
+                               let mut __m = ::serde::Map::new(); \
+                               __m.insert({vn:?}.to_string(), ::serde::Value::Array(__a)); \
+                               ::serde::Value::Object(__m) }},\n",
+                            bl = binders.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let names: Vec<&str> = fs.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::new();
+                        gen_named_ser(&mut inner, fs, "");
+                        body.push_str(&format!(
+                            "{name}::{vn} {{ {fl} }} => {{ \
+                               let __inner = {{ {inner} }}; \
+                               let mut __outer = ::serde::Map::new(); \
+                               __outer.insert({vn:?}.to_string(), __inner); \
+                               ::serde::Value::Object(__outer) }},\n",
+                            fl = names.join(", ")
+                        ));
+                    }
+                }
+            }
+            body.push_str("}\n");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n{body}}}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Named(fs) => format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::DeError::custom(\
+                   format!(\"expected object for {name}, found {{}}\", __v.kind())))?;\n\
+                 ::core::result::Result::Ok({name} {{\n{fields}}})\n",
+                fields = gen_named_de(fs, "__obj", name)
+            ),
+            Fields::Tuple(1) => format!(
+                "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))\n"
+            ),
+            Fields::Tuple(n) => {
+                let mut elems = String::new();
+                for i in 0..*n {
+                    elems.push_str(&format!("::serde::Deserialize::from_value(&__items[{i}])?,"));
+                }
+                format!(
+                    "let __items = match __v {{ \
+                       ::serde::Value::Array(__a) if __a.len() == {n} => __a, \
+                       _ => return ::core::result::Result::Err(::serde::DeError::custom(\
+                         \"expected array of length {n} for {name}\")), }};\n\
+                     ::core::result::Result::Ok({name}({elems}))\n"
+                )
+            }
+            Fields::Unit => format!("::core::result::Result::Ok({name})\n"),
+        },
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vn:?} => ::core::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                        // Also accept the {"Variant": null} object form.
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => ::core::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "{vn:?} => ::core::result::Result::Ok(\
+                           {name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let mut elems = String::new();
+                        for i in 0..*n {
+                            elems.push_str(&format!(
+                                "::serde::Deserialize::from_value(&__items[{i}])?,"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => {{ \
+                               let __items = match __inner {{ \
+                                 ::serde::Value::Array(__a) if __a.len() == {n} => __a, \
+                                 _ => return ::core::result::Result::Err(::serde::DeError::custom(\
+                                   \"expected array of length {n} for variant {vn}\")), }}; \
+                               ::core::result::Result::Ok({name}::{vn}({elems})) }},\n"
+                        ));
+                    }
+                    Fields::Named(fs) => tagged_arms.push_str(&format!(
+                        "{vn:?} => {{ \
+                           let __obj = __inner.as_object().ok_or_else(|| ::serde::DeError::custom(\
+                             \"expected object body for variant {vn}\"))?; \
+                           ::core::result::Result::Ok({name}::{vn} {{\n{fields}}}) }},\n",
+                        fields = gen_named_de(fs, "__obj", name)
+                    )),
+                }
+            }
+            format!(
+                "match __v {{\n\
+                   ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                     __other => ::core::result::Result::Err(::serde::DeError::custom(\
+                       format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                   }},\n\
+                   ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                     let (__tag, __inner) = __m.iter().next().unwrap();\n\
+                     match __tag.as_str() {{\n{tagged_arms}\
+                       __other => ::core::result::Result::Err(::serde::DeError::custom(\
+                         format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                     }}\n\
+                   }},\n\
+                   __other => ::core::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"expected variant of {name}, found {{}}\", __other.kind()))),\n\
+                 }}\n"
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(__v: &::serde::Value) \
+             -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}}}\n\
+         }}\n"
+    )
+}
+
+/// Derives the shim's `serde::Serialize` (value-tree based).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate_serialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde shim codegen error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives the shim's `serde::Deserialize` (value-tree based).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate_deserialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde shim codegen error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}

@@ -1,0 +1,407 @@
+//! Offline shim for the subset of `serde_json` this workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`from_str`], [`to_value`], the
+//! [`Value`]/[`Map`] tree (re-exported from the shimmed `serde`) and a
+//! reduced [`json!`] macro.
+//!
+//! See `crates/shims/README.md` for why these shims exist. JSON emitted
+//! here matches upstream conventions: compact form has no whitespace,
+//! pretty form indents by two spaces, non-finite floats serialize as
+//! `null`, floats print via Rust's shortest round-trip formatting.
+
+pub use serde::{Map, Number, Value};
+
+/// Serialization/deserialization error (a message, like `serde_json::Error`
+/// for the workspace's `format!("{e}")` purposes).
+pub type Error = serde::DeError;
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes to compact JSON text.
+///
+/// # Errors
+///
+/// Infallible for the shim's value tree; the `Result` mirrors upstream.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes to pretty JSON text (two-space indent).
+///
+/// # Errors
+///
+/// Infallible for the shim's value tree; the `Result` mirrors upstream.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some("  "), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    T::from_value(&value)
+}
+
+// ---- Writer lives in the serde shim (`serde::write_json`) so `Value`
+// can implement `Display` there without violating the orphan rule.
+
+use serde::write_json as write_value;
+
+// ---- Parser (recursive descent over bytes).
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error::custom(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek().ok_or_else(|| self.err("unexpected end of input"))? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string().map(Value::String),
+            b't' => {
+                if self.eat_literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            b'f' => {
+                if self.eat_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            b'n' => {
+                if self.eat_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(self.err(&format!("unexpected character `{}`", other as char))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected object key"));
+            }
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| self.err("unterminated string"))?;
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pair handling for completeness.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if !self.eat_literal("\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                let combined =
+                                    0x10000 + ((cp - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                char::from_u32(combined).ok_or_else(|| self.err("bad surrogate"))?
+                            } else {
+                                char::from_u32(cp).ok_or_else(|| self.err("bad codepoint"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 character (input came from &str, so
+                    // boundaries are valid).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(core::str::from_utf8(&self.bytes[start..end]).unwrap());
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = core::str::from_utf8(slice).map_err(|_| self.err("bad \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = core::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if text.starts_with('-') {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Value::Number(Number::NegInt(i)));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(u)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::Float(f)))
+            .map_err(|_| self.err(&format!("invalid number `{text}`")))
+    }
+}
+
+/// Builds a [`Value`] in place — a reduced version of `serde_json::json!`
+/// covering literals/expressions, arrays and objects with literal keys.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        let mut __items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_internal!(@array __items $($tt)*);
+        $crate::Value::Array(__items)
+    }};
+    ({ $($tt:tt)* }) => {{
+        let mut __map = $crate::Map::new();
+        $crate::json_internal!(@object __map $($tt)*);
+        $crate::Value::Object(__map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Implementation detail of [`json!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    (@object $m:ident) => {};
+    (@object $m:ident $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $m.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $( $crate::json_internal!(@object $m $($rest)*); )?
+    };
+    (@object $m:ident $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $m.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $( $crate::json_internal!(@object $m $($rest)*); )?
+    };
+    (@object $m:ident $key:literal : $value:expr $(, $($rest:tt)*)?) => {
+        $m.insert($key.to_string(), $crate::json!($value));
+        $( $crate::json_internal!(@object $m $($rest)*); )?
+    };
+    (@array $a:ident) => {};
+    (@array $a:ident { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $a.push($crate::json!({ $($inner)* }));
+        $( $crate::json_internal!(@array $a $($rest)*); )?
+    };
+    (@array $a:ident [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $a.push($crate::json!([ $($inner)* ]));
+        $( $crate::json_internal!(@array $a $($rest)*); )?
+    };
+    (@array $a:ident $value:expr $(, $($rest:tt)*)?) => {
+        $a.push($crate::json!($value));
+        $( $crate::json_internal!(@array $a $($rest)*); )?
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_nesting() {
+        let v = json!({
+            "a": 1u64,
+            "b": -2i64,
+            "pi": 3.5f64,
+            "s": "x\"y\\z\n",
+            "flag": true,
+            "nothing": null,
+            "arr": [1u64, 2u64],
+            "nested": { "k": 0.125f64 }
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, back2);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for &x in &[0.1f64, 1.0, 1e300, 5e12, 1.2345678901234567e-8, -0.0] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(x.to_bits(), back.to_bits(), "{x} -> {text} -> {back}");
+        }
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        let v: Option<f64> = from_str("null").unwrap();
+        assert_eq!(v, None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("{\"a\" 1}").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn object_mutation_api() {
+        let mut v = json!({"keep": 1u64, "drop": 2u64});
+        v.as_object_mut().unwrap().remove("drop");
+        assert_eq!(v.to_string(), "{\"keep\":1}");
+        assert!(v.get("drop").is_none());
+        assert_eq!(v["keep"].as_u64(), Some(1));
+    }
+}

@@ -108,10 +108,11 @@ impl Link {
     ///
     /// Panics if `bytes` is negative or non-finite.
     pub fn transfer(&mut self, now: SimTime, bytes: f64) -> SimTime {
-        assert!(bytes.is_finite() && bytes >= 0.0, "bad transfer size {bytes}");
-        let tx = SimTime::from_secs(
-            bytes * 8.0 / self.bandwidth_bps / (1.0 - self.loss_rate),
+        assert!(
+            bytes.is_finite() && bytes >= 0.0,
+            "bad transfer size {bytes}"
         );
+        let tx = SimTime::from_secs(bytes * 8.0 / self.bandwidth_bps / (1.0 - self.loss_rate));
         let start = if self.serializing {
             self.busy_until.max(now)
         } else {
@@ -128,8 +129,7 @@ impl Link {
     /// Pure one-way time for `bytes` on an idle link (no contention),
     /// including retransmission inflation.
     pub fn ideal_time(&self, bytes: f64) -> SimTime {
-        SimTime::from_secs(bytes * 8.0 / self.bandwidth_bps / (1.0 - self.loss_rate))
-            + self.latency
+        SimTime::from_secs(bytes * 8.0 / self.bandwidth_bps / (1.0 - self.loss_rate)) + self.latency
     }
 
     /// Total payload bytes moved so far.

@@ -67,10 +67,17 @@ impl Welford {
     }
 }
 
-/// Collects samples and answers quantile queries (exact, sort-on-demand).
+/// Collects samples and answers quantile queries.
+///
+/// Backed by `leime-telemetry`'s log-bucketed [`Buckets`] histogram
+/// (constant memory instead of retaining every sample): the mean,
+/// `quantile(0.0)` and `quantile(1.0)` are exact, intermediate quantiles
+/// carry a relative error of at most one log bucket (`2^(1/32) ≈ 2.2%`).
+///
+/// [`Buckets`]: leime_telemetry::Buckets
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Percentiles {
-    samples: Vec<f64>,
+    hist: leime_telemetry::Buckets,
 }
 
 impl Percentiles {
@@ -79,39 +86,30 @@ impl Percentiles {
         Percentiles::default()
     }
 
-    /// Adds one sample.
+    /// Adds one sample. Non-finite values are ignored.
     pub fn push(&mut self, x: f64) {
-        self.samples.push(x);
+        self.hist.record(x);
     }
 
     /// Number of samples.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.hist.count() as usize
     }
 
     /// Whether no samples were collected.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.hist.is_empty()
     }
 
-    /// The `q`-quantile (`q ∈ [0, 1]`) by nearest-rank with linear
-    /// interpolation, or `None` when empty.
+    /// The `q`-quantile (`q ∈ [0, 1]`) by nearest rank on the histogram,
+    /// or `None` when empty. Exact at the extremes, within one log
+    /// bucket elsewhere.
     ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
-        if self.samples.is_empty() {
-            return None;
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
-        let pos = q * (sorted.len() - 1) as f64;
-        let lo = pos.floor() as usize;
-        let hi = pos.ceil() as usize;
-        let frac = pos - lo as f64;
-        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+        self.hist.quantile(q)
     }
 
     /// Median shortcut.
@@ -119,13 +117,14 @@ impl Percentiles {
         self.quantile(0.5)
     }
 
-    /// Arithmetic mean, or `None` when empty.
+    /// Arithmetic mean (exact), or `None` when empty.
     pub fn mean(&self) -> Option<f64> {
-        if self.samples.is_empty() {
-            None
-        } else {
-            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
-        }
+        self.hist.mean()
+    }
+
+    /// The underlying histogram, for merging into telemetry exports.
+    pub fn buckets(&self) -> &leime_telemetry::Buckets {
+        &self.hist
     }
 }
 
@@ -255,10 +254,15 @@ mod tests {
         for i in 1..=100 {
             p.push(i as f64);
         }
+        // Extremes and the mean are exact; interior quantiles carry the
+        // histogram's one-bucket relative error (2^(1/32) ≈ 2.2%).
+        let one_bucket = 2f64.powf(1.0 / 32.0);
         assert_eq!(p.quantile(0.0), Some(1.0));
         assert_eq!(p.quantile(1.0), Some(100.0));
-        assert!((p.median().unwrap() - 50.5).abs() < 1e-9);
-        assert!((p.quantile(0.99).unwrap() - 99.01).abs() < 1e-9);
+        let median = p.median().unwrap();
+        assert!(median / 50.0 < one_bucket && median / 50.0 > 1.0 / one_bucket);
+        let q99 = p.quantile(0.99).unwrap();
+        assert!(q99 / 99.0 < one_bucket && q99 / 99.0 > 1.0 / one_bucket);
         assert_eq!(p.mean(), Some(50.5));
     }
 

@@ -75,9 +75,7 @@ impl Eq for SimTime {}
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> Ordering {
         // Construction forbids NaN, so partial_cmp always succeeds.
-        self.0
-            .partial_cmp(&other.0)
-            .expect("SimTime is never NaN")
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
     }
 }
 

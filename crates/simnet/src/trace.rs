@@ -100,11 +100,9 @@ mod tests {
 
     #[test]
     fn step_boundaries() {
-        let tr = TimeTrace::from_points(vec![
-            (SimTime::ZERO, 1.0),
-            (SimTime::from_secs(10.0), 2.0),
-        ])
-        .unwrap();
+        let tr =
+            TimeTrace::from_points(vec![(SimTime::ZERO, 1.0), (SimTime::from_secs(10.0), 2.0)])
+                .unwrap();
         assert_eq!(tr.value_at(SimTime::from_secs(9.999)), 1.0);
         assert_eq!(tr.value_at(SimTime::from_secs(10.0)), 2.0);
         assert_eq!(tr.value_at(SimTime::from_secs(11.0)), 2.0);
@@ -122,12 +120,8 @@ mod tests {
 
     #[test]
     fn square_wave_alternates() {
-        let tr = TimeTrace::square_wave(
-            1.0,
-            9.0,
-            SimTime::from_secs(10.0),
-            SimTime::from_secs(40.0),
-        );
+        let tr =
+            TimeTrace::square_wave(1.0, 9.0, SimTime::from_secs(10.0), SimTime::from_secs(40.0));
         assert_eq!(tr.value_at(SimTime::from_secs(5.0)), 1.0);
         assert_eq!(tr.value_at(SimTime::from_secs(15.0)), 9.0);
         assert_eq!(tr.value_at(SimTime::from_secs(25.0)), 1.0);

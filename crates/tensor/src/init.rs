@@ -59,10 +59,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let w = he_normal(512, 512, &mut rng);
         let mean = w.mean();
-        let var =
-            w.data().iter().map(|&x| (x - mean).powi(2)).sum::<f32>() / w.len() as f32;
+        let var = w.data().iter().map(|&x| (x - mean).powi(2)).sum::<f32>() / w.len() as f32;
         let expect = 2.0 / 512.0;
-        assert!((var - expect).abs() / expect < 0.1, "var {var}, want {expect}");
+        assert!(
+            (var - expect).abs() / expect < 0.1,
+            "var {var}, want {expect}"
+        );
     }
 
     #[test]

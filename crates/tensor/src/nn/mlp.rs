@@ -122,12 +122,7 @@ impl Mlp {
     /// # Errors
     ///
     /// Propagates shape/label errors from the forward pass and loss.
-    pub fn train_step(
-        &mut self,
-        input: &Tensor,
-        labels: &[usize],
-        opt: &mut Sgd,
-    ) -> Result<f32> {
+    pub fn train_step(&mut self, input: &Tensor, labels: &[usize], opt: &mut Sgd) -> Result<f32> {
         let cache = self.forward_cached(input)?;
         let loss = cross_entropy(&cache.probs, labels)?;
         let n = input.shape().dim(0) as f32;
@@ -204,10 +199,7 @@ mod tests {
     use super::*;
     use rand::{Rng, SeedableRng};
 
-    fn toy_blobs(
-        n_per_class: usize,
-        rng: &mut StdRng,
-    ) -> (Tensor, Vec<usize>) {
+    fn toy_blobs(n_per_class: usize, rng: &mut StdRng) -> (Tensor, Vec<usize>) {
         // Three well-separated 2-D Gaussian blobs.
         let centers = [(0.0f32, 0.0f32), (4.0, 4.0), (-4.0, 4.0)];
         let mut xs = Vec::new();

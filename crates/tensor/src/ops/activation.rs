@@ -50,7 +50,10 @@ pub fn softmax_row(logits: &Tensor) -> Result<Tensor> {
         .fold(f32::NEG_INFINITY, f32::max);
     let exp: Vec<f32> = logits.data().iter().map(|&x| (x - max).exp()).collect();
     let z: f32 = exp.iter().sum();
-    Tensor::from_vec(Shape::d1(exp.len()), exp.into_iter().map(|e| e / z).collect())
+    Tensor::from_vec(
+        Shape::d1(exp.len()),
+        exp.into_iter().map(|e| e / z).collect(),
+    )
 }
 
 /// Row-wise softmax of a rank-2 `(N, K)` logit matrix.

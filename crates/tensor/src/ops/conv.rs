@@ -157,11 +157,7 @@ mod tests {
     use super::*;
 
     fn input_3x3() -> Tensor {
-        Tensor::from_vec(
-            Shape::d3(1, 3, 3),
-            vec![1., 2., 3., 4., 5., 6., 7., 8., 9.],
-        )
-        .unwrap()
+        Tensor::from_vec(Shape::d3(1, 3, 3), vec![1., 2., 3., 4., 5., 6., 7., 8., 9.]).unwrap()
     }
 
     #[test]

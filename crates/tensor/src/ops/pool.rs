@@ -1,6 +1,11 @@
 use crate::{Result, Shape, Tensor, TensorError};
 
-fn check_pool(op: &'static str, input: &Tensor, window: usize, stride: usize) -> Result<(usize, usize, usize, usize, usize)> {
+fn check_pool(
+    op: &'static str,
+    input: &Tensor,
+    window: usize,
+    stride: usize,
+) -> Result<(usize, usize, usize, usize, usize)> {
     if input.shape().rank() != 3 {
         return Err(TensorError::RankMismatch {
             op,
@@ -145,11 +150,8 @@ mod tests {
 
     #[test]
     fn global_avg_pool_per_channel() {
-        let t = Tensor::from_vec(
-            Shape::d3(2, 2, 2),
-            vec![1., 2., 3., 4., 10., 20., 30., 40.],
-        )
-        .unwrap();
+        let t =
+            Tensor::from_vec(Shape::d3(2, 2, 2), vec![1., 2., 3., 4., 10., 20., 30., 40.]).unwrap();
         let out = global_avg_pool(&t).unwrap();
         assert_eq!(out.shape().dims(), &[2]);
         assert_eq!(out.data(), &[2.5, 25.0]);

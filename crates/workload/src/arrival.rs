@@ -124,10 +124,7 @@ impl Mmpp {
         p_leave_burst: f64,
         max: u64,
     ) -> Self {
-        assert!(
-            calm_mean >= 0.0 && burst_mean >= 0.0,
-            "negative MMPP means"
-        );
+        assert!(calm_mean >= 0.0 && burst_mean >= 0.0, "negative MMPP means");
         assert!(
             (0.0..=1.0).contains(&p_enter_burst) && (0.0..=1.0).contains(&p_leave_burst),
             "MMPP switching probabilities outside [0, 1]"
@@ -296,7 +293,10 @@ mod tests {
     #[test]
     fn poisson_small_mean() {
         let mut rng = StdRng::seed_from_u64(3);
-        let a = SlotArrivals::Poisson { mean: 4.0, max: 100 };
+        let a = SlotArrivals::Poisson {
+            mean: 4.0,
+            max: 100,
+        };
         let total: u64 = (0..20_000).map(|_| a.draw(&mut rng)).sum();
         let mean = total as f64 / 20_000.0;
         assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
@@ -317,7 +317,10 @@ mod tests {
     #[test]
     fn poisson_truncation() {
         let mut rng = StdRng::seed_from_u64(5);
-        let a = SlotArrivals::Poisson { mean: 50.0, max: 10 };
+        let a = SlotArrivals::Poisson {
+            mean: 50.0,
+            max: 10,
+        };
         for _ in 0..100 {
             assert!(a.draw(&mut rng) <= 10);
         }
@@ -341,7 +344,9 @@ mod tests {
         ])
         .unwrap();
         let a = TraceArrivals::new(trace, 1000);
-        let early: u64 = (0..2000).map(|_| a.draw(SimTime::from_secs(1.0), &mut rng)).sum();
+        let early: u64 = (0..2000)
+            .map(|_| a.draw(SimTime::from_secs(1.0), &mut rng))
+            .sum();
         let late: u64 = (0..2000)
             .map(|_| a.draw(SimTime::from_secs(150.0), &mut rng))
             .sum();
@@ -364,7 +369,10 @@ mod tests {
         let mean = total as f64 / n as f64;
         let want = p.stationary_mean(); // pi_burst = 0.2 -> 2*0.8 + 20*0.2 = 5.6
         assert!((want - 5.6).abs() < 1e-9);
-        assert!((mean - want).abs() / want < 0.05, "mean {mean}, want {want}");
+        assert!(
+            (mean - want).abs() / want < 0.05,
+            "mean {mean}, want {want}"
+        );
     }
 
     #[test]

@@ -155,8 +155,8 @@ impl FeatureCascade {
             .get(sample.class)
             .unwrap_or_else(|| panic!("unknown class {}", sample.class));
         let alpha = self.signal_strength(depth_fraction, sample.complexity) as f32;
-        let noise = Tensor::randn(Shape::d1(self.params.feature_dim), rng)
-            .scale(self.params.noise as f32);
+        let noise =
+            Tensor::randn(Shape::d1(self.params.feature_dim), rng).scale(self.params.noise as f32);
         proto
             .scale(alpha)
             .add(&noise)

@@ -81,10 +81,7 @@ impl SyntheticDataset {
     /// (most natural images are easy; BranchyNet reports >65% of CIFAR-10
     /// exiting at the first branch).
     pub fn cifar_like() -> Self {
-        SyntheticDataset::new(
-            10,
-            ComplexityDist::EasySkewed { shape: 2.0 },
-        )
+        SyntheticDataset::new(10, ComplexityDist::EasySkewed { shape: 2.0 })
     }
 
     /// Number of classes.

@@ -70,10 +70,7 @@ impl ExitRateModel {
             target > 0.0 && target < 1.0,
             "target rate {target} outside (0, 1)"
         );
-        assert!(
-            delta > 0.0 && delta < 1.0,
-            "depth {delta} outside (0, 1)"
-        );
+        assert!(delta > 0.0 && delta < 1.0, "depth {delta} outside (0, 1)");
         // Bisection on the midpoint: sigma is strictly decreasing in it.
         let (mut lo, mut hi) = (-5.0f64, 5.0f64);
         for _ in 0..200 {
@@ -97,9 +94,7 @@ impl ExitRateModel {
         let prefix = chain.flops_prefix();
         let total = chain.total_flops();
         let m = chain.num_layers();
-        let mut rates: Vec<f64> = (0..m)
-            .map(|i| self.sigma(prefix[i + 1] / total))
-            .collect();
+        let mut rates: Vec<f64> = (0..m).map(|i| self.sigma(prefix[i + 1] / total)).collect();
         // Enforce exact terminal condition and monotonicity under rounding.
         rates[m - 1] = 1.0;
         for i in 1..m {

@@ -26,8 +26,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1) Calibration: train one classifier per candidate exit and measure
     //    confidence thresholds + exit rates on held-out data.
-    println!("calibrating {} ({} candidate exits)…", model, chain.num_layers());
-    let cal = calibrate(&chain, &cascade, &dataset, CalibrationConfig::default(), &mut rng);
+    println!(
+        "calibrating {} ({} candidate exits)…",
+        model,
+        chain.num_layers()
+    );
+    let cal = calibrate(
+        &chain,
+        &cascade,
+        &dataset,
+        CalibrationConfig::default(),
+        &mut rng,
+    );
     println!(
         "final-exit accuracy: {:.1} % | first-exit cumulative rate: {:.2}",
         cal.final_accuracy() * 100.0,
@@ -39,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cost = CostModel::new_offload_aware(&profile, cal.exit_rates(), EnvParams::raspberry_pi())?;
     let (combo, expected_tct, _) = branch_and_bound(&cost)?;
     let (f, s, t) = combo.to_one_based();
-    println!("chosen exits: {f}, {s}, {t} (expected TCT {:.1} ms)\n", expected_tct * 1e3);
+    println!(
+        "chosen exits: {f}, {s}, {t} (expected TCT {:.1} ms)\n",
+        expected_tct * 1e3
+    );
 
     // 3) Live execution: 3 device threads, 1 edge, 1 cloud.
     let pipeline = EarlyExitPipeline::from_calibration(&cal, combo);

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/des_engine-e5c5e3672f976436.d: crates/bench/benches/des_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdes_engine-e5c5e3672f976436.rmeta: crates/bench/benches/des_engine.rs Cargo.toml
+
+crates/bench/benches/des_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

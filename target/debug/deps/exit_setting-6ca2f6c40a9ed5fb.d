@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exit_setting-6ca2f6c40a9ed5fb.d: crates/bench/benches/exit_setting.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexit_setting-6ca2f6c40a9ed5fb.rmeta: crates/bench/benches/exit_setting.rs Cargo.toml
+
+crates/bench/benches/exit_setting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_multi_tier-0108bcba059c4012.d: crates/bench/src/bin/ext_multi_tier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_multi_tier-0108bcba059c4012.rmeta: crates/bench/src/bin/ext_multi_tier.rs Cargo.toml
+
+crates/bench/src/bin/ext_multi_tier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

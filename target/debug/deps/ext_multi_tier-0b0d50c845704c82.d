@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_multi_tier-0b0d50c845704c82.d: crates/bench/src/bin/ext_multi_tier.rs
+
+/root/repo/target/debug/deps/ext_multi_tier-0b0d50c845704c82: crates/bench/src/bin/ext_multi_tier.rs
+
+crates/bench/src/bin/ext_multi_tier.rs:

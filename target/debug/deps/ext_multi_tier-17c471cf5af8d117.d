@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_multi_tier-17c471cf5af8d117.d: crates/bench/src/bin/ext_multi_tier.rs
+
+/root/repo/target/debug/deps/ext_multi_tier-17c471cf5af8d117: crates/bench/src/bin/ext_multi_tier.rs
+
+crates/bench/src/bin/ext_multi_tier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_multi_tier-2f43d0c79419a707.d: crates/bench/src/bin/ext_multi_tier.rs
+
+/root/repo/target/debug/deps/ext_multi_tier-2f43d0c79419a707: crates/bench/src/bin/ext_multi_tier.rs
+
+crates/bench/src/bin/ext_multi_tier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_pareto-2f9fe80d9aa9c957.d: crates/bench/src/bin/ext_pareto.rs
+
+/root/repo/target/debug/deps/ext_pareto-2f9fe80d9aa9c957: crates/bench/src/bin/ext_pareto.rs
+
+crates/bench/src/bin/ext_pareto.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_pareto-a6098ca54fb03375.d: crates/bench/src/bin/ext_pareto.rs
+
+/root/repo/target/debug/deps/ext_pareto-a6098ca54fb03375: crates/bench/src/bin/ext_pareto.rs
+
+crates/bench/src/bin/ext_pareto.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_pareto-c7bce6e2c1ea4271.d: crates/bench/src/bin/ext_pareto.rs
+
+/root/repo/target/debug/deps/ext_pareto-c7bce6e2c1ea4271: crates/bench/src/bin/ext_pareto.rs
+
+crates/bench/src/bin/ext_pareto.rs:

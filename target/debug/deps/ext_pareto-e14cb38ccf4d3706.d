@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_pareto-e14cb38ccf4d3706.d: crates/bench/src/bin/ext_pareto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_pareto-e14cb38ccf4d3706.rmeta: crates/bench/src/bin/ext_pareto.rs Cargo.toml
+
+crates/bench/src/bin/ext_pareto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

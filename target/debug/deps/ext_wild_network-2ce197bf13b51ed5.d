@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_wild_network-2ce197bf13b51ed5.d: crates/bench/src/bin/ext_wild_network.rs
+
+/root/repo/target/debug/deps/ext_wild_network-2ce197bf13b51ed5: crates/bench/src/bin/ext_wild_network.rs
+
+crates/bench/src/bin/ext_wild_network.rs:

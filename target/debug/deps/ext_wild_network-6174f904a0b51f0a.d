@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_wild_network-6174f904a0b51f0a.d: crates/bench/src/bin/ext_wild_network.rs
+
+/root/repo/target/debug/deps/ext_wild_network-6174f904a0b51f0a: crates/bench/src/bin/ext_wild_network.rs
+
+crates/bench/src/bin/ext_wild_network.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_wild_network-776b5ec9c2603f63.d: crates/bench/src/bin/ext_wild_network.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_wild_network-776b5ec9c2603f63.rmeta: crates/bench/src/bin/ext_wild_network.rs Cargo.toml
+
+crates/bench/src/bin/ext_wild_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

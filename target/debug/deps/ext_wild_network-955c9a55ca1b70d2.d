@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_wild_network-955c9a55ca1b70d2.d: crates/bench/src/bin/ext_wild_network.rs
+
+/root/repo/target/debug/deps/ext_wild_network-955c9a55ca1b70d2: crates/bench/src/bin/ext_wild_network.rs
+
+crates/bench/src/bin/ext_wild_network.rs:

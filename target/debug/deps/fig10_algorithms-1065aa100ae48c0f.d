@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_algorithms-1065aa100ae48c0f.d: crates/bench/src/bin/fig10_algorithms.rs
+
+/root/repo/target/debug/deps/fig10_algorithms-1065aa100ae48c0f: crates/bench/src/bin/fig10_algorithms.rs
+
+crates/bench/src/bin/fig10_algorithms.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_algorithms-244d91e44ca25e6c.d: crates/bench/src/bin/fig10_algorithms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_algorithms-244d91e44ca25e6c.rmeta: crates/bench/src/bin/fig10_algorithms.rs Cargo.toml
+
+crates/bench/src/bin/fig10_algorithms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

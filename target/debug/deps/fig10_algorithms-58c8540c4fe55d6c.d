@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_algorithms-58c8540c4fe55d6c.d: crates/bench/src/bin/fig10_algorithms.rs
+
+/root/repo/target/debug/deps/fig10_algorithms-58c8540c4fe55d6c: crates/bench/src/bin/fig10_algorithms.rs
+
+crates/bench/src/bin/fig10_algorithms.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_algorithms-c68dea61ec8d2e83.d: crates/bench/src/bin/fig10_algorithms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_algorithms-c68dea61ec8d2e83.rmeta: crates/bench/src/bin/fig10_algorithms.rs Cargo.toml
+
+crates/bench/src/bin/fig10_algorithms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

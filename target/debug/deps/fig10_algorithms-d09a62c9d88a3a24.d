@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_algorithms-d09a62c9d88a3a24.d: crates/bench/src/bin/fig10_algorithms.rs
+
+/root/repo/target/debug/deps/fig10_algorithms-d09a62c9d88a3a24: crates/bench/src/bin/fig10_algorithms.rs
+
+crates/bench/src/bin/fig10_algorithms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_scalability-3112cba94c99cddb.d: crates/bench/src/bin/fig11_scalability.rs
+
+/root/repo/target/debug/deps/fig11_scalability-3112cba94c99cddb: crates/bench/src/bin/fig11_scalability.rs
+
+crates/bench/src/bin/fig11_scalability.rs:

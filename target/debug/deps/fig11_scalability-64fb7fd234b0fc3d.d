@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_scalability-64fb7fd234b0fc3d.d: crates/bench/src/bin/fig11_scalability.rs
+
+/root/repo/target/debug/deps/fig11_scalability-64fb7fd234b0fc3d: crates/bench/src/bin/fig11_scalability.rs
+
+crates/bench/src/bin/fig11_scalability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_scalability-7fc0eab9712b9596.d: crates/bench/src/bin/fig11_scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_scalability-7fc0eab9712b9596.rmeta: crates/bench/src/bin/fig11_scalability.rs Cargo.toml
+
+crates/bench/src/bin/fig11_scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

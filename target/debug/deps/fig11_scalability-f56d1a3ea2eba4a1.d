@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_scalability-f56d1a3ea2eba4a1.d: crates/bench/src/bin/fig11_scalability.rs
+
+/root/repo/target/debug/deps/fig11_scalability-f56d1a3ea2eba4a1: crates/bench/src/bin/fig11_scalability.rs
+
+crates/bench/src/bin/fig11_scalability.rs:

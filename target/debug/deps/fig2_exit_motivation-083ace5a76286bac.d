@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_exit_motivation-083ace5a76286bac.d: crates/bench/src/bin/fig2_exit_motivation.rs
+
+/root/repo/target/debug/deps/fig2_exit_motivation-083ace5a76286bac: crates/bench/src/bin/fig2_exit_motivation.rs
+
+crates/bench/src/bin/fig2_exit_motivation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_exit_motivation-68eeeb6b25901f04.d: crates/bench/src/bin/fig2_exit_motivation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_exit_motivation-68eeeb6b25901f04.rmeta: crates/bench/src/bin/fig2_exit_motivation.rs Cargo.toml
+
+crates/bench/src/bin/fig2_exit_motivation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

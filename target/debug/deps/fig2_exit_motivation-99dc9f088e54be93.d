@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_exit_motivation-99dc9f088e54be93.d: crates/bench/src/bin/fig2_exit_motivation.rs
+
+/root/repo/target/debug/deps/fig2_exit_motivation-99dc9f088e54be93: crates/bench/src/bin/fig2_exit_motivation.rs
+
+crates/bench/src/bin/fig2_exit_motivation.rs:

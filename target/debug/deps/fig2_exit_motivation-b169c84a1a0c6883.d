@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_exit_motivation-b169c84a1a0c6883.d: crates/bench/src/bin/fig2_exit_motivation.rs
+
+/root/repo/target/debug/deps/fig2_exit_motivation-b169c84a1a0c6883: crates/bench/src/bin/fig2_exit_motivation.rs
+
+crates/bench/src/bin/fig2_exit_motivation.rs:

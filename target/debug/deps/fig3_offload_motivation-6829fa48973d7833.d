@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_offload_motivation-6829fa48973d7833.d: crates/bench/src/bin/fig3_offload_motivation.rs
+
+/root/repo/target/debug/deps/fig3_offload_motivation-6829fa48973d7833: crates/bench/src/bin/fig3_offload_motivation.rs
+
+crates/bench/src/bin/fig3_offload_motivation.rs:

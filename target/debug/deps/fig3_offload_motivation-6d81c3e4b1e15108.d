@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_offload_motivation-6d81c3e4b1e15108.d: crates/bench/src/bin/fig3_offload_motivation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_offload_motivation-6d81c3e4b1e15108.rmeta: crates/bench/src/bin/fig3_offload_motivation.rs Cargo.toml
+
+crates/bench/src/bin/fig3_offload_motivation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

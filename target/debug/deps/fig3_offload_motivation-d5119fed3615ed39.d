@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_offload_motivation-d5119fed3615ed39.d: crates/bench/src/bin/fig3_offload_motivation.rs
+
+/root/repo/target/debug/deps/fig3_offload_motivation-d5119fed3615ed39: crates/bench/src/bin/fig3_offload_motivation.rs
+
+crates/bench/src/bin/fig3_offload_motivation.rs:

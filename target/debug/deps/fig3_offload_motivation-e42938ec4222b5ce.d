@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_offload_motivation-e42938ec4222b5ce.d: crates/bench/src/bin/fig3_offload_motivation.rs
+
+/root/repo/target/debug/deps/fig3_offload_motivation-e42938ec4222b5ce: crates/bench/src/bin/fig3_offload_motivation.rs
+
+crates/bench/src/bin/fig3_offload_motivation.rs:

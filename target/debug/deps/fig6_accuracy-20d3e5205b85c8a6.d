@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_accuracy-20d3e5205b85c8a6.d: crates/bench/src/bin/fig6_accuracy.rs
+
+/root/repo/target/debug/deps/fig6_accuracy-20d3e5205b85c8a6: crates/bench/src/bin/fig6_accuracy.rs
+
+crates/bench/src/bin/fig6_accuracy.rs:

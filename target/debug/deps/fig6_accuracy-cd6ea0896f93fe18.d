@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_accuracy-cd6ea0896f93fe18.d: crates/bench/src/bin/fig6_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_accuracy-cd6ea0896f93fe18.rmeta: crates/bench/src/bin/fig6_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/fig6_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

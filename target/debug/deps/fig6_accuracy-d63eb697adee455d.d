@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_accuracy-d63eb697adee455d.d: crates/bench/src/bin/fig6_accuracy.rs
+
+/root/repo/target/debug/deps/fig6_accuracy-d63eb697adee455d: crates/bench/src/bin/fig6_accuracy.rs
+
+crates/bench/src/bin/fig6_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_accuracy-fd774d9756615c7f.d: crates/bench/src/bin/fig6_accuracy.rs
+
+/root/repo/target/debug/deps/fig6_accuracy-fd774d9756615c7f: crates/bench/src/bin/fig6_accuracy.rs
+
+crates/bench/src/bin/fig6_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_network-12198a692dd206b6.d: crates/bench/src/bin/fig7_network.rs
+
+/root/repo/target/debug/deps/fig7_network-12198a692dd206b6: crates/bench/src/bin/fig7_network.rs
+
+crates/bench/src/bin/fig7_network.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_network-56dad5191f2479a2.d: crates/bench/src/bin/fig7_network.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_network-56dad5191f2479a2.rmeta: crates/bench/src/bin/fig7_network.rs Cargo.toml
+
+crates/bench/src/bin/fig7_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

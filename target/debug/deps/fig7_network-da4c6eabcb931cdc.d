@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_network-da4c6eabcb931cdc.d: crates/bench/src/bin/fig7_network.rs
+
+/root/repo/target/debug/deps/fig7_network-da4c6eabcb931cdc: crates/bench/src/bin/fig7_network.rs
+
+crates/bench/src/bin/fig7_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_network-e6f5f5b9751fe544.d: crates/bench/src/bin/fig7_network.rs
+
+/root/repo/target/debug/deps/fig7_network-e6f5f5b9751fe544: crates/bench/src/bin/fig7_network.rs
+
+crates/bench/src/bin/fig7_network.rs:

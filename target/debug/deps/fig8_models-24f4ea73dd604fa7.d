@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_models-24f4ea73dd604fa7.d: crates/bench/src/bin/fig8_models.rs
+
+/root/repo/target/debug/deps/fig8_models-24f4ea73dd604fa7: crates/bench/src/bin/fig8_models.rs
+
+crates/bench/src/bin/fig8_models.rs:

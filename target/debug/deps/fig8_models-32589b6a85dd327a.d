@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_models-32589b6a85dd327a.d: crates/bench/src/bin/fig8_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_models-32589b6a85dd327a.rmeta: crates/bench/src/bin/fig8_models.rs Cargo.toml
+
+crates/bench/src/bin/fig8_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_models-3ed965449feeb7e6.d: crates/bench/src/bin/fig8_models.rs
+
+/root/repo/target/debug/deps/fig8_models-3ed965449feeb7e6: crates/bench/src/bin/fig8_models.rs
+
+crates/bench/src/bin/fig8_models.rs:

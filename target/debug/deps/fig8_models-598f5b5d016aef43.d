@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_models-598f5b5d016aef43.d: crates/bench/src/bin/fig8_models.rs
+
+/root/repo/target/debug/deps/fig8_models-598f5b5d016aef43: crates/bench/src/bin/fig8_models.rs
+
+crates/bench/src/bin/fig8_models.rs:

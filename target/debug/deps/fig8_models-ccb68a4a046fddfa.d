@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_models-ccb68a4a046fddfa.d: crates/bench/src/bin/fig8_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_models-ccb68a4a046fddfa.rmeta: crates/bench/src/bin/fig8_models.rs Cargo.toml
+
+crates/bench/src/bin/fig8_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_stability-3eaf6dd943e1ff41.d: crates/bench/src/bin/fig9_stability.rs
+
+/root/repo/target/debug/deps/fig9_stability-3eaf6dd943e1ff41: crates/bench/src/bin/fig9_stability.rs
+
+crates/bench/src/bin/fig9_stability.rs:

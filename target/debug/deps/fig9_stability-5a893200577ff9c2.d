@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_stability-5a893200577ff9c2.d: crates/bench/src/bin/fig9_stability.rs
+
+/root/repo/target/debug/deps/fig9_stability-5a893200577ff9c2: crates/bench/src/bin/fig9_stability.rs
+
+crates/bench/src/bin/fig9_stability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_stability-7340c617706825ec.d: crates/bench/src/bin/fig9_stability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_stability-7340c617706825ec.rmeta: crates/bench/src/bin/fig9_stability.rs Cargo.toml
+
+crates/bench/src/bin/fig9_stability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

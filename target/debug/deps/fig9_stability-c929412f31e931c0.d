@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_stability-c929412f31e931c0.d: crates/bench/src/bin/fig9_stability.rs
+
+/root/repo/target/debug/deps/fig9_stability-c929412f31e931c0: crates/bench/src/bin/fig9_stability.rs
+
+crates/bench/src/bin/fig9_stability.rs:

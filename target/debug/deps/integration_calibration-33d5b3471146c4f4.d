@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_calibration-33d5b3471146c4f4.d: crates/core/../../tests/integration_calibration.rs
+
+/root/repo/target/debug/deps/integration_calibration-33d5b3471146c4f4: crates/core/../../tests/integration_calibration.rs
+
+crates/core/../../tests/integration_calibration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_calibration-410aadb3f09737a5.d: crates/core/../../tests/integration_calibration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_calibration-410aadb3f09737a5.rmeta: crates/core/../../tests/integration_calibration.rs Cargo.toml
+
+crates/core/../../tests/integration_calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_calibration-964309a61e730178.d: crates/core/../../tests/integration_calibration.rs
+
+/root/repo/target/debug/deps/integration_calibration-964309a61e730178: crates/core/../../tests/integration_calibration.rs
+
+crates/core/../../tests/integration_calibration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_end_to_end-10e21b60ed829903.d: crates/core/../../tests/integration_end_to_end.rs
+
+/root/repo/target/debug/deps/integration_end_to_end-10e21b60ed829903: crates/core/../../tests/integration_end_to_end.rs
+
+crates/core/../../tests/integration_end_to_end.rs:

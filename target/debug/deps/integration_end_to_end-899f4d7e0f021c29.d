@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_end_to_end-899f4d7e0f021c29.d: crates/core/../../tests/integration_end_to_end.rs
+
+/root/repo/target/debug/deps/integration_end_to_end-899f4d7e0f021c29: crates/core/../../tests/integration_end_to_end.rs
+
+crates/core/../../tests/integration_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_exit_setting-c5c36a75a22f2297.d: crates/core/../../tests/integration_exit_setting.rs
+
+/root/repo/target/debug/deps/integration_exit_setting-c5c36a75a22f2297: crates/core/../../tests/integration_exit_setting.rs
+
+crates/core/../../tests/integration_exit_setting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_exit_setting-ccdd69d57d1104ea.d: crates/core/../../tests/integration_exit_setting.rs
+
+/root/repo/target/debug/deps/integration_exit_setting-ccdd69d57d1104ea: crates/core/../../tests/integration_exit_setting.rs
+
+crates/core/../../tests/integration_exit_setting.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_exit_setting-d6ef699782fabb0a.d: crates/core/../../tests/integration_exit_setting.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_exit_setting-d6ef699782fabb0a.rmeta: crates/core/../../tests/integration_exit_setting.rs Cargo.toml
+
+crates/core/../../tests/integration_exit_setting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

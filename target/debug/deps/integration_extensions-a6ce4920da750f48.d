@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_extensions-a6ce4920da750f48.d: crates/core/../../tests/integration_extensions.rs
+
+/root/repo/target/debug/deps/integration_extensions-a6ce4920da750f48: crates/core/../../tests/integration_extensions.rs
+
+crates/core/../../tests/integration_extensions.rs:

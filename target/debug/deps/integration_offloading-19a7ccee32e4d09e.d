@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_offloading-19a7ccee32e4d09e.d: crates/core/../../tests/integration_offloading.rs
+
+/root/repo/target/debug/deps/integration_offloading-19a7ccee32e4d09e: crates/core/../../tests/integration_offloading.rs
+
+crates/core/../../tests/integration_offloading.rs:

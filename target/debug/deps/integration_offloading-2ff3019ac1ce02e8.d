@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_offloading-2ff3019ac1ce02e8.d: crates/core/../../tests/integration_offloading.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_offloading-2ff3019ac1ce02e8.rmeta: crates/core/../../tests/integration_offloading.rs Cargo.toml
+
+crates/core/../../tests/integration_offloading.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

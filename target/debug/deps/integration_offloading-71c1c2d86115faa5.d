@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_offloading-71c1c2d86115faa5.d: crates/core/../../tests/integration_offloading.rs
+
+/root/repo/target/debug/deps/integration_offloading-71c1c2d86115faa5: crates/core/../../tests/integration_offloading.rs
+
+crates/core/../../tests/integration_offloading.rs:

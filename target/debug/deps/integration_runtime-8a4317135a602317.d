@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_runtime-8a4317135a602317.d: crates/core/../../tests/integration_runtime.rs
+
+/root/repo/target/debug/deps/integration_runtime-8a4317135a602317: crates/core/../../tests/integration_runtime.rs
+
+crates/core/../../tests/integration_runtime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_runtime-be488c88689f828e.d: crates/core/../../tests/integration_runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_runtime-be488c88689f828e.rmeta: crates/core/../../tests/integration_runtime.rs Cargo.toml
+
+crates/core/../../tests/integration_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_runtime-c7aa129d68954aa5.d: crates/core/../../tests/integration_runtime.rs
+
+/root/repo/target/debug/deps/integration_runtime-c7aa129d68954aa5: crates/core/../../tests/integration_runtime.rs
+
+crates/core/../../tests/integration_runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leime-3328c23478fac7bf.d: crates/core/src/bin/leime.rs
+
+/root/repo/target/debug/deps/leime-3328c23478fac7bf: crates/core/src/bin/leime.rs
+
+crates/core/src/bin/leime.rs:

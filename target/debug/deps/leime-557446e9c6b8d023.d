@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leime-557446e9c6b8d023.d: crates/core/src/bin/leime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleime-557446e9c6b8d023.rmeta: crates/core/src/bin/leime.rs Cargo.toml
+
+crates/core/src/bin/leime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

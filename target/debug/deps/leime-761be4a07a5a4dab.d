@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/leime-761be4a07a5a4dab.d: crates/core/src/lib.rs crates/core/src/deploy.rs crates/core/src/error.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/slotted.rs crates/core/src/tasksim.rs crates/core/src/runtime/mod.rs crates/core/src/runtime/messages.rs crates/core/src/systems.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleime-761be4a07a5a4dab.rmeta: crates/core/src/lib.rs crates/core/src/deploy.rs crates/core/src/error.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/slotted.rs crates/core/src/tasksim.rs crates/core/src/runtime/mod.rs crates/core/src/runtime/messages.rs crates/core/src/systems.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/deploy.rs:
+crates/core/src/error.rs:
+crates/core/src/model.rs:
+crates/core/src/report.rs:
+crates/core/src/scenario.rs:
+crates/core/src/slotted.rs:
+crates/core/src/tasksim.rs:
+crates/core/src/runtime/mod.rs:
+crates/core/src/runtime/messages.rs:
+crates/core/src/systems.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leime-a77a9d7d547bac83.d: crates/core/src/bin/leime.rs
+
+/root/repo/target/debug/deps/leime-a77a9d7d547bac83: crates/core/src/bin/leime.rs
+
+crates/core/src/bin/leime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leime-d2d31b35e290aa99.d: crates/core/src/bin/leime.rs
+
+/root/repo/target/debug/deps/leime-d2d31b35e290aa99: crates/core/src/bin/leime.rs
+
+crates/core/src/bin/leime.rs:

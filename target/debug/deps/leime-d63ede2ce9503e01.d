@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leime-d63ede2ce9503e01.d: crates/core/src/bin/leime.rs
+
+/root/repo/target/debug/deps/leime-d63ede2ce9503e01: crates/core/src/bin/leime.rs
+
+crates/core/src/bin/leime.rs:

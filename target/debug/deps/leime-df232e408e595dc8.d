@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leime-df232e408e595dc8.d: crates/core/src/bin/leime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleime-df232e408e595dc8.rmeta: crates/core/src/bin/leime.rs Cargo.toml
+
+crates/core/src/bin/leime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

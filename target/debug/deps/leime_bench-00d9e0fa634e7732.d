@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leime_bench-00d9e0fa634e7732.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/leime_bench-00d9e0fa634e7732: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leime_bench-38bd5b72dabf5afc.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleime_bench-38bd5b72dabf5afc.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

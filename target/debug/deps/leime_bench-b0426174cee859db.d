@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leime_bench-b0426174cee859db.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/leime_bench-b0426174cee859db: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/leime_bench-d760565628663688.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libleime_bench-d760565628663688.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libleime_bench-d760565628663688.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/leime_bench-e4bf22f6f323cd77.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libleime_bench-e4bf22f6f323cd77.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libleime_bench-e4bf22f6f323cd77.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/leime_dnn-627b80f874a17f38.d: crates/dnn/src/lib.rs crates/dnn/src/chain.rs crates/dnn/src/error.rs crates/dnn/src/exit.rs crates/dnn/src/layer.rs crates/dnn/src/mednn.rs crates/dnn/src/profile.rs crates/dnn/src/zoo/mod.rs crates/dnn/src/zoo/alexnet.rs crates/dnn/src/zoo/inception.rs crates/dnn/src/zoo/mobilenet.rs crates/dnn/src/zoo/resnet.rs crates/dnn/src/zoo/squeezenet.rs crates/dnn/src/zoo/vgg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleime_dnn-627b80f874a17f38.rmeta: crates/dnn/src/lib.rs crates/dnn/src/chain.rs crates/dnn/src/error.rs crates/dnn/src/exit.rs crates/dnn/src/layer.rs crates/dnn/src/mednn.rs crates/dnn/src/profile.rs crates/dnn/src/zoo/mod.rs crates/dnn/src/zoo/alexnet.rs crates/dnn/src/zoo/inception.rs crates/dnn/src/zoo/mobilenet.rs crates/dnn/src/zoo/resnet.rs crates/dnn/src/zoo/squeezenet.rs crates/dnn/src/zoo/vgg.rs Cargo.toml
+
+crates/dnn/src/lib.rs:
+crates/dnn/src/chain.rs:
+crates/dnn/src/error.rs:
+crates/dnn/src/exit.rs:
+crates/dnn/src/layer.rs:
+crates/dnn/src/mednn.rs:
+crates/dnn/src/profile.rs:
+crates/dnn/src/zoo/mod.rs:
+crates/dnn/src/zoo/alexnet.rs:
+crates/dnn/src/zoo/inception.rs:
+crates/dnn/src/zoo/mobilenet.rs:
+crates/dnn/src/zoo/resnet.rs:
+crates/dnn/src/zoo/squeezenet.rs:
+crates/dnn/src/zoo/vgg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/leime_exitcfg-1e62a44f74d6e1d9.d: crates/exitcfg/src/lib.rs crates/exitcfg/src/baselines.rs crates/exitcfg/src/bb.rs crates/exitcfg/src/cost.rs crates/exitcfg/src/env.rs crates/exitcfg/src/exhaustive.rs crates/exitcfg/src/multi_tier.rs
+
+/root/repo/target/debug/deps/leime_exitcfg-1e62a44f74d6e1d9: crates/exitcfg/src/lib.rs crates/exitcfg/src/baselines.rs crates/exitcfg/src/bb.rs crates/exitcfg/src/cost.rs crates/exitcfg/src/env.rs crates/exitcfg/src/exhaustive.rs crates/exitcfg/src/multi_tier.rs
+
+crates/exitcfg/src/lib.rs:
+crates/exitcfg/src/baselines.rs:
+crates/exitcfg/src/bb.rs:
+crates/exitcfg/src/cost.rs:
+crates/exitcfg/src/env.rs:
+crates/exitcfg/src/exhaustive.rs:
+crates/exitcfg/src/multi_tier.rs:

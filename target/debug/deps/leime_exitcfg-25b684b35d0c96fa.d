@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/leime_exitcfg-25b684b35d0c96fa.d: crates/exitcfg/src/lib.rs crates/exitcfg/src/baselines.rs crates/exitcfg/src/bb.rs crates/exitcfg/src/cost.rs crates/exitcfg/src/env.rs crates/exitcfg/src/exhaustive.rs crates/exitcfg/src/multi_tier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleime_exitcfg-25b684b35d0c96fa.rmeta: crates/exitcfg/src/lib.rs crates/exitcfg/src/baselines.rs crates/exitcfg/src/bb.rs crates/exitcfg/src/cost.rs crates/exitcfg/src/env.rs crates/exitcfg/src/exhaustive.rs crates/exitcfg/src/multi_tier.rs Cargo.toml
+
+crates/exitcfg/src/lib.rs:
+crates/exitcfg/src/baselines.rs:
+crates/exitcfg/src/bb.rs:
+crates/exitcfg/src/cost.rs:
+crates/exitcfg/src/env.rs:
+crates/exitcfg/src/exhaustive.rs:
+crates/exitcfg/src/multi_tier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/leime_inference-0352423c3be3d989.d: crates/inference/src/lib.rs crates/inference/src/calibration.rs crates/inference/src/pipeline.rs crates/inference/src/train.rs
+
+/root/repo/target/debug/deps/leime_inference-0352423c3be3d989: crates/inference/src/lib.rs crates/inference/src/calibration.rs crates/inference/src/pipeline.rs crates/inference/src/train.rs
+
+crates/inference/src/lib.rs:
+crates/inference/src/calibration.rs:
+crates/inference/src/pipeline.rs:
+crates/inference/src/train.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/leime_inference-7549de61b8b13a30.d: crates/inference/src/lib.rs crates/inference/src/calibration.rs crates/inference/src/pipeline.rs crates/inference/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleime_inference-7549de61b8b13a30.rmeta: crates/inference/src/lib.rs crates/inference/src/calibration.rs crates/inference/src/pipeline.rs crates/inference/src/train.rs Cargo.toml
+
+crates/inference/src/lib.rs:
+crates/inference/src/calibration.rs:
+crates/inference/src/pipeline.rs:
+crates/inference/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/leime_inference-87f322d0afc08f9c.d: crates/inference/src/lib.rs crates/inference/src/calibration.rs crates/inference/src/pipeline.rs crates/inference/src/train.rs
+
+/root/repo/target/debug/deps/libleime_inference-87f322d0afc08f9c.rlib: crates/inference/src/lib.rs crates/inference/src/calibration.rs crates/inference/src/pipeline.rs crates/inference/src/train.rs
+
+/root/repo/target/debug/deps/libleime_inference-87f322d0afc08f9c.rmeta: crates/inference/src/lib.rs crates/inference/src/calibration.rs crates/inference/src/pipeline.rs crates/inference/src/train.rs
+
+crates/inference/src/lib.rs:
+crates/inference/src/calibration.rs:
+crates/inference/src/pipeline.rs:
+crates/inference/src/train.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/leime_inference-c56125e3608a29d3.d: crates/inference/src/lib.rs crates/inference/src/calibration.rs crates/inference/src/pipeline.rs crates/inference/src/train.rs
+
+/root/repo/target/debug/deps/libleime_inference-c56125e3608a29d3.rlib: crates/inference/src/lib.rs crates/inference/src/calibration.rs crates/inference/src/pipeline.rs crates/inference/src/train.rs
+
+/root/repo/target/debug/deps/libleime_inference-c56125e3608a29d3.rmeta: crates/inference/src/lib.rs crates/inference/src/calibration.rs crates/inference/src/pipeline.rs crates/inference/src/train.rs
+
+crates/inference/src/lib.rs:
+crates/inference/src/calibration.rs:
+crates/inference/src/pipeline.rs:
+crates/inference/src/train.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/leime_offload-33707d5ba4bf9a5e.d: crates/offload/src/lib.rs crates/offload/src/alloc.rs crates/offload/src/analysis.rs crates/offload/src/cost.rs crates/offload/src/params.rs crates/offload/src/queues.rs crates/offload/src/controller.rs crates/offload/src/solver.rs crates/offload/src/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleime_offload-33707d5ba4bf9a5e.rmeta: crates/offload/src/lib.rs crates/offload/src/alloc.rs crates/offload/src/analysis.rs crates/offload/src/cost.rs crates/offload/src/params.rs crates/offload/src/queues.rs crates/offload/src/controller.rs crates/offload/src/solver.rs crates/offload/src/telemetry.rs Cargo.toml
+
+crates/offload/src/lib.rs:
+crates/offload/src/alloc.rs:
+crates/offload/src/analysis.rs:
+crates/offload/src/cost.rs:
+crates/offload/src/params.rs:
+crates/offload/src/queues.rs:
+crates/offload/src/controller.rs:
+crates/offload/src/solver.rs:
+crates/offload/src/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/leime_offload-da526603fdee09ce.d: crates/offload/src/lib.rs crates/offload/src/alloc.rs crates/offload/src/analysis.rs crates/offload/src/cost.rs crates/offload/src/params.rs crates/offload/src/queues.rs crates/offload/src/controller.rs crates/offload/src/solver.rs
+
+/root/repo/target/debug/deps/libleime_offload-da526603fdee09ce.rlib: crates/offload/src/lib.rs crates/offload/src/alloc.rs crates/offload/src/analysis.rs crates/offload/src/cost.rs crates/offload/src/params.rs crates/offload/src/queues.rs crates/offload/src/controller.rs crates/offload/src/solver.rs
+
+/root/repo/target/debug/deps/libleime_offload-da526603fdee09ce.rmeta: crates/offload/src/lib.rs crates/offload/src/alloc.rs crates/offload/src/analysis.rs crates/offload/src/cost.rs crates/offload/src/params.rs crates/offload/src/queues.rs crates/offload/src/controller.rs crates/offload/src/solver.rs
+
+crates/offload/src/lib.rs:
+crates/offload/src/alloc.rs:
+crates/offload/src/analysis.rs:
+crates/offload/src/cost.rs:
+crates/offload/src/params.rs:
+crates/offload/src/queues.rs:
+crates/offload/src/controller.rs:
+crates/offload/src/solver.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/leime_simnet-1213347c8ae5bd5f.d: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/link.rs crates/simnet/src/server.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/stats.rs
+
+/root/repo/target/debug/deps/libleime_simnet-1213347c8ae5bd5f.rlib: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/link.rs crates/simnet/src/server.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/stats.rs
+
+/root/repo/target/debug/deps/libleime_simnet-1213347c8ae5bd5f.rmeta: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/link.rs crates/simnet/src/server.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/stats.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/link.rs:
+crates/simnet/src/server.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:
+crates/simnet/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/leime_telemetry-509234b15b929f66.d: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/hist.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/libleime_telemetry-509234b15b929f66.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/hist.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/libleime_telemetry-509234b15b929f66.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/hist.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/clock.rs:
+crates/telemetry/src/hist.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/trace.rs:

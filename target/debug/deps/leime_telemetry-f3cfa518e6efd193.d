@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/leime_telemetry-f3cfa518e6efd193.d: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/hist.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleime_telemetry-f3cfa518e6efd193.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/hist.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/clock.rs:
+crates/telemetry/src/hist.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

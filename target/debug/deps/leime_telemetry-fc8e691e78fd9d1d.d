@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/leime_telemetry-fc8e691e78fd9d1d.d: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/hist.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/leime_telemetry-fc8e691e78fd9d1d: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/hist.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/clock.rs:
+crates/telemetry/src/hist.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/trace.rs:

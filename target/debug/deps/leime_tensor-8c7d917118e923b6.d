@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/leime_tensor-8c7d917118e923b6.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/init.rs crates/tensor/src/nn/mod.rs crates/tensor/src/nn/loss.rs crates/tensor/src/nn/mlp.rs crates/tensor/src/nn/sgd.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/linear.rs crates/tensor/src/ops/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleime_tensor-8c7d917118e923b6.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/init.rs crates/tensor/src/nn/mod.rs crates/tensor/src/nn/loss.rs crates/tensor/src/nn/mlp.rs crates/tensor/src/nn/sgd.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/linear.rs crates/tensor/src/ops/pool.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/nn/mod.rs:
+crates/tensor/src/nn/loss.rs:
+crates/tensor/src/nn/mlp.rs:
+crates/tensor/src/nn/sgd.rs:
+crates/tensor/src/ops/mod.rs:
+crates/tensor/src/ops/activation.rs:
+crates/tensor/src/ops/conv.rs:
+crates/tensor/src/ops/linear.rs:
+crates/tensor/src/ops/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

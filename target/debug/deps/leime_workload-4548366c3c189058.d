@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leime_workload-4548366c3c189058.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/cascade.rs crates/workload/src/dataset.rs crates/workload/src/exitmodel.rs
+
+/root/repo/target/debug/deps/leime_workload-4548366c3c189058: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/cascade.rs crates/workload/src/dataset.rs crates/workload/src/exitmodel.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/cascade.rs:
+crates/workload/src/dataset.rs:
+crates/workload/src/exitmodel.rs:

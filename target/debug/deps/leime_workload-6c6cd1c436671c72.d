@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/leime_workload-6c6cd1c436671c72.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/cascade.rs crates/workload/src/dataset.rs crates/workload/src/exitmodel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleime_workload-6c6cd1c436671c72.rmeta: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/cascade.rs crates/workload/src/dataset.rs crates/workload/src/exitmodel.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/cascade.rs:
+crates/workload/src/dataset.rs:
+crates/workload/src/exitmodel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

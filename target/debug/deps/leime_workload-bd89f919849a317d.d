@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leime_workload-bd89f919849a317d.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/cascade.rs crates/workload/src/dataset.rs crates/workload/src/exitmodel.rs
+
+/root/repo/target/debug/deps/leime_workload-bd89f919849a317d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/cascade.rs crates/workload/src/dataset.rs crates/workload/src/exitmodel.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/cascade.rs:
+crates/workload/src/dataset.rs:
+crates/workload/src/exitmodel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/offload_solver-e017edfa66ddccad.d: crates/bench/benches/offload_solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboffload_solver-e017edfa66ddccad.rmeta: crates/bench/benches/offload_solver.rs Cargo.toml
+
+crates/bench/benches/offload_solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-1f484d14fad6e091.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-1f484d14fad6e091.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

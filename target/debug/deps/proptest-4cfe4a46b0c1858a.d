@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-4cfe4a46b0c1858a.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-4cfe4a46b0c1858a.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-4cfe4a46b0c1858a.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-19172de28b8e9851.d: crates/offload/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-19172de28b8e9851: crates/offload/tests/proptests.rs
+
+crates/offload/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-41363fee998f45ea.d: crates/simnet/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-41363fee998f45ea: crates/simnet/tests/proptests.rs
+
+crates/simnet/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-45f44c1483ab5f7c.d: crates/exitcfg/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-45f44c1483ab5f7c.rmeta: crates/exitcfg/tests/proptests.rs Cargo.toml
+
+crates/exitcfg/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

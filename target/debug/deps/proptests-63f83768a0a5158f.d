@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-63f83768a0a5158f.d: crates/simnet/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-63f83768a0a5158f: crates/simnet/tests/proptests.rs
+
+crates/simnet/tests/proptests.rs:

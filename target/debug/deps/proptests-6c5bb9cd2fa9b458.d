@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-6c5bb9cd2fa9b458.d: crates/simnet/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-6c5bb9cd2fa9b458.rmeta: crates/simnet/tests/proptests.rs Cargo.toml
+
+crates/simnet/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

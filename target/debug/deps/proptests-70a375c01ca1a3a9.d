@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-70a375c01ca1a3a9.d: crates/tensor/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-70a375c01ca1a3a9.rmeta: crates/tensor/tests/proptests.rs Cargo.toml
+
+crates/tensor/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7d5c4693179c90a2.d: crates/offload/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7d5c4693179c90a2: crates/offload/tests/proptests.rs
+
+crates/offload/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-9bcaa5f0df48f2fe.d: crates/dnn/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-9bcaa5f0df48f2fe.rmeta: crates/dnn/tests/proptests.rs Cargo.toml
+
+crates/dnn/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9c63fd3cc37ccf8e.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9c63fd3cc37ccf8e: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

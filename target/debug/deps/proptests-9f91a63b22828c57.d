@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-9f91a63b22828c57.d: crates/telemetry/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-9f91a63b22828c57.rmeta: crates/telemetry/tests/proptests.rs Cargo.toml
+
+crates/telemetry/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b35d036307a0c8d6.d: crates/dnn/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b35d036307a0c8d6: crates/dnn/tests/proptests.rs
+
+crates/dnn/tests/proptests.rs:

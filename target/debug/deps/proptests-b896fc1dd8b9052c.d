@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b896fc1dd8b9052c.d: crates/telemetry/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b896fc1dd8b9052c: crates/telemetry/tests/proptests.rs
+
+crates/telemetry/tests/proptests.rs:

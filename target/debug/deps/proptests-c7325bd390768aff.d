@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c7325bd390768aff.d: crates/exitcfg/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c7325bd390768aff: crates/exitcfg/tests/proptests.rs
+
+crates/exitcfg/tests/proptests.rs:

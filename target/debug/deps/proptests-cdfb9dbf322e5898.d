@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-cdfb9dbf322e5898.d: crates/exitcfg/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-cdfb9dbf322e5898: crates/exitcfg/tests/proptests.rs
+
+crates/exitcfg/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-f3b522d86ca16417.d: crates/offload/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-f3b522d86ca16417.rmeta: crates/offload/tests/proptests.rs Cargo.toml
+
+crates/offload/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/serde-d85b83336c446bd9.d: crates/shims/serde/src/lib.rs crates/shims/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-d85b83336c446bd9.rmeta: crates/shims/serde/src/lib.rs crates/shims/serde/src/value.rs
+
+crates/shims/serde/src/lib.rs:
+crates/shims/serde/src/value.rs:

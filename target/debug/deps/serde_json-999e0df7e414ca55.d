@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-999e0df7e414ca55.d: crates/shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-999e0df7e414ca55.rlib: crates/shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-999e0df7e414ca55.rmeta: crates/shims/serde_json/src/lib.rs
+
+crates/shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-b987625d5ee8752f.d: crates/shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-b987625d5ee8752f.rmeta: crates/shims/serde_json/src/lib.rs
+
+crates/shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem2_complexity-2ffb1bf956e370aa.d: crates/bench/src/bin/theorem2_complexity.rs
+
+/root/repo/target/debug/deps/theorem2_complexity-2ffb1bf956e370aa: crates/bench/src/bin/theorem2_complexity.rs
+
+crates/bench/src/bin/theorem2_complexity.rs:

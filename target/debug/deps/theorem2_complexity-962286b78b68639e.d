@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem2_complexity-962286b78b68639e.d: crates/bench/src/bin/theorem2_complexity.rs
+
+/root/repo/target/debug/deps/theorem2_complexity-962286b78b68639e: crates/bench/src/bin/theorem2_complexity.rs
+
+crates/bench/src/bin/theorem2_complexity.rs:

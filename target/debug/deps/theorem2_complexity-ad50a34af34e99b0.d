@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem2_complexity-ad50a34af34e99b0.d: crates/bench/src/bin/theorem2_complexity.rs
+
+/root/repo/target/debug/deps/theorem2_complexity-ad50a34af34e99b0: crates/bench/src/bin/theorem2_complexity.rs
+
+crates/bench/src/bin/theorem2_complexity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorem2_complexity-b49dbea91dc87a0c.d: crates/bench/src/bin/theorem2_complexity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorem2_complexity-b49dbea91dc87a0c.rmeta: crates/bench/src/bin/theorem2_complexity.rs Cargo.toml
+
+crates/bench/src/bin/theorem2_complexity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

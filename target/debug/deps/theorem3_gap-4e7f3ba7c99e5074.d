@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem3_gap-4e7f3ba7c99e5074.d: crates/bench/src/bin/theorem3_gap.rs
+
+/root/repo/target/debug/deps/theorem3_gap-4e7f3ba7c99e5074: crates/bench/src/bin/theorem3_gap.rs
+
+crates/bench/src/bin/theorem3_gap.rs:

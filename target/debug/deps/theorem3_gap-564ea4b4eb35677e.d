@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem3_gap-564ea4b4eb35677e.d: crates/bench/src/bin/theorem3_gap.rs
+
+/root/repo/target/debug/deps/theorem3_gap-564ea4b4eb35677e: crates/bench/src/bin/theorem3_gap.rs
+
+crates/bench/src/bin/theorem3_gap.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorem3_gap-6beaf1887cb9001a.d: crates/bench/src/bin/theorem3_gap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorem3_gap-6beaf1887cb9001a.rmeta: crates/bench/src/bin/theorem3_gap.rs Cargo.toml
+
+crates/bench/src/bin/theorem3_gap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

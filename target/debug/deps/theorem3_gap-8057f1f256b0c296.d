@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem3_gap-8057f1f256b0c296.d: crates/bench/src/bin/theorem3_gap.rs
+
+/root/repo/target/debug/deps/theorem3_gap-8057f1f256b0c296: crates/bench/src/bin/theorem3_gap.rs
+
+crates/bench/src/bin/theorem3_gap.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorem3_gap-d4d85d0d0a594598.d: crates/bench/src/bin/theorem3_gap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorem3_gap-d4d85d0d0a594598.rmeta: crates/bench/src/bin/theorem3_gap.rs Cargo.toml
+
+crates/bench/src/bin/theorem3_gap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fleet_scaling-79c1958cac0cf701.d: crates/core/../../examples/fleet_scaling.rs
+
+/root/repo/target/debug/examples/fleet_scaling-79c1958cac0cf701: crates/core/../../examples/fleet_scaling.rs
+
+crates/core/../../examples/fleet_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fleet_scaling-aa2e0a94a0c3c4b1.d: crates/core/../../examples/fleet_scaling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfleet_scaling-aa2e0a94a0c3c4b1.rmeta: crates/core/../../examples/fleet_scaling.rs Cargo.toml
+
+crates/core/../../examples/fleet_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fleet_scaling-d3c844ab5ecb56c7.d: crates/core/../../examples/fleet_scaling.rs
+
+/root/repo/target/debug/examples/fleet_scaling-d3c844ab5ecb56c7: crates/core/../../examples/fleet_scaling.rs
+
+crates/core/../../examples/fleet_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/live_runtime-48730925bd9d9954.d: crates/core/../../examples/live_runtime.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblive_runtime-48730925bd9d9954.rmeta: crates/core/../../examples/live_runtime.rs Cargo.toml
+
+crates/core/../../examples/live_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

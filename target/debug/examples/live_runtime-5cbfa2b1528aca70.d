@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_runtime-5cbfa2b1528aca70.d: crates/core/../../examples/live_runtime.rs
+
+/root/repo/target/debug/examples/live_runtime-5cbfa2b1528aca70: crates/core/../../examples/live_runtime.rs
+
+crates/core/../../examples/live_runtime.rs:

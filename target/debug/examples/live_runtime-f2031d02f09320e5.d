@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_runtime-f2031d02f09320e5.d: crates/core/../../examples/live_runtime.rs
+
+/root/repo/target/debug/examples/live_runtime-f2031d02f09320e5: crates/core/../../examples/live_runtime.rs
+
+crates/core/../../examples/live_runtime.rs:

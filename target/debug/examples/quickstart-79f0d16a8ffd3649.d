@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-79f0d16a8ffd3649.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-79f0d16a8ffd3649: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

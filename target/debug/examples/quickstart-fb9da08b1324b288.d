@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fb9da08b1324b288.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-fb9da08b1324b288: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_camera-4436db99f3727c77.d: crates/core/../../examples/smart_camera.rs
+
+/root/repo/target/debug/examples/smart_camera-4436db99f3727c77: crates/core/../../examples/smart_camera.rs
+
+crates/core/../../examples/smart_camera.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_camera-86160bde270c32ea.d: crates/core/../../examples/smart_camera.rs
+
+/root/repo/target/debug/examples/smart_camera-86160bde270c32ea: crates/core/../../examples/smart_camera.rs
+
+crates/core/../../examples/smart_camera.rs:

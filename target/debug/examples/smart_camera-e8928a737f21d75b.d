@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smart_camera-e8928a737f21d75b.d: crates/core/../../examples/smart_camera.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmart_camera-e8928a737f21d75b.rmeta: crates/core/../../examples/smart_camera.rs Cargo.toml
+
+crates/core/../../examples/smart_camera.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_multi_tier-1bca549d2ff59ffb.d: crates/bench/src/bin/ext_multi_tier.rs
+
+/root/repo/target/release/deps/ext_multi_tier-1bca549d2ff59ffb: crates/bench/src/bin/ext_multi_tier.rs
+
+crates/bench/src/bin/ext_multi_tier.rs:

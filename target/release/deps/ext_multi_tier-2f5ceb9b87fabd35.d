@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_multi_tier-2f5ceb9b87fabd35.d: crates/bench/src/bin/ext_multi_tier.rs
+
+/root/repo/target/release/deps/ext_multi_tier-2f5ceb9b87fabd35: crates/bench/src/bin/ext_multi_tier.rs
+
+crates/bench/src/bin/ext_multi_tier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_multi_tier-34aff18fb37d1efc.d: crates/bench/src/bin/ext_multi_tier.rs
+
+/root/repo/target/release/deps/ext_multi_tier-34aff18fb37d1efc: crates/bench/src/bin/ext_multi_tier.rs
+
+crates/bench/src/bin/ext_multi_tier.rs:

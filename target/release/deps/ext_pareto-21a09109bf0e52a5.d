@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_pareto-21a09109bf0e52a5.d: crates/bench/src/bin/ext_pareto.rs
+
+/root/repo/target/release/deps/ext_pareto-21a09109bf0e52a5: crates/bench/src/bin/ext_pareto.rs
+
+crates/bench/src/bin/ext_pareto.rs:

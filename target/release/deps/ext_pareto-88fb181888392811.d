@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_pareto-88fb181888392811.d: crates/bench/src/bin/ext_pareto.rs
+
+/root/repo/target/release/deps/ext_pareto-88fb181888392811: crates/bench/src/bin/ext_pareto.rs
+
+crates/bench/src/bin/ext_pareto.rs:

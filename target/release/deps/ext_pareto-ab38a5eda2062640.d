@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_pareto-ab38a5eda2062640.d: crates/bench/src/bin/ext_pareto.rs
+
+/root/repo/target/release/deps/ext_pareto-ab38a5eda2062640: crates/bench/src/bin/ext_pareto.rs
+
+crates/bench/src/bin/ext_pareto.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_wild_network-8936a86290bc499d.d: crates/bench/src/bin/ext_wild_network.rs
+
+/root/repo/target/release/deps/ext_wild_network-8936a86290bc499d: crates/bench/src/bin/ext_wild_network.rs
+
+crates/bench/src/bin/ext_wild_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_wild_network-aeccd7c6ef8a977e.d: crates/bench/src/bin/ext_wild_network.rs
+
+/root/repo/target/release/deps/ext_wild_network-aeccd7c6ef8a977e: crates/bench/src/bin/ext_wild_network.rs
+
+crates/bench/src/bin/ext_wild_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_wild_network-ddf168e7c220ba9d.d: crates/bench/src/bin/ext_wild_network.rs
+
+/root/repo/target/release/deps/ext_wild_network-ddf168e7c220ba9d: crates/bench/src/bin/ext_wild_network.rs
+
+crates/bench/src/bin/ext_wild_network.rs:

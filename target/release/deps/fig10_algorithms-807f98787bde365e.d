@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_algorithms-807f98787bde365e.d: crates/bench/src/bin/fig10_algorithms.rs
+
+/root/repo/target/release/deps/fig10_algorithms-807f98787bde365e: crates/bench/src/bin/fig10_algorithms.rs
+
+crates/bench/src/bin/fig10_algorithms.rs:

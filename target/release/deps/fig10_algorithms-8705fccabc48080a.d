@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_algorithms-8705fccabc48080a.d: crates/bench/src/bin/fig10_algorithms.rs
+
+/root/repo/target/release/deps/fig10_algorithms-8705fccabc48080a: crates/bench/src/bin/fig10_algorithms.rs
+
+crates/bench/src/bin/fig10_algorithms.rs:

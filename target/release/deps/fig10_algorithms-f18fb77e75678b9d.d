@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_algorithms-f18fb77e75678b9d.d: crates/bench/src/bin/fig10_algorithms.rs
+
+/root/repo/target/release/deps/fig10_algorithms-f18fb77e75678b9d: crates/bench/src/bin/fig10_algorithms.rs
+
+crates/bench/src/bin/fig10_algorithms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_scalability-1865c1561930eaec.d: crates/bench/src/bin/fig11_scalability.rs
+
+/root/repo/target/release/deps/fig11_scalability-1865c1561930eaec: crates/bench/src/bin/fig11_scalability.rs
+
+crates/bench/src/bin/fig11_scalability.rs:

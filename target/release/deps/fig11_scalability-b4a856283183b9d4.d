@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_scalability-b4a856283183b9d4.d: crates/bench/src/bin/fig11_scalability.rs
+
+/root/repo/target/release/deps/fig11_scalability-b4a856283183b9d4: crates/bench/src/bin/fig11_scalability.rs
+
+crates/bench/src/bin/fig11_scalability.rs:

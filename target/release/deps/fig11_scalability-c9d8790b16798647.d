@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_scalability-c9d8790b16798647.d: crates/bench/src/bin/fig11_scalability.rs
+
+/root/repo/target/release/deps/fig11_scalability-c9d8790b16798647: crates/bench/src/bin/fig11_scalability.rs
+
+crates/bench/src/bin/fig11_scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_exit_motivation-9cfdf8b13a5c5d6e.d: crates/bench/src/bin/fig2_exit_motivation.rs
+
+/root/repo/target/release/deps/fig2_exit_motivation-9cfdf8b13a5c5d6e: crates/bench/src/bin/fig2_exit_motivation.rs
+
+crates/bench/src/bin/fig2_exit_motivation.rs:

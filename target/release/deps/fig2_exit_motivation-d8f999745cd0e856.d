@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_exit_motivation-d8f999745cd0e856.d: crates/bench/src/bin/fig2_exit_motivation.rs
+
+/root/repo/target/release/deps/fig2_exit_motivation-d8f999745cd0e856: crates/bench/src/bin/fig2_exit_motivation.rs
+
+crates/bench/src/bin/fig2_exit_motivation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_exit_motivation-fc3b275792a94574.d: crates/bench/src/bin/fig2_exit_motivation.rs
+
+/root/repo/target/release/deps/fig2_exit_motivation-fc3b275792a94574: crates/bench/src/bin/fig2_exit_motivation.rs
+
+crates/bench/src/bin/fig2_exit_motivation.rs:

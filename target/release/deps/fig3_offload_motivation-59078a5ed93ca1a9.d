@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_offload_motivation-59078a5ed93ca1a9.d: crates/bench/src/bin/fig3_offload_motivation.rs
+
+/root/repo/target/release/deps/fig3_offload_motivation-59078a5ed93ca1a9: crates/bench/src/bin/fig3_offload_motivation.rs
+
+crates/bench/src/bin/fig3_offload_motivation.rs:

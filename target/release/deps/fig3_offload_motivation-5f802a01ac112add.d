@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_offload_motivation-5f802a01ac112add.d: crates/bench/src/bin/fig3_offload_motivation.rs
+
+/root/repo/target/release/deps/fig3_offload_motivation-5f802a01ac112add: crates/bench/src/bin/fig3_offload_motivation.rs
+
+crates/bench/src/bin/fig3_offload_motivation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_offload_motivation-c1a3a00365e64f15.d: crates/bench/src/bin/fig3_offload_motivation.rs
+
+/root/repo/target/release/deps/fig3_offload_motivation-c1a3a00365e64f15: crates/bench/src/bin/fig3_offload_motivation.rs
+
+crates/bench/src/bin/fig3_offload_motivation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_accuracy-4ba61d7245148477.d: crates/bench/src/bin/fig6_accuracy.rs
+
+/root/repo/target/release/deps/fig6_accuracy-4ba61d7245148477: crates/bench/src/bin/fig6_accuracy.rs
+
+crates/bench/src/bin/fig6_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_accuracy-569a1e9032337eb8.d: crates/bench/src/bin/fig6_accuracy.rs
+
+/root/repo/target/release/deps/fig6_accuracy-569a1e9032337eb8: crates/bench/src/bin/fig6_accuracy.rs
+
+crates/bench/src/bin/fig6_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_accuracy-68d54b773b42a248.d: crates/bench/src/bin/fig6_accuracy.rs
+
+/root/repo/target/release/deps/fig6_accuracy-68d54b773b42a248: crates/bench/src/bin/fig6_accuracy.rs
+
+crates/bench/src/bin/fig6_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_network-50033124d1bba6cf.d: crates/bench/src/bin/fig7_network.rs
+
+/root/repo/target/release/deps/fig7_network-50033124d1bba6cf: crates/bench/src/bin/fig7_network.rs
+
+crates/bench/src/bin/fig7_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_network-6bc6cc36b08c5463.d: crates/bench/src/bin/fig7_network.rs
+
+/root/repo/target/release/deps/fig7_network-6bc6cc36b08c5463: crates/bench/src/bin/fig7_network.rs
+
+crates/bench/src/bin/fig7_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_network-7aa77951ba212971.d: crates/bench/src/bin/fig7_network.rs
+
+/root/repo/target/release/deps/fig7_network-7aa77951ba212971: crates/bench/src/bin/fig7_network.rs
+
+crates/bench/src/bin/fig7_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_models-3462e86a8fa14f98.d: crates/bench/src/bin/fig8_models.rs
+
+/root/repo/target/release/deps/fig8_models-3462e86a8fa14f98: crates/bench/src/bin/fig8_models.rs
+
+crates/bench/src/bin/fig8_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_models-40faac28cb8569e3.d: crates/bench/src/bin/fig8_models.rs
+
+/root/repo/target/release/deps/fig8_models-40faac28cb8569e3: crates/bench/src/bin/fig8_models.rs
+
+crates/bench/src/bin/fig8_models.rs:

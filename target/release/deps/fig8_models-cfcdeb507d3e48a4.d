@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_models-cfcdeb507d3e48a4.d: crates/bench/src/bin/fig8_models.rs
+
+/root/repo/target/release/deps/fig8_models-cfcdeb507d3e48a4: crates/bench/src/bin/fig8_models.rs
+
+crates/bench/src/bin/fig8_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_stability-01943866beadd128.d: crates/bench/src/bin/fig9_stability.rs
+
+/root/repo/target/release/deps/fig9_stability-01943866beadd128: crates/bench/src/bin/fig9_stability.rs
+
+crates/bench/src/bin/fig9_stability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_stability-40218404f3e1aba4.d: crates/bench/src/bin/fig9_stability.rs
+
+/root/repo/target/release/deps/fig9_stability-40218404f3e1aba4: crates/bench/src/bin/fig9_stability.rs
+
+crates/bench/src/bin/fig9_stability.rs:

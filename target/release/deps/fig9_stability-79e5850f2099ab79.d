@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_stability-79e5850f2099ab79.d: crates/bench/src/bin/fig9_stability.rs
+
+/root/repo/target/release/deps/fig9_stability-79e5850f2099ab79: crates/bench/src/bin/fig9_stability.rs
+
+crates/bench/src/bin/fig9_stability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_calibration-fc9a55a72aaa1c3a.d: crates/core/../../tests/integration_calibration.rs
+
+/root/repo/target/release/deps/integration_calibration-fc9a55a72aaa1c3a: crates/core/../../tests/integration_calibration.rs
+
+crates/core/../../tests/integration_calibration.rs:

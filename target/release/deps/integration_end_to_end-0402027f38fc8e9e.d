@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_end_to_end-0402027f38fc8e9e.d: crates/core/../../tests/integration_end_to_end.rs
+
+/root/repo/target/release/deps/integration_end_to_end-0402027f38fc8e9e: crates/core/../../tests/integration_end_to_end.rs
+
+crates/core/../../tests/integration_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_exit_setting-6e62d3ad8f5701cb.d: crates/core/../../tests/integration_exit_setting.rs
+
+/root/repo/target/release/deps/integration_exit_setting-6e62d3ad8f5701cb: crates/core/../../tests/integration_exit_setting.rs
+
+crates/core/../../tests/integration_exit_setting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_extensions-0f4451936720a0c1.d: crates/core/../../tests/integration_extensions.rs
+
+/root/repo/target/release/deps/integration_extensions-0f4451936720a0c1: crates/core/../../tests/integration_extensions.rs
+
+crates/core/../../tests/integration_extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_offloading-8a1024944f59b33a.d: crates/core/../../tests/integration_offloading.rs
+
+/root/repo/target/release/deps/integration_offloading-8a1024944f59b33a: crates/core/../../tests/integration_offloading.rs
+
+crates/core/../../tests/integration_offloading.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_runtime-b4fa7bd8cc9a0345.d: crates/core/../../tests/integration_runtime.rs
+
+/root/repo/target/release/deps/integration_runtime-b4fa7bd8cc9a0345: crates/core/../../tests/integration_runtime.rs
+
+crates/core/../../tests/integration_runtime.rs:

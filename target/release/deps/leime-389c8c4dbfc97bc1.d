@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/leime-389c8c4dbfc97bc1.d: crates/core/src/bin/leime.rs
+
+/root/repo/target/release/deps/leime-389c8c4dbfc97bc1: crates/core/src/bin/leime.rs
+
+crates/core/src/bin/leime.rs:

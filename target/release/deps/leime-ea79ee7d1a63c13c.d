@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/leime-ea79ee7d1a63c13c.d: crates/core/src/bin/leime.rs
+
+/root/repo/target/release/deps/leime-ea79ee7d1a63c13c: crates/core/src/bin/leime.rs
+
+crates/core/src/bin/leime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/leime-f540c76a4bb022aa.d: crates/core/src/bin/leime.rs
+
+/root/repo/target/release/deps/leime-f540c76a4bb022aa: crates/core/src/bin/leime.rs
+
+crates/core/src/bin/leime.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/leime_bench-501b11333716112a.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libleime_bench-501b11333716112a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libleime_bench-501b11333716112a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

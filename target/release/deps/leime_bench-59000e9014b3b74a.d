@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/leime_bench-59000e9014b3b74a.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libleime_bench-59000e9014b3b74a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libleime_bench-59000e9014b3b74a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/leime_bench-c8abc865d9667017.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/leime_bench-c8abc865d9667017: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/leime_exitcfg-a8907c28953be2e7.d: crates/exitcfg/src/lib.rs crates/exitcfg/src/baselines.rs crates/exitcfg/src/bb.rs crates/exitcfg/src/cost.rs crates/exitcfg/src/env.rs crates/exitcfg/src/exhaustive.rs crates/exitcfg/src/multi_tier.rs
+
+/root/repo/target/release/deps/libleime_exitcfg-a8907c28953be2e7.rlib: crates/exitcfg/src/lib.rs crates/exitcfg/src/baselines.rs crates/exitcfg/src/bb.rs crates/exitcfg/src/cost.rs crates/exitcfg/src/env.rs crates/exitcfg/src/exhaustive.rs crates/exitcfg/src/multi_tier.rs
+
+/root/repo/target/release/deps/libleime_exitcfg-a8907c28953be2e7.rmeta: crates/exitcfg/src/lib.rs crates/exitcfg/src/baselines.rs crates/exitcfg/src/bb.rs crates/exitcfg/src/cost.rs crates/exitcfg/src/env.rs crates/exitcfg/src/exhaustive.rs crates/exitcfg/src/multi_tier.rs
+
+crates/exitcfg/src/lib.rs:
+crates/exitcfg/src/baselines.rs:
+crates/exitcfg/src/bb.rs:
+crates/exitcfg/src/cost.rs:
+crates/exitcfg/src/env.rs:
+crates/exitcfg/src/exhaustive.rs:
+crates/exitcfg/src/multi_tier.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/leime_inference-329d87bfb7635fea.d: crates/inference/src/lib.rs crates/inference/src/calibration.rs crates/inference/src/pipeline.rs crates/inference/src/train.rs
+
+/root/repo/target/release/deps/libleime_inference-329d87bfb7635fea.rlib: crates/inference/src/lib.rs crates/inference/src/calibration.rs crates/inference/src/pipeline.rs crates/inference/src/train.rs
+
+/root/repo/target/release/deps/libleime_inference-329d87bfb7635fea.rmeta: crates/inference/src/lib.rs crates/inference/src/calibration.rs crates/inference/src/pipeline.rs crates/inference/src/train.rs
+
+crates/inference/src/lib.rs:
+crates/inference/src/calibration.rs:
+crates/inference/src/pipeline.rs:
+crates/inference/src/train.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/leime_offload-919c0e688821e2de.d: crates/offload/src/lib.rs crates/offload/src/alloc.rs crates/offload/src/analysis.rs crates/offload/src/cost.rs crates/offload/src/params.rs crates/offload/src/queues.rs crates/offload/src/controller.rs crates/offload/src/solver.rs
+
+/root/repo/target/release/deps/libleime_offload-919c0e688821e2de.rlib: crates/offload/src/lib.rs crates/offload/src/alloc.rs crates/offload/src/analysis.rs crates/offload/src/cost.rs crates/offload/src/params.rs crates/offload/src/queues.rs crates/offload/src/controller.rs crates/offload/src/solver.rs
+
+/root/repo/target/release/deps/libleime_offload-919c0e688821e2de.rmeta: crates/offload/src/lib.rs crates/offload/src/alloc.rs crates/offload/src/analysis.rs crates/offload/src/cost.rs crates/offload/src/params.rs crates/offload/src/queues.rs crates/offload/src/controller.rs crates/offload/src/solver.rs
+
+crates/offload/src/lib.rs:
+crates/offload/src/alloc.rs:
+crates/offload/src/analysis.rs:
+crates/offload/src/cost.rs:
+crates/offload/src/params.rs:
+crates/offload/src/queues.rs:
+crates/offload/src/controller.rs:
+crates/offload/src/solver.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/leime_offload-9e2d213d44a4fe6d.d: crates/offload/src/lib.rs crates/offload/src/alloc.rs crates/offload/src/analysis.rs crates/offload/src/cost.rs crates/offload/src/params.rs crates/offload/src/queues.rs crates/offload/src/controller.rs crates/offload/src/solver.rs crates/offload/src/telemetry.rs
+
+/root/repo/target/release/deps/libleime_offload-9e2d213d44a4fe6d.rlib: crates/offload/src/lib.rs crates/offload/src/alloc.rs crates/offload/src/analysis.rs crates/offload/src/cost.rs crates/offload/src/params.rs crates/offload/src/queues.rs crates/offload/src/controller.rs crates/offload/src/solver.rs crates/offload/src/telemetry.rs
+
+/root/repo/target/release/deps/libleime_offload-9e2d213d44a4fe6d.rmeta: crates/offload/src/lib.rs crates/offload/src/alloc.rs crates/offload/src/analysis.rs crates/offload/src/cost.rs crates/offload/src/params.rs crates/offload/src/queues.rs crates/offload/src/controller.rs crates/offload/src/solver.rs crates/offload/src/telemetry.rs
+
+crates/offload/src/lib.rs:
+crates/offload/src/alloc.rs:
+crates/offload/src/analysis.rs:
+crates/offload/src/cost.rs:
+crates/offload/src/params.rs:
+crates/offload/src/queues.rs:
+crates/offload/src/controller.rs:
+crates/offload/src/solver.rs:
+crates/offload/src/telemetry.rs:

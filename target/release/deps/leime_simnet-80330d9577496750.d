@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/leime_simnet-80330d9577496750.d: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/link.rs crates/simnet/src/server.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/stats.rs
+
+/root/repo/target/release/deps/leime_simnet-80330d9577496750: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/link.rs crates/simnet/src/server.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/stats.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/link.rs:
+crates/simnet/src/server.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:
+crates/simnet/src/stats.rs:

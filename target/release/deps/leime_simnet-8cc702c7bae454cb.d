@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/leime_simnet-8cc702c7bae454cb.d: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/link.rs crates/simnet/src/monitor.rs crates/simnet/src/server.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/stats.rs
+
+/root/repo/target/release/deps/libleime_simnet-8cc702c7bae454cb.rlib: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/link.rs crates/simnet/src/monitor.rs crates/simnet/src/server.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/stats.rs
+
+/root/repo/target/release/deps/libleime_simnet-8cc702c7bae454cb.rmeta: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/link.rs crates/simnet/src/monitor.rs crates/simnet/src/server.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/stats.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/link.rs:
+crates/simnet/src/monitor.rs:
+crates/simnet/src/server.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:
+crates/simnet/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/leime_simnet-e7927f19463e2579.d: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/link.rs crates/simnet/src/server.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/stats.rs
+
+/root/repo/target/release/deps/libleime_simnet-e7927f19463e2579.rlib: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/link.rs crates/simnet/src/server.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/stats.rs
+
+/root/repo/target/release/deps/libleime_simnet-e7927f19463e2579.rmeta: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/link.rs crates/simnet/src/server.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/stats.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/link.rs:
+crates/simnet/src/server.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:
+crates/simnet/src/stats.rs:

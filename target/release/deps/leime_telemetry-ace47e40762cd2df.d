@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/leime_telemetry-ace47e40762cd2df.d: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/hist.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/release/deps/libleime_telemetry-ace47e40762cd2df.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/hist.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/release/deps/libleime_telemetry-ace47e40762cd2df.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/hist.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/clock.rs:
+crates/telemetry/src/hist.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/trace.rs:

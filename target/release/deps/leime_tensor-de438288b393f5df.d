@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/leime_tensor-de438288b393f5df.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/init.rs crates/tensor/src/nn/mod.rs crates/tensor/src/nn/loss.rs crates/tensor/src/nn/mlp.rs crates/tensor/src/nn/sgd.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/linear.rs crates/tensor/src/ops/pool.rs
+
+/root/repo/target/release/deps/libleime_tensor-de438288b393f5df.rlib: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/init.rs crates/tensor/src/nn/mod.rs crates/tensor/src/nn/loss.rs crates/tensor/src/nn/mlp.rs crates/tensor/src/nn/sgd.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/linear.rs crates/tensor/src/ops/pool.rs
+
+/root/repo/target/release/deps/libleime_tensor-de438288b393f5df.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/init.rs crates/tensor/src/nn/mod.rs crates/tensor/src/nn/loss.rs crates/tensor/src/nn/mlp.rs crates/tensor/src/nn/sgd.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/linear.rs crates/tensor/src/ops/pool.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/nn/mod.rs:
+crates/tensor/src/nn/loss.rs:
+crates/tensor/src/nn/mlp.rs:
+crates/tensor/src/nn/sgd.rs:
+crates/tensor/src/ops/mod.rs:
+crates/tensor/src/ops/activation.rs:
+crates/tensor/src/ops/conv.rs:
+crates/tensor/src/ops/linear.rs:
+crates/tensor/src/ops/pool.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/leime_workload-3ac0bb400f109389.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/cascade.rs crates/workload/src/dataset.rs crates/workload/src/exitmodel.rs
+
+/root/repo/target/release/deps/libleime_workload-3ac0bb400f109389.rlib: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/cascade.rs crates/workload/src/dataset.rs crates/workload/src/exitmodel.rs
+
+/root/repo/target/release/deps/libleime_workload-3ac0bb400f109389.rmeta: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/cascade.rs crates/workload/src/dataset.rs crates/workload/src/exitmodel.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/cascade.rs:
+crates/workload/src/dataset.rs:
+crates/workload/src/exitmodel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/leime_workload-e5021f60e1d1ab73.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/cascade.rs crates/workload/src/dataset.rs crates/workload/src/exitmodel.rs
+
+/root/repo/target/release/deps/leime_workload-e5021f60e1d1ab73: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/cascade.rs crates/workload/src/dataset.rs crates/workload/src/exitmodel.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/cascade.rs:
+crates/workload/src/dataset.rs:
+crates/workload/src/exitmodel.rs:

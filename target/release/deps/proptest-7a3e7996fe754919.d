@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-7a3e7996fe754919.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-7a3e7996fe754919.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-7a3e7996fe754919.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-143bd51f170fa34e.d: crates/dnn/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-143bd51f170fa34e: crates/dnn/tests/proptests.rs
+
+crates/dnn/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-22e417d26426495c.d: crates/exitcfg/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-22e417d26426495c: crates/exitcfg/tests/proptests.rs
+
+crates/exitcfg/tests/proptests.rs:

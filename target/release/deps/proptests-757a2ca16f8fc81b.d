@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-757a2ca16f8fc81b.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-757a2ca16f8fc81b: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-b0e557bd06619a2a.d: crates/simnet/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-b0e557bd06619a2a: crates/simnet/tests/proptests.rs
+
+crates/simnet/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-f4a03114dc9a2afd.d: crates/offload/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-f4a03114dc9a2afd: crates/offload/tests/proptests.rs
+
+crates/offload/tests/proptests.rs:

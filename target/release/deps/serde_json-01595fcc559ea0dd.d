@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-01595fcc559ea0dd.d: crates/shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-01595fcc559ea0dd.rlib: crates/shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-01595fcc559ea0dd.rmeta: crates/shims/serde_json/src/lib.rs
+
+crates/shims/serde_json/src/lib.rs:

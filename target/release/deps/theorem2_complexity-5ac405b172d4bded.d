@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theorem2_complexity-5ac405b172d4bded.d: crates/bench/src/bin/theorem2_complexity.rs
+
+/root/repo/target/release/deps/theorem2_complexity-5ac405b172d4bded: crates/bench/src/bin/theorem2_complexity.rs
+
+crates/bench/src/bin/theorem2_complexity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theorem2_complexity-7a5d1f77596d8e7f.d: crates/bench/src/bin/theorem2_complexity.rs
+
+/root/repo/target/release/deps/theorem2_complexity-7a5d1f77596d8e7f: crates/bench/src/bin/theorem2_complexity.rs
+
+crates/bench/src/bin/theorem2_complexity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theorem2_complexity-e22ed0eed63812cd.d: crates/bench/src/bin/theorem2_complexity.rs
+
+/root/repo/target/release/deps/theorem2_complexity-e22ed0eed63812cd: crates/bench/src/bin/theorem2_complexity.rs
+
+crates/bench/src/bin/theorem2_complexity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theorem3_gap-29da231112da89c9.d: crates/bench/src/bin/theorem3_gap.rs
+
+/root/repo/target/release/deps/theorem3_gap-29da231112da89c9: crates/bench/src/bin/theorem3_gap.rs
+
+crates/bench/src/bin/theorem3_gap.rs:

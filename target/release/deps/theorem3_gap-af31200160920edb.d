@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theorem3_gap-af31200160920edb.d: crates/bench/src/bin/theorem3_gap.rs
+
+/root/repo/target/release/deps/theorem3_gap-af31200160920edb: crates/bench/src/bin/theorem3_gap.rs
+
+crates/bench/src/bin/theorem3_gap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theorem3_gap-dac5e2e36caa2bc4.d: crates/bench/src/bin/theorem3_gap.rs
+
+/root/repo/target/release/deps/theorem3_gap-dac5e2e36caa2bc4: crates/bench/src/bin/theorem3_gap.rs
+
+crates/bench/src/bin/theorem3_gap.rs:

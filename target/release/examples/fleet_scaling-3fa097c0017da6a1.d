@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fleet_scaling-3fa097c0017da6a1.d: crates/core/../../examples/fleet_scaling.rs
+
+/root/repo/target/release/examples/fleet_scaling-3fa097c0017da6a1: crates/core/../../examples/fleet_scaling.rs
+
+crates/core/../../examples/fleet_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/live_runtime-1843c7fad9816327.d: crates/core/../../examples/live_runtime.rs
+
+/root/repo/target/release/examples/live_runtime-1843c7fad9816327: crates/core/../../examples/live_runtime.rs
+
+crates/core/../../examples/live_runtime.rs:

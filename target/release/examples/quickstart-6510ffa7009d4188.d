@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-6510ffa7009d4188.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-6510ffa7009d4188: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/smart_camera-bc64837dde4dd3e4.d: crates/core/../../examples/smart_camera.rs
+
+/root/repo/target/release/examples/smart_camera-bc64837dde4dd3e4: crates/core/../../examples/smart_camera.rs
+
+crates/core/../../examples/smart_camera.rs:

@@ -94,7 +94,10 @@ fn harder_dataset_produces_lower_early_exit_rates() {
     let easy = calibrate(
         &chain,
         &cascade,
-        &SyntheticDataset::new(10, leime_workload::ComplexityDist::EasySkewed { shape: 3.0 }),
+        &SyntheticDataset::new(
+            10,
+            leime_workload::ComplexityDist::EasySkewed { shape: 3.0 },
+        ),
         quick_config(),
         &mut rng,
     );
@@ -102,7 +105,10 @@ fn harder_dataset_produces_lower_early_exit_rates() {
     let hard = calibrate(
         &chain,
         &cascade,
-        &SyntheticDataset::new(10, leime_workload::ComplexityDist::HardSkewed { shape: 3.0 }),
+        &SyntheticDataset::new(
+            10,
+            leime_workload::ComplexityDist::HardSkewed { shape: 3.0 },
+        ),
         quick_config(),
         &mut rng,
     );

@@ -96,7 +96,11 @@ fn fig2a_weak_device_prefers_shallow_first_exit() {
         pi.first + 1,
         nano.first + 1
     );
-    assert!(pi.first <= 2, "Pi First-exit {} should be shallow", pi.first + 1);
+    assert!(
+        pi.first <= 2,
+        "Pi First-exit {} should be shallow",
+        pi.first + 1
+    );
 }
 
 #[test]

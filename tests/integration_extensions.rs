@@ -16,11 +16,8 @@ fn scenario_json_round_trip() {
     let mut original = Scenario::raspberry_pi_cluster(ModelKind::InceptionV3, 3, 4.0);
     original.controller = ControllerKind::Fixed(0.35);
     original.bandwidth_scale = Some(
-        TimeTrace::from_points(vec![
-            (SimTime::ZERO, 1.0),
-            (SimTime::from_secs(60.0), 0.25),
-        ])
-        .unwrap(),
+        TimeTrace::from_points(vec![(SimTime::ZERO, 1.0), (SimTime::from_secs(60.0), 0.25)])
+            .unwrap(),
     );
     let json = original.to_json().unwrap();
     let parsed = Scenario::from_json(&json).unwrap();
@@ -71,19 +68,13 @@ fn bandwidth_collapse_degrades_then_recovers() {
         degraded > healthy1 * 1.2,
         "collapse had no effect: {healthy1} -> {degraded}"
     );
-    assert!(
-        healthy2 < degraded,
-        "no recovery: {degraded} -> {healthy2}"
-    );
+    assert!(healthy2 < degraded, "no recovery: {degraded} -> {healthy2}");
 }
 
 #[test]
 fn bandwidth_trace_affects_des_too() {
-    let trace = TimeTrace::from_points(vec![
-        (SimTime::ZERO, 1.0),
-        (SimTime::from_secs(50.0), 0.1),
-    ])
-    .unwrap();
+    let trace = TimeTrace::from_points(vec![(SimTime::ZERO, 1.0), (SimTime::from_secs(50.0), 0.1)])
+        .unwrap();
     let base = Scenario::raspberry_pi_cluster(ModelKind::InceptionV3, 1, 2.0);
     let dep = base.deploy(ExitStrategy::Leime).unwrap();
     let steady = base.run_des(&dep, 100.0, 5).unwrap();
@@ -101,11 +92,7 @@ fn bandwidth_trace_affects_des_too() {
 #[test]
 fn accuracy_constrained_deployment_respects_the_sla() {
     let chain = ModelKind::SqueezeNet.build(10);
-    let cascade = FeatureCascade::new(
-        10,
-        CascadeParams::for_architecture("squeezenet_1_0"),
-        71,
-    );
+    let cascade = FeatureCascade::new(10, CascadeParams::for_architecture("squeezenet_1_0"), 71);
     let dataset = SyntheticDataset::cifar_like();
     let mut rng = StdRng::seed_from_u64(71);
     let cal = calibrate(
@@ -284,8 +271,7 @@ fn five_tier_hierarchy_end_to_end() {
     // exits; the first three tiers' environment comes from a scenario.
     let s = Scenario::raspberry_pi_cluster(ModelKind::InceptionV3, 1, 2.0);
     let chain = s.chain();
-    let profile =
-        leime_dnn::ModelProfile::from_chain(&chain, s.exit_spec).unwrap();
+    let profile = leime_dnn::ModelProfile::from_chain(&chain, s.exit_spec).unwrap();
     let rates = s.candidate_rates();
     let base = tiers_from_env(s.avg_env());
     let tiers = [

@@ -1,7 +1,7 @@
 //! Integration tests for the live multi-threaded runtime: real classifier
 //! inference on device/edge/cloud threads with emulated links.
 
-use leime::runtime::{run_live, RuntimeConfig};
+use leime::runtime::{run_live, run_live_with_registry, RuntimeConfig};
 use leime::ModelKind;
 use leime_dnn::ExitCombo;
 use leime_inference::{calibrate, CalibrationConfig, EarlyExitPipeline, TrainConfig};
@@ -98,6 +98,57 @@ fn offloaded_tasks_still_complete() {
     };
     let report = run_live(&pipeline, &cascade, &dataset, config).unwrap();
     assert_eq!(report.completed, 60);
+}
+
+#[test]
+fn report_percentiles_are_ordered_and_populated() {
+    let (pipeline, cascade) = build_pipeline(59);
+    let dataset = SyntheticDataset::cifar_like();
+    let config = RuntimeConfig {
+        num_devices: 2,
+        tasks_per_device: 30,
+        offload_ratio: 0.25,
+        time_scale: 0.001,
+        ..RuntimeConfig::default()
+    };
+    let registry = leime_telemetry::Registry::new();
+    let report =
+        run_live_with_registry(&pipeline, &cascade, &dataset, config, &registry, "rt").unwrap();
+    assert_eq!(report.completed, 60);
+    assert!(report.p50_tct_s > 0.0, "p50 {}", report.p50_tct_s);
+    assert!(
+        report.p50_tct_s <= report.p95_tct_s,
+        "p50 {} > p95 {}",
+        report.p50_tct_s,
+        report.p95_tct_s
+    );
+    assert!(
+        report.p95_tct_s <= report.p99_tct_s,
+        "p95 {} > p99 {}",
+        report.p95_tct_s,
+        report.p99_tct_s
+    );
+    // The quantile estimate is log-bucketed: the median must at least sit
+    // in the same ballpark as the exact mean.
+    assert!(report.p99_tct_s < report.mean_tct_s * 100.0);
+
+    let snapshot = registry.snapshot();
+    let tct = snapshot
+        .histogram_named("rt.tct_s")
+        .expect("rt.tct_s recorded");
+    assert_eq!(tct.count, 60);
+    let max = tct.max.expect("non-empty histogram has a max");
+    assert!(
+        report.p99_tct_s <= max,
+        "p99 {} > max {max}",
+        report.p99_tct_s
+    );
+    let per_tier: u64 = ["rt.tct_device_s", "rt.tct_edge_s", "rt.tct_cloud_s"]
+        .iter()
+        .filter_map(|n| snapshot.histogram_named(n))
+        .map(|h| h.count)
+        .sum();
+    assert_eq!(per_tier, 60, "tier histograms must partition completions");
 }
 
 #[test]
