@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_multi_tier-e9f2a129de880132.d: crates/bench/src/bin/ext_multi_tier.rs
+
+/root/repo/target/debug/deps/libext_multi_tier-e9f2a129de880132.rmeta: crates/bench/src/bin/ext_multi_tier.rs
+
+crates/bench/src/bin/ext_multi_tier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_pareto-010db731706c2c2e.d: crates/bench/src/bin/ext_pareto.rs
+
+/root/repo/target/debug/deps/libext_pareto-010db731706c2c2e.rmeta: crates/bench/src/bin/ext_pareto.rs
+
+crates/bench/src/bin/ext_pareto.rs:

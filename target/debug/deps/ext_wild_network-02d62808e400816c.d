@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_wild_network-02d62808e400816c.d: crates/bench/src/bin/ext_wild_network.rs
+
+/root/repo/target/debug/deps/libext_wild_network-02d62808e400816c.rmeta: crates/bench/src/bin/ext_wild_network.rs
+
+crates/bench/src/bin/ext_wild_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_algorithms-fb2b048cd81b1a73.d: crates/bench/src/bin/fig10_algorithms.rs
+
+/root/repo/target/debug/deps/libfig10_algorithms-fb2b048cd81b1a73.rmeta: crates/bench/src/bin/fig10_algorithms.rs
+
+crates/bench/src/bin/fig10_algorithms.rs:

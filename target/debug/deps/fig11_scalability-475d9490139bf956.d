@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_scalability-475d9490139bf956.d: crates/bench/src/bin/fig11_scalability.rs
+
+/root/repo/target/debug/deps/libfig11_scalability-475d9490139bf956.rmeta: crates/bench/src/bin/fig11_scalability.rs
+
+crates/bench/src/bin/fig11_scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_exit_motivation-3cc71474cb3d8c9a.d: crates/bench/src/bin/fig2_exit_motivation.rs
+
+/root/repo/target/debug/deps/libfig2_exit_motivation-3cc71474cb3d8c9a.rmeta: crates/bench/src/bin/fig2_exit_motivation.rs
+
+crates/bench/src/bin/fig2_exit_motivation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_offload_motivation-a03d9cef098cd3a7.d: crates/bench/src/bin/fig3_offload_motivation.rs
+
+/root/repo/target/debug/deps/libfig3_offload_motivation-a03d9cef098cd3a7.rmeta: crates/bench/src/bin/fig3_offload_motivation.rs
+
+crates/bench/src/bin/fig3_offload_motivation.rs:

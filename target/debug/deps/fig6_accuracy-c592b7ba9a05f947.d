@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_accuracy-c592b7ba9a05f947.d: crates/bench/src/bin/fig6_accuracy.rs
+
+/root/repo/target/debug/deps/libfig6_accuracy-c592b7ba9a05f947.rmeta: crates/bench/src/bin/fig6_accuracy.rs
+
+crates/bench/src/bin/fig6_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_network-9c517e2eb7225ace.d: crates/bench/src/bin/fig7_network.rs
+
+/root/repo/target/debug/deps/libfig7_network-9c517e2eb7225ace.rmeta: crates/bench/src/bin/fig7_network.rs
+
+crates/bench/src/bin/fig7_network.rs:

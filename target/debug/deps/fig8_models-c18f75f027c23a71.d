@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_models-c18f75f027c23a71.d: crates/bench/src/bin/fig8_models.rs
+
+/root/repo/target/debug/deps/libfig8_models-c18f75f027c23a71.rmeta: crates/bench/src/bin/fig8_models.rs
+
+crates/bench/src/bin/fig8_models.rs:

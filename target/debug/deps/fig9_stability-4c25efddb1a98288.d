@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_stability-4c25efddb1a98288.d: crates/bench/src/bin/fig9_stability.rs
+
+/root/repo/target/debug/deps/libfig9_stability-4c25efddb1a98288.rmeta: crates/bench/src/bin/fig9_stability.rs
+
+crates/bench/src/bin/fig9_stability.rs:

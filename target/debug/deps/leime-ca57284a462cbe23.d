@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/leime-ca57284a462cbe23.d: crates/core/src/lib.rs crates/core/src/deploy.rs crates/core/src/error.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/slotted.rs crates/core/src/tasksim.rs crates/core/src/runtime/mod.rs crates/core/src/runtime/messages.rs crates/core/src/systems.rs
+
+/root/repo/target/debug/deps/libleime-ca57284a462cbe23.rmeta: crates/core/src/lib.rs crates/core/src/deploy.rs crates/core/src/error.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/slotted.rs crates/core/src/tasksim.rs crates/core/src/runtime/mod.rs crates/core/src/runtime/messages.rs crates/core/src/systems.rs
+
+crates/core/src/lib.rs:
+crates/core/src/deploy.rs:
+crates/core/src/error.rs:
+crates/core/src/model.rs:
+crates/core/src/report.rs:
+crates/core/src/scenario.rs:
+crates/core/src/slotted.rs:
+crates/core/src/tasksim.rs:
+crates/core/src/runtime/mod.rs:
+crates/core/src/runtime/messages.rs:
+crates/core/src/systems.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leime-f49ec47bc4024b11.d: crates/core/src/bin/leime.rs
+
+/root/repo/target/debug/deps/libleime-f49ec47bc4024b11.rmeta: crates/core/src/bin/leime.rs
+
+crates/core/src/bin/leime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leime_bench-5fa6110e97fa4acb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libleime_bench-5fa6110e97fa4acb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/leime_dnn-ec16dfd9bf3bb0ad.d: crates/dnn/src/lib.rs crates/dnn/src/chain.rs crates/dnn/src/error.rs crates/dnn/src/exit.rs crates/dnn/src/layer.rs crates/dnn/src/mednn.rs crates/dnn/src/profile.rs crates/dnn/src/zoo/mod.rs crates/dnn/src/zoo/alexnet.rs crates/dnn/src/zoo/inception.rs crates/dnn/src/zoo/mobilenet.rs crates/dnn/src/zoo/resnet.rs crates/dnn/src/zoo/squeezenet.rs crates/dnn/src/zoo/vgg.rs
+
+/root/repo/target/debug/deps/libleime_dnn-ec16dfd9bf3bb0ad.rmeta: crates/dnn/src/lib.rs crates/dnn/src/chain.rs crates/dnn/src/error.rs crates/dnn/src/exit.rs crates/dnn/src/layer.rs crates/dnn/src/mednn.rs crates/dnn/src/profile.rs crates/dnn/src/zoo/mod.rs crates/dnn/src/zoo/alexnet.rs crates/dnn/src/zoo/inception.rs crates/dnn/src/zoo/mobilenet.rs crates/dnn/src/zoo/resnet.rs crates/dnn/src/zoo/squeezenet.rs crates/dnn/src/zoo/vgg.rs
+
+crates/dnn/src/lib.rs:
+crates/dnn/src/chain.rs:
+crates/dnn/src/error.rs:
+crates/dnn/src/exit.rs:
+crates/dnn/src/layer.rs:
+crates/dnn/src/mednn.rs:
+crates/dnn/src/profile.rs:
+crates/dnn/src/zoo/mod.rs:
+crates/dnn/src/zoo/alexnet.rs:
+crates/dnn/src/zoo/inception.rs:
+crates/dnn/src/zoo/mobilenet.rs:
+crates/dnn/src/zoo/resnet.rs:
+crates/dnn/src/zoo/squeezenet.rs:
+crates/dnn/src/zoo/vgg.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/leime_exitcfg-ff1204ab428bfcd8.d: crates/exitcfg/src/lib.rs crates/exitcfg/src/baselines.rs crates/exitcfg/src/bb.rs crates/exitcfg/src/cost.rs crates/exitcfg/src/env.rs crates/exitcfg/src/exhaustive.rs crates/exitcfg/src/multi_tier.rs
+
+/root/repo/target/debug/deps/libleime_exitcfg-ff1204ab428bfcd8.rmeta: crates/exitcfg/src/lib.rs crates/exitcfg/src/baselines.rs crates/exitcfg/src/bb.rs crates/exitcfg/src/cost.rs crates/exitcfg/src/env.rs crates/exitcfg/src/exhaustive.rs crates/exitcfg/src/multi_tier.rs
+
+crates/exitcfg/src/lib.rs:
+crates/exitcfg/src/baselines.rs:
+crates/exitcfg/src/bb.rs:
+crates/exitcfg/src/cost.rs:
+crates/exitcfg/src/env.rs:
+crates/exitcfg/src/exhaustive.rs:
+crates/exitcfg/src/multi_tier.rs:

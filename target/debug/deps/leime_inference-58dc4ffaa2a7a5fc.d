@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/leime_inference-58dc4ffaa2a7a5fc.d: crates/inference/src/lib.rs crates/inference/src/calibration.rs crates/inference/src/pipeline.rs crates/inference/src/train.rs
+
+/root/repo/target/debug/deps/libleime_inference-58dc4ffaa2a7a5fc.rmeta: crates/inference/src/lib.rs crates/inference/src/calibration.rs crates/inference/src/pipeline.rs crates/inference/src/train.rs
+
+crates/inference/src/lib.rs:
+crates/inference/src/calibration.rs:
+crates/inference/src/pipeline.rs:
+crates/inference/src/train.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/leime_offload-b149acc537dd7060.d: crates/offload/src/lib.rs crates/offload/src/alloc.rs crates/offload/src/analysis.rs crates/offload/src/cost.rs crates/offload/src/params.rs crates/offload/src/queues.rs crates/offload/src/controller.rs crates/offload/src/solver.rs crates/offload/src/telemetry.rs
+
+/root/repo/target/debug/deps/libleime_offload-b149acc537dd7060.rmeta: crates/offload/src/lib.rs crates/offload/src/alloc.rs crates/offload/src/analysis.rs crates/offload/src/cost.rs crates/offload/src/params.rs crates/offload/src/queues.rs crates/offload/src/controller.rs crates/offload/src/solver.rs crates/offload/src/telemetry.rs
+
+crates/offload/src/lib.rs:
+crates/offload/src/alloc.rs:
+crates/offload/src/analysis.rs:
+crates/offload/src/cost.rs:
+crates/offload/src/params.rs:
+crates/offload/src/queues.rs:
+crates/offload/src/controller.rs:
+crates/offload/src/solver.rs:
+crates/offload/src/telemetry.rs:

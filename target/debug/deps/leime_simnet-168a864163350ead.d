@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/leime_simnet-168a864163350ead.d: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/link.rs crates/simnet/src/monitor.rs crates/simnet/src/server.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/stats.rs
+
+/root/repo/target/debug/deps/libleime_simnet-168a864163350ead.rmeta: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/link.rs crates/simnet/src/monitor.rs crates/simnet/src/server.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/stats.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/link.rs:
+crates/simnet/src/monitor.rs:
+crates/simnet/src/server.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:
+crates/simnet/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/leime_telemetry-d8dedb87a1d3e9f6.d: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/hist.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/libleime_telemetry-d8dedb87a1d3e9f6.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/hist.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/clock.rs:
+crates/telemetry/src/hist.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/trace.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/leime_tensor-7160babb47f73d69.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/init.rs crates/tensor/src/nn/mod.rs crates/tensor/src/nn/loss.rs crates/tensor/src/nn/mlp.rs crates/tensor/src/nn/sgd.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/linear.rs crates/tensor/src/ops/pool.rs
+
+/root/repo/target/debug/deps/libleime_tensor-7160babb47f73d69.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/init.rs crates/tensor/src/nn/mod.rs crates/tensor/src/nn/loss.rs crates/tensor/src/nn/mlp.rs crates/tensor/src/nn/sgd.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/linear.rs crates/tensor/src/ops/pool.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/nn/mod.rs:
+crates/tensor/src/nn/loss.rs:
+crates/tensor/src/nn/mlp.rs:
+crates/tensor/src/nn/sgd.rs:
+crates/tensor/src/ops/mod.rs:
+crates/tensor/src/ops/activation.rs:
+crates/tensor/src/ops/conv.rs:
+crates/tensor/src/ops/linear.rs:
+crates/tensor/src/ops/pool.rs:

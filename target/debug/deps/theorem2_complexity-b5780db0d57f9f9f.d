@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem2_complexity-b5780db0d57f9f9f.d: crates/bench/src/bin/theorem2_complexity.rs
+
+/root/repo/target/debug/deps/libtheorem2_complexity-b5780db0d57f9f9f.rmeta: crates/bench/src/bin/theorem2_complexity.rs
+
+crates/bench/src/bin/theorem2_complexity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem3_gap-13046692631408d2.d: crates/bench/src/bin/theorem3_gap.rs
+
+/root/repo/target/debug/deps/libtheorem3_gap-13046692631408d2.rmeta: crates/bench/src/bin/theorem3_gap.rs
+
+crates/bench/src/bin/theorem3_gap.rs:
