@@ -38,14 +38,16 @@ pub fn single_device(model: ModelKind, nano: bool, arrival_mean: f64) -> Scenari
 /// its telemetry registry snapshot (schema `leime-telemetry/1`) to `path`
 /// after printing its tables.
 ///
-/// # Panics
-///
-/// Panics if `--json` is passed without a following path.
+/// Exits with status 2 (a usage error, not a panic) if `--json` is passed
+/// without a following path.
 pub fn json_out_path() -> Option<PathBuf> {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--json" {
-            let path = args.next().expect("--json requires a <path> argument");
+            let Some(path) = args.next() else {
+                eprintln!("--json requires a <path> argument");
+                std::process::exit(2);
+            };
             return Some(PathBuf::from(path));
         }
     }
@@ -54,14 +56,22 @@ pub fn json_out_path() -> Option<PathBuf> {
 
 /// Serialises `registry`'s snapshot as pretty-printed JSON to `path`.
 ///
-/// # Panics
-///
-/// Panics if serialisation or the file write fails: the experiment's whole
-/// purpose is producing this artefact, so failure should be loud.
+/// Exits with status 1 if serialisation or the file write fails: the
+/// experiment's whole purpose is producing this artefact, so failure
+/// must be loud — but it is an I/O failure, not a bug, so no panic.
 pub fn write_telemetry(registry: &Registry, path: &std::path::Path) {
     let snapshot = registry.snapshot();
-    let json = serde_json::to_string_pretty(&snapshot).expect("telemetry snapshot serialises");
-    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    let json = match serde_json::to_string_pretty(&snapshot) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("telemetry snapshot failed to serialise: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("write {}: {e}", path.display());
+        std::process::exit(1);
+    }
     eprintln!("telemetry written to {}", path.display());
 }
 

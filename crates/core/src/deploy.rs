@@ -229,7 +229,7 @@ impl Deployment {
                 ));
             }
         }
-        points.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are finite"));
+        points.sort_by(|a, b| a.1.total_cmp(&b.1));
         // Sweep in cost order keeping strictly improving accuracy.
         let mut front: Vec<(ExitCombo, f64, f64)> = Vec::new();
         let mut best_loss = f64::INFINITY;

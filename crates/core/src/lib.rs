@@ -53,6 +53,11 @@ mod tasksim;
 pub mod runtime;
 pub mod systems;
 
+/// Paper-invariant guards (Eq. 8 ratios, Eq. 10–11 queues, Eq. 27 simplex,
+/// Theorem 1 monotonicity). Active under `debug_assertions` or the
+/// `strict-invariants` feature; pass-through no-ops otherwise.
+pub use leime_invariant as invariant;
+
 pub use deploy::{Deployment, ExitStrategy};
 pub use error::LeimeError;
 pub use model::ModelKind;

@@ -1,7 +1,7 @@
 use bytes::Bytes;
 use leime_inference::ExitDecision;
 use leime_workload::Sample;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// A task shipped from a device to the edge (or edge to cloud).
 ///
@@ -11,8 +11,9 @@ use std::time::{Duration, Instant};
 pub struct EdgeRequest {
     /// The task's input sample.
     pub sample: Sample,
-    /// Wall-clock creation instant (for TCT measurement).
-    pub born: Instant,
+    /// Creation time on the run's wall clock, in seconds since the run
+    /// started (for TCT measurement).
+    pub born: f64,
     /// Seed for deterministic feature generation downstream.
     pub feature_seed: u64,
     /// Whether the edge must run the First-exit (raw-input offload).

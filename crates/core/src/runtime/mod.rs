@@ -30,7 +30,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of a live run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -225,7 +225,10 @@ fn run_live_inner(
         let cascade = Arc::clone(&cascade);
         let done = done_tx.clone();
         let cloud = cloud_tx.clone();
-        thread::spawn(move || edge_loop(&pipeline, &cascade, &edge_rx, &cloud, &done, config))
+        let wall = wall.clone();
+        thread::spawn(move || {
+            edge_loop(&pipeline, &cascade, &edge_rx, &cloud, &done, &wall, config)
+        })
     };
 
     // ---- Cloud thread: Third-exit (unconditional).
@@ -233,7 +236,8 @@ fn run_live_inner(
         let pipeline = Arc::clone(&pipeline);
         let cascade = Arc::clone(&cascade);
         let done = done_tx.clone();
-        thread::spawn(move || cloud_loop(&pipeline, &cascade, &cloud_rx, &done))
+        let wall = wall.clone();
+        thread::spawn(move || cloud_loop(&pipeline, &cascade, &cloud_rx, &done, &wall))
     };
 
     // ---- Device threads.
@@ -246,9 +250,10 @@ fn run_live_inner(
         let edge = edge_tx.clone();
         let done = done_tx.clone();
         let offloaded = Arc::clone(&offload_count);
+        let wall = wall.clone();
         device_handles.push(thread::spawn(move || {
             device_loop(
-                dev, &pipeline, &cascade, &dataset, &edge, &done, &offloaded, config,
+                dev, &pipeline, &cascade, &dataset, &edge, &done, &offloaded, &wall, config,
             )
         }));
     }
@@ -325,6 +330,13 @@ fn run_live_inner(
     })
 }
 
+/// Elapsed time since `born` (a reading of the same run-scoped
+/// [`WallClock`]). All wall-clock access in the runtime goes through the
+/// telemetry clock abstraction, never `Instant::now` directly.
+fn elapsed_since(wall: &WallClock, born: f64) -> Duration {
+    Duration::from_secs_f64((wall.now() - born).max(0.0))
+}
+
 // The device loop's channel endpoints and counters are genuinely distinct.
 #[allow(clippy::too_many_arguments)]
 fn device_loop(
@@ -335,12 +347,13 @@ fn device_loop(
     edge: &Sender<EdgeRequest>,
     done: &Sender<TaskOutcome>,
     offloaded: &std::sync::atomic::AtomicUsize,
+    wall: &WallClock,
     config: RuntimeConfig,
 ) {
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(dev as u64));
     for _ in 0..config.tasks_per_device {
         let sample = dataset.draw(&mut rng);
-        let born = Instant::now();
+        let born = wall.now();
         let feature_seed: u64 = rng.gen();
         // Queue-aware adaptation: each pending edge request halves the
         // appetite for offloading (a live proxy for the H_i term of the
@@ -371,7 +384,7 @@ fn device_loop(
             let _ = done.send(TaskOutcome {
                 tier,
                 correct,
-                elapsed: born.elapsed(),
+                elapsed: elapsed_since(wall, born),
             });
         } else {
             thread::sleep(config.transfer_delay(config.intermediate_bytes));
@@ -392,6 +405,7 @@ fn edge_loop(
     edge_rx: &Receiver<EdgeRequest>,
     cloud: &Sender<EdgeRequest>,
     done: &Sender<TaskOutcome>,
+    wall: &WallClock,
     config: RuntimeConfig,
 ) {
     while let Ok(req) = edge_rx.recv() {
@@ -404,7 +418,7 @@ fn edge_loop(
                 let _ = done.send(TaskOutcome {
                     tier,
                     correct,
-                    elapsed: req.born.elapsed(),
+                    elapsed: elapsed_since(wall, req.born),
                 });
                 continue;
             }
@@ -414,7 +428,7 @@ fn edge_loop(
             let _ = done.send(TaskOutcome {
                 tier,
                 correct,
-                elapsed: req.born.elapsed(),
+                elapsed: elapsed_since(wall, req.born),
             });
         } else {
             thread::sleep(config.transfer_delay(config.intermediate_bytes));
@@ -432,6 +446,7 @@ fn cloud_loop(
     cascade: &FeatureCascade,
     cloud_rx: &Receiver<EdgeRequest>,
     done: &Sender<TaskOutcome>,
+    wall: &WallClock,
 ) {
     while let Ok(req) = cloud_rx.recv() {
         let mut frng = StdRng::seed_from_u64(req.feature_seed.wrapping_add(2));
@@ -439,7 +454,7 @@ fn cloud_loop(
         let _ = done.send(TaskOutcome {
             tier: ExitDecision::Cloud,
             correct,
-            elapsed: req.born.elapsed(),
+            elapsed: elapsed_since(wall, req.born),
         });
     }
 }

@@ -76,7 +76,9 @@ impl ExitRates {
             }
             prev = r;
         }
-        let last = *rates.last().expect("non-empty");
+        // The emptiness check above makes `last()` infallible; `prev` holds
+        // the final rate after the loop.
+        let last = prev;
         if (last - 1.0).abs() > 1e-9 {
             return Err(DnnError::InvalidExitRate {
                 reason: format!("final rate must be 1, got {last}"),

@@ -26,15 +26,17 @@ pub fn alexnet(input_hw: usize, num_classes: usize) -> DnnChain {
     b.conv("conv4", 384, 3, 1, 1);
     b.conv("conv5", 256, 3, 1, 1);
     b.fold_pool(3, 2, 0);
-    DnnChain::new(
+    super::chain_of(
         "alexnet",
-        3,
-        input_hw,
-        input_hw,
-        num_classes,
-        b.into_layers(),
+        DnnChain::new(
+            "alexnet",
+            3,
+            input_hw,
+            input_hw,
+            num_classes,
+            b.into_layers(),
+        ),
     )
-    .expect("alexnet chain is non-empty")
 }
 
 #[cfg(test)]

@@ -53,15 +53,17 @@ pub fn inception_v3(input_hw: usize, num_classes: usize) -> DnnChain {
     }
 
     let _ = num_classes;
-    DnnChain::new(
+    super::chain_of(
         "inception_v3",
-        3,
-        input_hw,
-        input_hw,
-        num_classes,
-        b.into_layers(),
+        DnnChain::new(
+            "inception_v3",
+            3,
+            input_hw,
+            input_hw,
+            num_classes,
+            b.into_layers(),
+        ),
     )
-    .expect("inception chain is non-empty")
 }
 
 /// InceptionA: 1×1(64) ‖ 1×1(48)→5×5(64) ‖ 1×1(64)→3×3(96)→3×3(96) ‖

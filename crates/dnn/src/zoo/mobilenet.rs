@@ -57,15 +57,17 @@ pub fn mobilenet_v1(input_hw: usize, num_classes: usize) -> DnnChain {
         );
     }
     let _ = num_classes;
-    DnnChain::new(
+    super::chain_of(
         "mobilenet_v1",
-        3,
-        input_hw,
-        input_hw,
-        num_classes,
-        b.into_layers(),
+        DnnChain::new(
+            "mobilenet_v1",
+            3,
+            input_hw,
+            input_hw,
+            num_classes,
+            b.into_layers(),
+        ),
     )
-    .expect("mobilenet chain is non-empty")
 }
 
 #[cfg(test)]

@@ -28,7 +28,8 @@ pub use squeezenet::squeezenet_1_0;
 pub use vgg::vgg16;
 
 use crate::layer::spatial_out;
-use crate::{conv_flops, DnnChain, Layer, LayerKind};
+use crate::{conv_flops, DnnChain, DnnError, Layer, LayerKind};
+use leime_invariant as invariant;
 
 /// The four models at the paper's CIFAR-10 testbed resolutions.
 ///
@@ -100,10 +101,9 @@ impl Builder {
     pub(crate) fn fold_pool(&mut self, k: usize, stride: usize, pad: usize) {
         let h_out = spatial_out(self.h, k, stride, pad);
         let w_out = spatial_out(self.w, k, stride, pad);
-        let last = self
-            .layers
-            .last_mut()
-            .expect("fold_pool requires a preceding layer");
+        let Some(last) = self.layers.last_mut() else {
+            invariant::violation("dnn.zoo.builder", "fold_pool requires a preceding layer");
+        };
         last.flops += (self.c * self.h * self.w) as f64; // one visit per input element
         last.out_h = h_out;
         last.out_w = w_out;
@@ -138,15 +138,26 @@ impl Builder {
     /// Adds FLOPs to the most recent chain position (for folding stems or
     /// auxiliary costs into a composite).
     pub(crate) fn add_flops_to_last(&mut self, flops: f64) {
-        self.layers
-            .last_mut()
-            .expect("add_flops_to_last requires a preceding layer")
-            .flops += flops;
+        let Some(last) = self.layers.last_mut() else {
+            invariant::violation(
+                "dnn.zoo.builder",
+                "add_flops_to_last requires a preceding layer",
+            );
+        };
+        last.flops += flops;
     }
 
     pub(crate) fn into_layers(self) -> Vec<Layer> {
         self.layers
     }
+}
+
+/// Unwraps a zoo constructor's [`DnnChain::new`] result. Every zoo model
+/// is assembled from fixed architecture constants, so validation can only
+/// fail on a zoo programming error — routed through the sanctioned
+/// invariant-violation site rather than a per-model `expect`.
+pub(crate) fn chain_of(model: &str, built: Result<DnnChain, DnnError>) -> DnnChain {
+    built.unwrap_or_else(|e| invariant::violation("dnn.zoo", &format!("{model}: {e}")))
 }
 
 /// Cost helper for branch arithmetic inside composite modules: FLOPs of a

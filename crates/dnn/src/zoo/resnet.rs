@@ -75,15 +75,17 @@ pub fn resnet34(input_hw: usize, num_classes: usize) -> DnnChain {
             w = nw;
         }
     }
-    DnnChain::new(
+    super::chain_of(
         "resnet34",
-        3,
-        input_hw,
-        input_hw,
-        num_classes,
-        b.into_layers(),
+        DnnChain::new(
+            "resnet34",
+            3,
+            input_hw,
+            input_hw,
+            num_classes,
+            b.into_layers(),
+        ),
     )
-    .expect("resnet34 chain is non-empty")
 }
 
 #[cfg(test)]

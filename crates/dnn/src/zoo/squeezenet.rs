@@ -59,15 +59,17 @@ pub fn squeezenet_1_0(input_hw: usize, num_classes: usize) -> DnnChain {
     b.composite("conv10", LayerKind::Conv, f10, num_classes, h10, w10);
     b.fold_pool(h10.min(w10), 1, 0);
 
-    DnnChain::new(
+    super::chain_of(
         "squeezenet_1_0",
-        3,
-        input_hw,
-        input_hw,
-        num_classes,
-        b.into_layers(),
+        DnnChain::new(
+            "squeezenet_1_0",
+            3,
+            input_hw,
+            input_hw,
+            num_classes,
+            b.into_layers(),
+        ),
     )
-    .expect("squeezenet chain is non-empty")
 }
 
 #[cfg(test)]

@@ -39,8 +39,10 @@ pub fn vgg16(input_hw: usize, num_classes: usize) -> DnnChain {
             b.fold_pool(2, 2, 0);
         }
     }
-    DnnChain::new("vgg16", 3, input_hw, input_hw, num_classes, b.into_layers())
-        .expect("vgg16 chain is non-empty")
+    super::chain_of(
+        "vgg16",
+        DnnChain::new("vgg16", 3, input_hw, input_hw, num_classes, b.into_layers()),
+    )
 }
 
 #[cfg(test)]

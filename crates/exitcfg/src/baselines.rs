@@ -36,15 +36,16 @@ pub fn min_transmission(profile: &ModelProfile) -> Result<ExitCombo, DnnError> {
             reason: format!("chain of {m} layers cannot host 3 exits"),
         });
     }
+    // `m >= 3` makes every range below non-empty, so the fallback to `lo`
+    // is unreachable; it just keeps the closure total.
     let argmin = |lo: usize, hi: usize| -> usize {
         (lo..hi)
             .min_by(|&a, &b| {
                 profile.layers[a]
                     .out_bytes
-                    .partial_cmp(&profile.layers[b].out_bytes)
-                    .expect("byte counts are finite")
+                    .total_cmp(&profile.layers[b].out_bytes)
             })
-            .expect("non-empty range")
+            .unwrap_or(lo)
     };
     let first = argmin(0, m - 2);
     let second = argmin(first + 1, m - 1);
@@ -107,12 +108,14 @@ pub fn ddnn_style(profile: &ModelProfile, rates: &ExitRates) -> Result<ExitCombo
         sigma / profile.layers[i].out_bytes.max(1.0)
     };
     // Best-scoring First-exit among positions leaving room for a Second.
+    // `m >= 3` keeps both ranges non-empty; the fallbacks just keep the
+    // expressions total.
     let first = (0..m - 2)
-        .max_by(|&a, &b| score(a).partial_cmp(&score(b)).expect("finite scores"))
-        .expect("non-empty range");
+        .max_by(|&a, &b| score(a).total_cmp(&score(b)))
+        .unwrap_or(0);
     let second = (first + 1..m - 1)
-        .max_by(|&a, &b| score(a).partial_cmp(&score(b)).expect("finite scores"))
-        .expect("non-empty range");
+        .max_by(|&a, &b| score(a).total_cmp(&score(b)))
+        .unwrap_or(first + 1);
     ExitCombo::new(first, second, m - 1, m)
 }
 

@@ -1,5 +1,6 @@
 use crate::CostModel;
 use leime_dnn::{DnnError, ExitCombo};
+use leime_invariant as invariant;
 use serde::{Deserialize, Serialize};
 
 /// Instrumentation of one branch-and-bound run, used to validate the
@@ -45,6 +46,9 @@ pub fn branch_and_bound(cost: &CostModel<'_>) -> Result<(ExitCombo, f64, SearchS
             reason: format!("chain of {m} layers cannot host 3 exits"),
         });
     }
+    // Theorem 1's dominance argument — and hence the soundness of every
+    // prune below — requires monotone cumulative exit rates.
+    invariant::check_monotone("exitcfg.bb.exit_rates", cost.rates().as_slice());
     let mut stats = SearchStats::default();
     let mut best: Option<(ExitCombo, f64)> = None;
 
@@ -89,7 +93,10 @@ pub fn branch_and_bound(cost: &CostModel<'_>) -> Result<(ExitCombo, f64, SearchS
         upbound = ik;
     }
 
-    let (combo, t) = best.expect("at least one round ran");
+    let (combo, t) = best.ok_or_else(|| DnnError::InvalidExitCombo {
+        reason: "branch-and-bound finished without evaluating any combo".to_string(),
+    })?;
+    invariant::check_finite_cost("exitcfg.bb.total", t);
     Ok((combo, t, stats))
 }
 

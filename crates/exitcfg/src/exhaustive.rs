@@ -1,5 +1,6 @@
 use crate::CostModel;
 use leime_dnn::{DnnError, ExitCombo};
+use leime_invariant as invariant;
 
 /// Exhaustive `O(m²)` search over all `(first, second)` pairs — the ground
 /// truth the branch-and-bound search is verified against, and the fallback
@@ -29,7 +30,11 @@ pub fn exhaustive(cost: &CostModel<'_>) -> Result<(ExitCombo, f64), DnnError> {
             }
         }
     }
-    Ok(best.expect("m >= 3 guarantees at least one combo"))
+    let (combo, t) = best.ok_or_else(|| DnnError::InvalidExitCombo {
+        reason: "exhaustive search evaluated no combo".to_string(),
+    })?;
+    invariant::check_finite_cost("exitcfg.exhaustive.total", t);
+    Ok((combo, t))
 }
 
 #[cfg(test)]

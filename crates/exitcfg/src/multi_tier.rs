@@ -12,6 +12,7 @@
 
 use crate::{CostModel, EnvParams};
 use leime_dnn::{DnnError, ExitRates, ModelProfile};
+use leime_invariant as invariant;
 use serde::{Deserialize, Serialize};
 
 /// One tier of the compute hierarchy.
@@ -181,6 +182,8 @@ pub fn multi_tier_exits(
     for j in (1..k).rev() {
         exits[j - 1] = parent[j][exits[j]];
     }
+    invariant::check_increasing_exits("exitcfg.multi_tier.exits", &exits, m);
+    invariant::check_finite_cost("exitcfg.multi_tier.total", total);
     Ok((exits, total))
 }
 

@@ -1,5 +1,6 @@
 use crate::{train_exit_classifier, TrainConfig};
 use leime_dnn::{DnnChain, ExitCombo, ExitRates};
+use leime_invariant as invariant;
 use leime_tensor::nn::Mlp;
 use leime_tensor::{Shape, Tensor};
 use leime_workload::{FeatureCascade, Sample, SyntheticDataset};
@@ -131,8 +132,11 @@ impl CalibrationResult {
         let mut count = 0usize;
         for first in 0..m - 2 {
             for second in first + 1..m - 1 {
-                let combo =
-                    ExitCombo::new(first, second, m - 1, m).expect("enumerated combos are valid");
+                // Enumerated combos satisfy first < second < m-1, so
+                // construction cannot fail; skip keeps the loop total.
+                let Ok(combo) = ExitCombo::new(first, second, m - 1, m) else {
+                    continue;
+                };
                 total += self.combo_accuracy_loss(combo);
                 count += 1;
             }
@@ -223,11 +227,15 @@ pub fn calibrate(
         );
         for &s in &val_set {
             let f = cascade.features(s, delta, rng);
-            let row = f
-                .reshape(Shape::d2(1, f.len()))
-                .expect("feature vector reshapes to a row");
-            let probs: Tensor = mlp.forward(&row).expect("feature width matches classifier");
-            let (pred, c) = probs.argmax().expect("softmax row is non-empty");
+            let row = f.reshape(Shape::d2(1, f.len())).unwrap_or_else(|e| {
+                invariant::violation("inference.calibrate", &format!("feature reshape: {e}"))
+            });
+            let probs: Tensor = mlp.forward(&row).unwrap_or_else(|e| {
+                invariant::violation("inference.calibrate", &format!("classifier forward: {e}"))
+            });
+            let (pred, c) = probs.argmax().unwrap_or_else(|| {
+                invariant::violation("inference.calibrate", "softmax row is empty")
+            });
             conf_i.push(c);
             correct_i.push(pred == s.class);
         }
@@ -246,11 +254,7 @@ pub fn calibrate(
     let mut thresholds = vec![0.0f64; m];
     for i in 0..m - 1 {
         let mut order: Vec<usize> = (0..val_set.len()).collect();
-        order.sort_by(|&a, &b| {
-            conf[i][b]
-                .partial_cmp(&conf[i][a])
-                .expect("confidences are finite")
-        });
+        order.sort_by(|&a, &b| conf[i][b].total_cmp(&conf[i][a]));
         let mut best: Option<f64> = None;
         let mut hits = 0usize;
         for (taken, &s) in order.iter().enumerate() {
@@ -280,7 +284,9 @@ pub fn calibrate(
         rates.push(exited.iter().filter(|&&x| x).count() as f64 / n as f64);
     }
     rates[m - 1] = 1.0;
-    let exit_rates = ExitRates::new(rates).expect("cumulative rates are monotone");
+    let exit_rates = ExitRates::new(rates).unwrap_or_else(|e| {
+        invariant::violation("inference.calibrate", &format!("measured exit rates: {e}"))
+    });
 
     CalibrationResult {
         depth_fractions,

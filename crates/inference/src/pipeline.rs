@@ -1,5 +1,6 @@
 use crate::CalibrationResult;
 use leime_dnn::ExitCombo;
+use leime_invariant as invariant;
 use leime_tensor::nn::Mlp;
 use leime_workload::{FeatureCascade, Sample};
 use rand::rngs::StdRng;
@@ -82,7 +83,12 @@ impl EarlyExitPipeline {
         let features = cascade.features(sample, self.depths[idx], rng);
         let (pred, conf) = self.classifiers[idx]
             .predict(&features)
-            .expect("feature width matches classifier");
+            .unwrap_or_else(|e| {
+                invariant::violation(
+                    "inference.pipeline",
+                    &format!("exit classifier predict: {e}"),
+                )
+            });
         (pred, f64::from(conf), pred == sample.class)
     }
 
@@ -152,9 +158,12 @@ impl EarlyExitPipeline {
         ];
         for (i, &tier) in tiers.iter().enumerate() {
             let features = cascade.features(sample, self.depths[i], rng);
-            let (pred, conf) = self.classifiers[i]
-                .predict(&features)
-                .expect("feature width matches classifier");
+            let (pred, conf) = self.classifiers[i].predict(&features).unwrap_or_else(|e| {
+                invariant::violation(
+                    "inference.pipeline",
+                    &format!("exit classifier predict: {e}"),
+                )
+            });
             let conf = f64::from(conf);
             if conf >= self.thresholds[i] || tier == ExitDecision::Cloud {
                 return (tier, pred, conf, pred == sample.class);

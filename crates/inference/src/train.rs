@@ -1,3 +1,4 @@
+use leime_invariant as invariant;
 use leime_tensor::nn::{Mlp, MlpConfig, Sgd};
 use leime_workload::{FeatureCascade, Sample};
 use rand::rngs::StdRng;
@@ -62,8 +63,9 @@ pub fn train_exit_classifier(
     for _epoch in 0..config.epochs {
         for chunk in train_samples.chunks(config.batch_size) {
             let (x, y) = cascade.batch_features(chunk, depth_fraction, rng);
-            mlp.train_step(&x, &y, &mut opt)
-                .expect("batch shapes are consistent by construction");
+            mlp.train_step(&x, &y, &mut opt).unwrap_or_else(|e| {
+                invariant::violation("inference.train", &format!("train step: {e}"))
+            });
         }
     }
     mlp

@@ -1,0 +1,29 @@
+//! Seeded L1 violations; every panic-prone site sits on a known line.
+
+pub fn unwrap_site(o: Option<u32>) -> u32 {
+    o.unwrap()
+}
+
+pub fn expect_site(o: Option<u32>) -> u32 {
+    o.expect("seeded")
+}
+
+pub fn panic_site() {
+    panic!("seeded");
+}
+
+pub fn unimplemented_site() {
+    unimplemented!()
+}
+
+pub fn unwrap_or_is_fine(o: Option<u32>) -> u32 {
+    o.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        None::<u32>.unwrap();
+    }
+}

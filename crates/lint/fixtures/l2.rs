@@ -1,0 +1,13 @@
+//! Seeded L2 violation: NaN-unsafe `partial_cmp` unwrap.
+
+pub fn sort_scores(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn total_cmp_is_fine(v: &mut [f64]) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn handled_partial_cmp_is_fine(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b).is_some()
+}

@@ -1,0 +1,9 @@
+//! Seeded L3 violations: wall-clock reads outside the telemetry crate.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

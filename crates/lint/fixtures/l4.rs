@@ -1,0 +1,13 @@
+//! Seeded L4 violations: float-literal equality comparisons.
+
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn is_not_one(x: f64) -> bool {
+    x != 1.0
+}
+
+pub fn integer_eq_is_fine(x: u32) -> bool {
+    x == 0
+}

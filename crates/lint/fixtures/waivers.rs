@@ -1,0 +1,18 @@
+//! Seeded waiver-hygiene cases: a valid waiver, a justification-free
+//! waiver (W1), an unknown rule (W2), and a stale waiver (W3).
+
+pub fn valid_waiver(o: Option<u32>) -> u32 {
+    // lint:allow(L1): fixture exercises the waiver path
+    o.unwrap()
+}
+
+pub fn missing_justification(o: Option<u32>) -> u32 {
+    // lint:allow(L1)
+    o.unwrap()
+}
+
+// lint:allow(L9): no such rule
+pub fn unknown_rule() {}
+
+// lint:allow(L2): suppresses nothing
+pub fn stale() {}

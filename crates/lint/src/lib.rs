@@ -1,0 +1,191 @@
+//! # leime-lint
+//!
+//! Offline, dependency-light static analysis for the LEIME workspace.
+//!
+//! LEIME's correctness rests on numeric invariants the compiler cannot
+//! see — offloading ratios `x_i(t) ∈ [0, 1]` (Eq. 8), non-negative queue
+//! backlogs `Q_i`/`H_i` (Eq. 10–11), KKT compute shares on the simplex
+//! (Eq. 27) — and on library code that never panics under load. This
+//! crate scans the workspace's own sources with a token-level scanner
+//! (no `syn` in the offline build environment) and enforces the L1–L5
+//! rule set described in [`rules`], with inline
+//! `// lint:allow(<rule>): <justification>` waivers under a budget.
+//!
+//! The binary (`cargo run -p leime-lint -- --deny-all`) is the CI gate;
+//! the library is exercised directly by the tier-2 integration tests.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use report::{Report, RuleCount, SCHEMA_VERSION};
+pub use rules::{FileScan, Finding, RuleConfig, Waived, RULE_IDS};
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+/// Default waiver budget: a handful of justified escapes, no more.
+pub const DEFAULT_WAIVER_BUDGET: usize = 8;
+
+/// Options for one lint run.
+#[derive(Debug, Clone)]
+pub struct ScanOptions {
+    /// Workspace root; paths in findings are reported relative to it.
+    pub root: PathBuf,
+    /// Explicit files/directories to scan instead of the default
+    /// workspace library-source walk.
+    pub paths: Vec<PathBuf>,
+    /// Maximum number of waivers before the run fails.
+    pub max_waivers: usize,
+    /// Rule configuration (scoping, guarded functions, enabled set).
+    pub config: RuleConfig,
+}
+
+impl ScanOptions {
+    /// Default options rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        ScanOptions {
+            root: root.into(),
+            paths: Vec::new(),
+            max_waivers: DEFAULT_WAIVER_BUDGET,
+            config: RuleConfig::default(),
+        }
+    }
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "node_modules"];
+
+/// Directory names excluded from the default workspace walk (vendored
+/// shims, lint fixtures, and non-library code).
+const NON_LIBRARY_DIRS: &[&str] = &["shims", "fixtures", "tests", "benches", "examples", "bin"];
+
+/// Runs the lint over the workspace (or over `opts.paths` when given).
+///
+/// # Errors
+///
+/// Returns a description of the first I/O failure (unreadable root or
+/// source file).
+pub fn run(opts: &ScanOptions) -> Result<Report, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    if opts.paths.is_empty() {
+        let crates_dir = opts.root.join("crates");
+        collect_files(&crates_dir, true, &mut files)?;
+    } else {
+        for p in &opts.paths {
+            let full = if p.is_absolute() {
+                p.clone()
+            } else {
+                opts.root.join(p)
+            };
+            if full.is_dir() {
+                collect_files(&full, false, &mut files)?;
+            } else {
+                files.push(full);
+            }
+        }
+    }
+    files.sort();
+    files.dedup();
+
+    let mut violations = Vec::new();
+    let mut waived = Vec::new();
+    for file in &files {
+        let src = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let rel = display_path(&opts.root, file);
+        let scan = rules::scan_source(&rel, &src, &opts.config);
+        violations.extend(scan.findings);
+        waived.extend(scan.waived);
+    }
+    Ok(Report::new(
+        files.len(),
+        violations,
+        waived,
+        opts.max_waivers,
+    ))
+}
+
+/// Path shown in findings: relative to the root when possible.
+fn display_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Recursively collects `.rs` files. With `library_only`, skips vendored
+/// shims, fixtures, tests/benches/examples directories, and binary
+/// targets (`src/main.rs`, `src/bin/`), so the walk covers exactly the
+/// workspace's non-test library sources.
+fn collect_files(dir: &Path, library_only: bool, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut entries: Vec<_> = entries.flatten().collect();
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().to_string();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str())
+                || (library_only && NON_LIBRARY_DIRS.contains(&name.as_str()))
+            {
+                continue;
+            }
+            collect_files(&path, library_only, out)?;
+        } else if name.ends_with(".rs") {
+            if library_only && name == "main.rs" {
+                continue;
+            }
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Restricts a config to the comma-separated rule list (`"L1,L3"`).
+///
+/// # Errors
+///
+/// Returns the offending identifier when it is not a known rule.
+pub fn parse_rule_filter(config: &mut RuleConfig, list: &str) -> Result<(), String> {
+    let mut set = HashSet::new();
+    for id in list.split(',') {
+        let id = id.trim();
+        if id.is_empty() {
+            continue;
+        }
+        if !RULE_IDS.contains(&id) {
+            return Err(format!(
+                "unknown rule `{id}` (known: {})",
+                RULE_IDS.join(", ")
+            ));
+        }
+        set.insert(id.to_string());
+    }
+    config.enabled = Some(set);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_filter_validates_ids() {
+        let mut cfg = RuleConfig::default();
+        assert!(parse_rule_filter(&mut cfg, "L1,L4").is_ok());
+        match &cfg.enabled {
+            Some(set) => assert_eq!(set.len(), 2),
+            None => unreachable!("filter must restrict the set"),
+        }
+        assert!(parse_rule_filter(&mut cfg, "L9").is_err());
+    }
+
+    #[test]
+    fn display_path_is_root_relative() {
+        let root = PathBuf::from("/ws");
+        let file = PathBuf::from("/ws/crates/x/src/lib.rs");
+        assert_eq!(display_path(&root, &file), "crates/x/src/lib.rs");
+    }
+}

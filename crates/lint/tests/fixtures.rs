@@ -1,0 +1,245 @@
+//! Fixture tests: each seeded fixture file must produce exactly the
+//! expected `(rule, path, line)` tuples, in both the text and the
+//! `leime-lint/1` JSON renderings.
+
+use leime_lint::{run, Report, RuleConfig, ScanOptions, SCHEMA_VERSION};
+use std::path::{Path, PathBuf};
+
+/// Workspace root, derived from this crate's manifest directory.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    match manifest.parent().and_then(Path::parent) {
+        Some(root) => root.to_path_buf(),
+        None => unreachable!("crates/lint always sits two levels below the root"),
+    }
+}
+
+/// Runs the lint over one fixture file.
+fn scan_fixture(name: &str, config: RuleConfig) -> Report {
+    let mut opts = ScanOptions::new(workspace_root());
+    opts.paths = vec![PathBuf::from(format!("crates/lint/fixtures/{name}"))];
+    opts.config = config;
+    match run(&opts) {
+        Ok(report) => report,
+        Err(e) => unreachable!("fixture scan must succeed: {e}"),
+    }
+}
+
+/// The `(rule, path, line)` triples of a report's violations.
+fn triples(report: &Report) -> Vec<(String, String, u32)> {
+    report
+        .violations
+        .iter()
+        .map(|f| (f.rule.clone(), f.path.clone(), f.line))
+        .collect()
+}
+
+fn expected(rule: &str, file: &str, lines: &[u32]) -> Vec<(String, String, u32)> {
+    lines
+        .iter()
+        .map(|&line| {
+            (
+                rule.to_string(),
+                format!("crates/lint/fixtures/{file}"),
+                line,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn l1_fixture_flags_each_panic_site_once() {
+    let report = scan_fixture("l1.rs", RuleConfig::default());
+    assert_eq!(triples(&report), expected("L1", "l1.rs", &[4, 8, 12, 16]));
+    assert_eq!(
+        report.violations[0].message,
+        "`.unwrap()` in library code — return a typed error instead"
+    );
+    assert_eq!(
+        report.violations[2].message,
+        "`panic!` in library code — return a typed error instead"
+    );
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn l2_fixture_flags_partial_cmp_only() {
+    let report = scan_fixture("l2.rs", RuleConfig::default());
+    // One L2 finding; the unwrap inside it must not double-report as L1.
+    assert_eq!(triples(&report), expected("L2", "l2.rs", &[4]));
+    assert_eq!(
+        report.violations[0].message,
+        "NaN-unsafe `partial_cmp(..)` unwrap — use `total_cmp`"
+    );
+}
+
+#[test]
+fn l3_fixture_flags_both_clock_types() {
+    let report = scan_fixture("l3.rs", RuleConfig::default());
+    assert_eq!(triples(&report), expected("L3", "l3.rs", &[4, 8]));
+    assert_eq!(
+        report.violations[0].message,
+        "wall-clock `Instant::now` breaks sim determinism — use a telemetry `Clock`"
+    );
+    assert_eq!(
+        report.violations[1].message,
+        "wall-clock `SystemTime::now` breaks sim determinism — use a telemetry `Clock`"
+    );
+}
+
+#[test]
+fn l4_fixture_flags_float_eq_and_ne() {
+    let report = scan_fixture("l4.rs", RuleConfig::default());
+    assert_eq!(triples(&report), expected("L4", "l4.rs", &[4, 8]));
+}
+
+#[test]
+fn l5_fixture_flags_only_the_unguarded_solver() {
+    // Mark the fixture directory as L5-guarded; by default only
+    // offload/exitcfg sources are.
+    let mut config = RuleConfig::default();
+    config
+        .guarded_path_markers
+        .push("crates/lint/fixtures".to_string());
+    let report = scan_fixture("l5.rs", config);
+    assert_eq!(triples(&report), expected("L5", "l5.rs", &[3]));
+    assert_eq!(
+        report.violations[0].message,
+        "`fn balance_solve` produces ratios/shares/queue state but never calls an \
+         `invariant::` guard (Eq. 8 / Eq. 10–11 / Eq. 27)"
+    );
+}
+
+#[test]
+fn l5_fixture_is_exempt_without_the_path_marker() {
+    let report = scan_fixture("l5.rs", RuleConfig::default());
+    assert!(report.is_clean(), "{:?}", report.violations);
+}
+
+#[test]
+fn waiver_fixture_reports_hygiene_and_waived_sites() {
+    let report = scan_fixture("waivers.rs", RuleConfig::default());
+    // W1: justification-free waiver (line 10); W2: unknown rule L9
+    // (line 14); W3: stale L2 waiver (line 17).
+    assert_eq!(
+        triples(&report),
+        vec![
+            (
+                "W1".to_string(),
+                "crates/lint/fixtures/waivers.rs".to_string(),
+                10
+            ),
+            (
+                "W2".to_string(),
+                "crates/lint/fixtures/waivers.rs".to_string(),
+                14
+            ),
+            (
+                "W3".to_string(),
+                "crates/lint/fixtures/waivers.rs".to_string(),
+                17
+            ),
+        ]
+    );
+    // Both unwraps are suppressed (the justification-free one still
+    // counts as waived; its hygiene problem is the W1 above).
+    assert_eq!(report.waivers_used, 2);
+    assert_eq!(report.waived[0].finding.rule, "L1");
+    assert_eq!(report.waived[0].finding.line, 6);
+    assert_eq!(
+        report.waived[0].justification,
+        "fixture exercises the waiver path"
+    );
+    assert_eq!(report.waived[1].finding.line, 11);
+    assert_eq!(report.waived[1].justification, "");
+}
+
+#[test]
+fn text_report_formats_path_line_rule() {
+    let report = scan_fixture("l1.rs", RuleConfig::default());
+    let text = report.render_text();
+    assert!(
+        text.contains(
+            "crates/lint/fixtures/l1.rs:4: [L1] `.unwrap()` in library code — \
+             return a typed error instead"
+        ),
+        "unexpected text report:\n{text}"
+    );
+    assert!(text.contains("4 violation(s) (L1: 4)"), "{text}");
+}
+
+#[test]
+fn json_report_carries_schema_rules_paths_and_lines() {
+    let mut opts = ScanOptions::new(workspace_root());
+    opts.paths = vec![
+        PathBuf::from("crates/lint/fixtures/l1.rs"),
+        PathBuf::from("crates/lint/fixtures/l3.rs"),
+    ];
+    let report = match run(&opts) {
+        Ok(r) => r,
+        Err(e) => unreachable!("fixture scan must succeed: {e}"),
+    };
+    let json = report.to_json();
+    let v: serde_json::Value = match serde_json::from_str(&json) {
+        Ok(v) => v,
+        Err(e) => unreachable!("JSON report must parse: {e:?}"),
+    };
+    assert_eq!(v["schema"].as_str(), Some(SCHEMA_VERSION));
+    assert_eq!(v["files_scanned"].as_u64(), Some(2));
+    let violations = match v["violations"].as_array() {
+        Some(list) => list,
+        None => unreachable!("violations must be an array"),
+    };
+    let got: Vec<(String, String, u64)> = violations
+        .iter()
+        .map(|f| {
+            (
+                f["rule"].as_str().unwrap_or("").to_string(),
+                f["path"].as_str().unwrap_or("").to_string(),
+                f["line"].as_u64().unwrap_or(0),
+            )
+        })
+        .collect();
+    let want: Vec<(String, String, u64)> = [
+        ("L1", "l1.rs", 4u64),
+        ("L1", "l1.rs", 8),
+        ("L1", "l1.rs", 12),
+        ("L1", "l1.rs", 16),
+        ("L3", "l3.rs", 4),
+        ("L3", "l3.rs", 8),
+    ]
+    .iter()
+    .map(|&(r, f, l)| (r.to_string(), format!("crates/lint/fixtures/{f}"), l))
+    .collect();
+    assert_eq!(got, want);
+    // Per-rule summary mirrors the violation list.
+    let summary = match v["summary"].as_array() {
+        Some(list) => list,
+        None => unreachable!("summary must be an array"),
+    };
+    assert_eq!(summary.len(), 2);
+    assert_eq!(summary[0]["rule"].as_str(), Some("L1"));
+    assert_eq!(summary[0]["count"].as_u64(), Some(4));
+    assert_eq!(summary[1]["rule"].as_str(), Some("L3"));
+    assert_eq!(summary[1]["count"].as_u64(), Some(2));
+}
+
+#[test]
+fn deny_all_semantics_fixtures_dirty_workspace_clean_of_fixture_rules() {
+    // The whole fixtures directory trips the gate...
+    let mut opts = ScanOptions::new(workspace_root());
+    opts.paths = vec![PathBuf::from("crates/lint/fixtures")];
+    opts.config
+        .guarded_path_markers
+        .push("crates/lint/fixtures".to_string());
+    let report = match run(&opts) {
+        Ok(r) => r,
+        Err(e) => unreachable!("fixture scan must succeed: {e}"),
+    };
+    assert!(!report.is_clean());
+    // ...and every primary rule is represented in the summary.
+    let hit: Vec<&str> = report.summary.iter().map(|c| c.rule.as_str()).collect();
+    for rule in ["L1", "L2", "L3", "L4", "L5", "W1", "W2", "W3"] {
+        assert!(hit.contains(&rule), "rule {rule} missing from {hit:?}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Property test: a `lint:allow(<rule>)` waiver suppresses exactly the
+//! named rule — never a violation of a different rule on the same line.
+
+use leime_lint::rules::{scan_source, RuleConfig};
+use leime_lint::RULE_IDS;
+use proptest::prelude::*;
+
+/// A source snippet violating exactly one rule, with the waiver comment
+/// placed on the line directly above the violating line.
+///
+/// Returns `(source, violation_line)`.
+fn seeded_source(violated: &str, waived: &str) -> (String, u32) {
+    let allow = format!("// lint:allow({waived}): generated case");
+    match violated {
+        "L1" => (
+            format!("pub fn f(o: Option<u32>) -> u32 {{\n    {allow}\n    o.unwrap()\n}}\n"),
+            3,
+        ),
+        "L2" => (
+            format!(
+                "pub fn f(v: &mut [f64]) {{\n    {allow}\n    \
+                 v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}}\n"
+            ),
+            3,
+        ),
+        "L3" => (
+            format!("pub fn f() {{\n    {allow}\n    let _ = std::time::Instant::now();\n}}\n"),
+            3,
+        ),
+        "L4" => (
+            format!("pub fn f(x: f64) -> bool {{\n    {allow}\n    x == 0.0\n}}\n"),
+            3,
+        ),
+        "L5" => (
+            // L5 anchors on the `fn` line, so the waiver sits above it.
+            format!("{allow}\npub fn balance_solve(x: f64) -> f64 {{\n    x.min(1.0)\n}}\n"),
+            2,
+        ),
+        other => unreachable!("unknown rule {other}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// For every (violated, waived) rule pair, the violation is
+    /// suppressed iff the waiver names exactly the violated rule; a
+    /// mismatched waiver leaves the violation standing and is itself
+    /// flagged as stale (W3).
+    #[test]
+    fn waiver_never_suppresses_a_different_rule(
+        violated_ix in 0usize..5,
+        waived_ix in 0usize..5,
+    ) {
+        let violated = RULE_IDS[violated_ix];
+        let waived = RULE_IDS[waived_ix];
+        let (src, line) = seeded_source(violated, waived);
+        // The default config makes offload sources L5-guarded, and this
+        // path is not wall-clock exempt, so all five rules are live.
+        let scan = scan_source("crates/offload/src/solver.rs", &src, &RuleConfig::default());
+
+        if violated == waived {
+            prop_assert!(
+                scan.findings.is_empty(),
+                "matching waiver must suppress {violated}: {:?}",
+                scan.findings
+            );
+            prop_assert_eq!(scan.waived.len(), 1);
+            prop_assert_eq!(scan.waived[0].finding.rule.as_str(), violated);
+            prop_assert_eq!(scan.waived[0].finding.line, line);
+        } else {
+            prop_assert!(
+                scan.waived.is_empty(),
+                "waiver for {} must not absorb a {} violation: {:?}",
+                waived, violated, scan.waived
+            );
+            let rules: Vec<&str> = scan.findings.iter().map(|f| f.rule.as_str()).collect();
+            prop_assert!(
+                rules.contains(&violated),
+                "{violated} must survive a {waived} waiver: {rules:?}"
+            );
+            prop_assert!(
+                rules.contains(&"W3"),
+                "mismatched waiver must be reported stale: {rules:?}"
+            );
+        }
+    }
+}

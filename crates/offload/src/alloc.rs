@@ -1,5 +1,7 @@
 //! Edge resource allocation (Appendix B).
 
+use leime_invariant as invariant;
+
 /// The KKT closed-form edge shares `p_i` (Eq. 27):
 ///
 /// ```text
@@ -38,7 +40,9 @@ pub fn kkt_allocation(device_flops: &[f64], arrival_means: &[f64], edge_flops: f
     let mut active: Vec<usize> = (0..n).filter(|&i| arrival_means[i] > 0.0).collect();
     if active.is_empty() {
         // No demand anywhere: split evenly (any feasible point is optimal).
-        return vec![1.0 / n as f64; n];
+        let shares = vec![1.0 / n as f64; n];
+        invariant::check_simplex("offload.kkt_allocation", &shares);
+        return shares;
     }
 
     loop {
@@ -71,6 +75,7 @@ pub fn kkt_allocation(device_flops: &[f64], arrival_means: &[f64], edge_flops: f
             "KKT projection failed to converge"
         );
     }
+    invariant::check_simplex("offload.kkt_allocation", &shares);
     shares
 }
 
@@ -109,6 +114,7 @@ pub fn kkt_allocation_with_floor(
             *s /= sum;
         }
     }
+    invariant::check_simplex("offload.kkt_allocation_with_floor", &shares);
     shares
 }
 

@@ -3,6 +3,7 @@
 use crate::solver::{balance_solve, feasible_interval, golden_section_solve};
 use crate::telemetry::ControllerTelemetry;
 use crate::{DeviceParams, SharedParams, SlotCost};
+use leime_invariant as invariant;
 use serde::{Deserialize, Serialize};
 
 /// What a controller observes about one device at the start of a slot.
@@ -69,7 +70,7 @@ impl OffloadController for LyapunovController {
         if let Some(telemetry) = &self.telemetry {
             telemetry.record_decision(&obs, x, cost.drift_plus_penalty(x));
         }
-        x
+        invariant::check_unit_interval("offload.leime.decide", x)
     }
 
     fn name(&self) -> &'static str {
@@ -90,7 +91,7 @@ impl OffloadController for DeviceOnly {
         // x = 0 unless the bandwidth constraint binds from below (a huge
         // First-exit activation can make keeping tasks local infeasible).
         let cost = SlotCost::new(shared, device, obs.q, obs.h, obs.p_share);
-        feasible_interval(&cost).0
+        invariant::check_unit_interval("offload.d_only.decide", feasible_interval(&cost).0)
     }
 
     fn name(&self) -> &'static str {
@@ -105,7 +106,7 @@ pub struct EdgeOnly;
 impl OffloadController for EdgeOnly {
     fn decide(&self, shared: SharedParams, device: DeviceParams, obs: SlotObservation) -> f64 {
         let cost = SlotCost::new(shared, device, obs.q, obs.h, obs.p_share);
-        feasible_interval(&cost).1
+        invariant::check_unit_interval("offload.e_only.decide", feasible_interval(&cost).1)
     }
 
     fn name(&self) -> &'static str {
@@ -125,7 +126,7 @@ impl OffloadController for CapabilityBased {
         let x = edge_share / (device.flops + edge_share);
         let cost = SlotCost::new(shared, device, obs.q, obs.h, obs.p_share);
         let (lo, hi) = feasible_interval(&cost);
-        x.clamp(lo, hi)
+        invariant::check_unit_interval("offload.cap_based.decide", x.clamp(lo, hi))
     }
 
     fn name(&self) -> &'static str {
@@ -160,7 +161,7 @@ impl OffloadController for FixedRatio {
     fn decide(&self, shared: SharedParams, device: DeviceParams, obs: SlotObservation) -> f64 {
         let cost = SlotCost::new(shared, device, obs.q, obs.h, obs.p_share);
         let (lo, hi) = feasible_interval(&cost);
-        self.ratio.clamp(lo, hi)
+        invariant::check_unit_interval("offload.fixed.decide", self.ratio.clamp(lo, hi))
     }
 
     fn name(&self) -> &'static str {

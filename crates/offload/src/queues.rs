@@ -1,3 +1,4 @@
+use leime_invariant as invariant;
 use serde::{Deserialize, Serialize};
 
 /// The two task queues the paper tracks per device: the local queue
@@ -59,6 +60,8 @@ impl QueuePair {
         }
         self.q = (self.q - served_local).max(0.0) + arrivals_local;
         self.h = (self.h - served_edge).max(0.0) + arrivals_edge;
+        invariant::check_nonneg("offload.queue.q", self.q);
+        invariant::check_nonneg("offload.queue.h", self.h);
     }
 
     /// The quadratic Lyapunov function `L(Θ) = (Q² + H²)/2` for this pair.

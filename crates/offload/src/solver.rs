@@ -1,6 +1,7 @@
 //! Per-slot offloading-ratio solvers.
 
 use crate::SlotCost;
+use leime_invariant as invariant;
 
 /// The bandwidth-feasible offloading-ratio interval from constraint (8):
 ///
@@ -18,35 +19,37 @@ pub fn feasible_interval(cost: &SlotCost) -> (f64, f64) {
     let d = cost.device();
     let k = d.arrival_mean;
     if k <= 0.0 {
-        return (0.0, 1.0);
+        return invariant::check_interval("offload.feasible_interval", 0.0, 1.0);
     }
     let cap_bits = d.bandwidth_bps * (s.slot_len_s - d.latency_s).max(0.0);
     // bits(x) = 8·k·[ x·d0 + (1−x)·(1−σ1)·d1 ] = base + slope·x.
     let base = 8.0 * k * (1.0 - s.sigma1) * s.d1_bytes;
     let slope = 8.0 * k * (s.d0_bytes - (1.0 - s.sigma1) * s.d1_bytes);
-    if slope.abs() < f64::EPSILON {
-        return if base <= cap_bits {
+    let (lo, hi) = if slope.abs() < f64::EPSILON {
+        if base <= cap_bits {
             (0.0, 1.0)
         } else {
             (0.0, 0.0)
-        };
-    }
-    let x_star = (cap_bits - base) / slope;
-    if slope > 0.0 {
-        // Transmission grows with x: feasible is [0, x*].
-        if x_star < 0.0 {
-            (0.0, 0.0) // infeasible; least transmission at x = 0
-        } else {
-            (0.0, x_star.min(1.0))
         }
     } else {
-        // Transmission shrinks with x: feasible is [x*, 1].
-        if x_star > 1.0 {
-            (1.0, 1.0) // infeasible; least transmission at x = 1
+        let x_star = (cap_bits - base) / slope;
+        if slope > 0.0 {
+            // Transmission grows with x: feasible is [0, x*].
+            if x_star < 0.0 {
+                (0.0, 0.0) // infeasible; least transmission at x = 0
+            } else {
+                (0.0, x_star.min(1.0))
+            }
         } else {
-            (x_star.max(0.0), 1.0)
+            // Transmission shrinks with x: feasible is [x*, 1].
+            if x_star > 1.0 {
+                (1.0, 1.0) // infeasible; least transmission at x = 1
+            } else {
+                (x_star.max(0.0), 1.0)
+            }
         }
-    }
+    };
+    invariant::check_interval("offload.feasible_interval", lo, hi)
 }
 
 /// The decentralized balance solver of §III-D4: as `V → ∞`, the per-slot
@@ -60,17 +63,17 @@ pub fn feasible_interval(cost: &SlotCost) -> (f64, f64) {
 pub fn balance_solve(cost: &SlotCost) -> f64 {
     let (lo, hi) = feasible_interval(cost);
     if hi - lo < f64::EPSILON {
-        return lo;
+        return invariant::check_unit_interval("offload.balance_solve", lo);
     }
     let g = |x: f64| cost.t_device(x) - cost.t_edge(x);
     // If even full offloading leaves the device side dearer, offload all.
     if g(hi) >= 0.0 {
-        return hi;
+        return invariant::check_unit_interval("offload.balance_solve", hi);
     }
     // If keeping everything local is already cheaper than any offloading,
     // stay local.
     if g(lo) <= 0.0 {
-        return lo;
+        return invariant::check_unit_interval("offload.balance_solve", lo);
     }
     let (mut a, mut b) = (lo, hi);
     for _ in 0..60 {
@@ -84,11 +87,8 @@ pub fn balance_solve(cost: &SlotCost) -> f64 {
     let x = 0.5 * (a + b);
     // A device without edge capacity sees an infinite edge cost for any
     // x > 0; fall back to keeping everything local.
-    if cost.t_edge(x).is_finite() {
-        x
-    } else {
-        lo
-    }
+    let x = if cost.t_edge(x).is_finite() { x } else { lo };
+    invariant::check_unit_interval("offload.balance_solve", x)
 }
 
 /// Centralized reference solver: golden-section minimisation of the full
@@ -106,7 +106,7 @@ pub fn balance_solve(cost: &SlotCost) -> f64 {
 pub fn golden_section_solve(cost: &SlotCost) -> f64 {
     let (lo, hi) = feasible_interval(cost);
     if hi - lo < f64::EPSILON {
-        return lo;
+        return invariant::check_unit_interval("offload.golden_section_solve", lo);
     }
     let f = |x: f64| cost.drift_plus_penalty(x);
     let inv_phi = (5.0f64.sqrt() - 1.0) / 2.0;
@@ -130,10 +130,15 @@ pub fn golden_section_solve(cost: &SlotCost) -> f64 {
         }
     }
     let interior = 0.5 * (a + b);
-    [lo, interior, hi]
-        .into_iter()
-        .min_by(|&x, &y| f(x).partial_cmp(&f(y)).expect("objective is finite"))
-        .expect("candidate set is non-empty")
+    // `total_cmp` keeps the argmin well-defined even if the objective
+    // ever produced a NaN (it would order last, never win).
+    let mut best = lo;
+    for x in [interior, hi] {
+        if f(x).total_cmp(&f(best)).is_lt() {
+            best = x;
+        }
+    }
+    invariant::check_unit_interval("offload.golden_section_solve", best)
 }
 
 #[cfg(test)]

@@ -99,7 +99,9 @@ impl FifoServer {
     /// Fraction of `[0, now]` the server spent busy (1.0 cap can be
     /// exceeded transiently if the backlog extends past `now`).
     pub fn utilisation(&self, now: SimTime) -> f64 {
-        if now.as_secs() == 0.0 {
+        // SimTime is non-negative by construction, so `<= 0` is exactly
+        // the zero case without a float equality.
+        if now.as_secs() <= 0.0 {
             return 0.0;
         }
         // Count only work that fits before `now`.

@@ -74,8 +74,9 @@ impl Eq for SimTime {}
 
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Construction forbids NaN, so partial_cmp always succeeds.
-        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+        // Construction forbids NaN, and total_cmp stays a total order
+        // even if one ever slipped through.
+        self.0.total_cmp(&other.0)
     }
 }
 

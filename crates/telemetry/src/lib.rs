@@ -28,6 +28,7 @@ pub mod clock;
 pub mod hist;
 pub mod metrics;
 pub mod registry;
+pub(crate) mod sync;
 pub mod trace;
 
 pub use clock::{Clock, VirtualClock, WallClock};

@@ -86,12 +86,12 @@ impl Series {
 
     /// Appends one sample at time `t`.
     pub fn push(&self, t: f64, value: f64) {
-        self.points.lock().unwrap().push((t, value));
+        crate::sync::lock_unpoisoned(&self.points).push((t, value));
     }
 
     /// Number of samples.
     pub fn len(&self) -> usize {
-        self.points.lock().unwrap().len()
+        crate::sync::lock_unpoisoned(&self.points).len()
     }
 
     /// Whether the series is empty.
@@ -101,7 +101,7 @@ impl Series {
 
     /// A copy of all points recorded so far.
     pub fn points(&self) -> Vec<(f64, f64)> {
-        self.points.lock().unwrap().clone()
+        crate::sync::lock_unpoisoned(&self.points).clone()
     }
 }
 

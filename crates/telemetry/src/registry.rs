@@ -23,7 +23,7 @@ pub struct Registry {
 }
 
 fn get_or_create<T: Default>(table: &Mutex<Vec<(String, Arc<T>)>>, name: &str) -> Arc<T> {
-    let mut table = table.lock().unwrap();
+    let mut table = crate::sync::lock_unpoisoned(table);
     if let Some((_, handle)) = table.iter().find(|(n, _)| n == name) {
         return Arc::clone(handle);
     }
@@ -61,10 +61,7 @@ impl Registry {
     /// A serializable copy of every registered metric's current state,
     /// each table sorted by name so output is deterministic.
     pub fn snapshot(&self) -> TelemetrySnapshot {
-        let mut counters: Vec<CounterSnapshot> = self
-            .counters
-            .lock()
-            .unwrap()
+        let mut counters: Vec<CounterSnapshot> = crate::sync::lock_unpoisoned(&self.counters)
             .iter()
             .map(|(name, c)| CounterSnapshot {
                 name: name.clone(),
@@ -73,10 +70,7 @@ impl Registry {
             .collect();
         counters.sort_by(|a, b| a.name.cmp(&b.name));
 
-        let mut gauges: Vec<GaugeSnapshot> = self
-            .gauges
-            .lock()
-            .unwrap()
+        let mut gauges: Vec<GaugeSnapshot> = crate::sync::lock_unpoisoned(&self.gauges)
             .iter()
             .map(|(name, g)| GaugeSnapshot {
                 name: name.clone(),
@@ -85,19 +79,13 @@ impl Registry {
             .collect();
         gauges.sort_by(|a, b| a.name.cmp(&b.name));
 
-        let mut histograms: Vec<HistogramSnapshot> = self
-            .histograms
-            .lock()
-            .unwrap()
+        let mut histograms: Vec<HistogramSnapshot> = crate::sync::lock_unpoisoned(&self.histograms)
             .iter()
             .map(|(name, h)| HistogramSnapshot::from_buckets(name.clone(), h.snapshot()))
             .collect();
         histograms.sort_by(|a, b| a.name.cmp(&b.name));
 
-        let mut series: Vec<SeriesSnapshot> = self
-            .series
-            .lock()
-            .unwrap()
+        let mut series: Vec<SeriesSnapshot> = crate::sync::lock_unpoisoned(&self.series)
             .iter()
             .map(|(name, s)| SeriesSnapshot {
                 name: name.clone(),

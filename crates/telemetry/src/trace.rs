@@ -75,7 +75,7 @@ impl<C: Clock> Tracer<C> {
     /// Records an instant event (`start == end == now`).
     pub fn event(&self, name: impl Into<String>) {
         let t = self.clock.now();
-        self.log.records.lock().unwrap().push(SpanRecord {
+        crate::sync::lock_unpoisoned(&self.log.records).push(SpanRecord {
             name: name.into(),
             start: t,
             end: t,
@@ -90,7 +90,7 @@ impl<C: Clock> Tracer<C> {
 
     /// A copy of everything recorded so far, in completion order.
     pub fn records(&self) -> Vec<SpanRecord> {
-        self.log.records.lock().unwrap().clone()
+        crate::sync::lock_unpoisoned(&self.log.records).clone()
     }
 }
 
@@ -105,7 +105,7 @@ pub struct Span<'t, C: Clock> {
 impl<C: Clock> Drop for Span<'_, C> {
     fn drop(&mut self) {
         let end = self.tracer.clock.now();
-        self.tracer.log.records.lock().unwrap().push(SpanRecord {
+        crate::sync::lock_unpoisoned(&self.tracer.log.records).push(SpanRecord {
             name: std::mem::take(&mut self.name),
             start: self.start,
             end,

@@ -1,6 +1,7 @@
 use crate::nn::{cross_entropy, one_hot, Sgd};
 use crate::ops::{linear, relu, relu_grad_mask, softmax_rows};
 use crate::{init, Result, Shape, Tensor, TensorError};
+use leime_invariant as invariant;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -112,7 +113,10 @@ impl Mlp {
     pub fn predict(&self, features: &Tensor) -> Result<(usize, f32)> {
         let row = features.reshape(Shape::d2(1, features.len()))?;
         let probs = self.forward(&row)?;
-        let (idx, conf) = probs.argmax().expect("softmax output is non-empty");
+        let (idx, conf) = probs.argmax().ok_or_else(|| TensorError::InvalidParam {
+            op: "predict",
+            what: "softmax output is empty".to_string(),
+        })?;
         Ok((idx, conf))
     }
 
@@ -167,12 +171,15 @@ impl Mlp {
         }
         let mut correct = 0usize;
         for (row, &y) in probs.data().chunks(k).zip(labels) {
+            // `k > 0` whenever `chunks(k)` yields a row, so the fallback
+            // class index is unreachable; `total_cmp` keeps the argmax
+            // defined even for NaN probabilities.
             let pred = row
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("probs are finite"))
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
-                .expect("non-empty row");
+                .unwrap_or(0);
             if pred == y {
                 correct += 1;
             }
@@ -191,7 +198,8 @@ fn column_sums(m: &Tensor) -> Tensor {
         }
     }
     let _ = n;
-    Tensor::from_vec(Shape::d1(k), out).expect("column sums shape is consistent")
+    Tensor::from_vec(Shape::d1(k), out)
+        .unwrap_or_else(|e| invariant::violation("tensor.mlp", &format!("column-sums shape: {e}")))
 }
 
 #[cfg(test)]

@@ -300,7 +300,9 @@ impl Tensor {
         for i in 0..n {
             for p in 0..k {
                 let a = self.data[i * k + p];
-                if a == 0.0 {
+                // Exact-zero skip, bitwise so ±0.0 both match without a
+                // float equality (NaN rows still multiply through).
+                if a.abs().to_bits() == 0 {
                     continue;
                 }
                 let row = &other.data[p * m..(p + 1) * m];

@@ -148,8 +148,10 @@ impl Mmpp {
     /// two-state chain).
     pub fn stationary_mean(&self) -> f64 {
         let denom = self.p_enter_burst + self.p_leave_burst;
-        if denom == 0.0 {
-            return self.calm_mean; // absorbing calm start
+        // Both probabilities are validated non-negative, so a non-positive
+        // sum means both are zero: the chain never leaves its calm start.
+        if denom <= 0.0 {
+            return self.calm_mean;
         }
         let pi_burst = self.p_enter_burst / denom;
         (1.0 - pi_burst) * self.calm_mean + pi_burst * self.burst_mean

@@ -8,6 +8,7 @@
 //! CIFAR-10 (see DESIGN.md §2 for the substitution argument).
 
 use crate::dataset::Sample;
+use leime_invariant as invariant;
 use leime_tensor::{Shape, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -150,17 +151,18 @@ impl FeatureCascade {
             depth_fraction > 0.0 && depth_fraction <= 1.0,
             "depth fraction {depth_fraction} outside (0, 1]"
         );
-        let proto = self
-            .prototypes
-            .get(sample.class)
-            .unwrap_or_else(|| panic!("unknown class {}", sample.class));
+        let proto = self.prototypes.get(sample.class).unwrap_or_else(|| {
+            invariant::violation(
+                "workload.cascade",
+                &format!("unknown class {}", sample.class),
+            )
+        });
         let alpha = self.signal_strength(depth_fraction, sample.complexity) as f32;
         let noise =
             Tensor::randn(Shape::d1(self.params.feature_dim), rng).scale(self.params.noise as f32);
-        proto
-            .scale(alpha)
-            .add(&noise)
-            .expect("prototype and noise share a shape")
+        proto.scale(alpha).add(&noise).unwrap_or_else(|e| {
+            invariant::violation("workload.cascade", &format!("feature shapes diverged: {e}"))
+        })
     }
 
     /// Emits a feature matrix `(n, feature_dim)` plus labels for a batch of
@@ -180,8 +182,9 @@ impl FeatureCascade {
             labels.push(s.class);
         }
         (
-            Tensor::from_vec(Shape::d2(samples.len(), d), data)
-                .expect("batch dimensions are consistent"),
+            Tensor::from_vec(Shape::d2(samples.len(), d), data).unwrap_or_else(|e| {
+                invariant::violation("workload.cascade", &format!("batch shape: {e}"))
+            }),
             labels,
         )
     }

@@ -8,6 +8,7 @@
 //! First-exit", Fig. 3b).
 
 use leime_dnn::{DnnChain, ExitRates};
+use leime_invariant as invariant;
 use serde::{Deserialize, Serialize};
 
 /// A logistic cumulative exit-rate curve over depth fraction `δ ∈ (0, 1]`:
@@ -102,7 +103,9 @@ impl ExitRateModel {
                 rates[i] = rates[i - 1];
             }
         }
-        ExitRates::new(rates).expect("constructed rates are valid")
+        ExitRates::new(rates).unwrap_or_else(|e| {
+            invariant::violation("workload.exitmodel", &format!("constructed rates: {e}"))
+        })
     }
 }
 

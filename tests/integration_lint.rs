@@ -1,0 +1,59 @@
+//! Tier-2 gate: the workspace's own library sources must pass the full
+//! leime-lint rule set — zero violations, waivers within budget. This is
+//! the same scan `cargo run -p leime-lint -- --deny-all` performs in CI,
+//! run here so a plain `cargo test` catches regressions too.
+
+use leime_lint::{run, ScanOptions};
+use std::path::{Path, PathBuf};
+
+/// Workspace root: two levels above the `leime` core crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    match manifest.parent().and_then(Path::parent) {
+        Some(root) => root.to_path_buf(),
+        None => unreachable!("crates/core always sits two levels below the root"),
+    }
+}
+
+#[test]
+fn workspace_library_sources_are_lint_clean() {
+    let opts = ScanOptions::new(workspace_root());
+    let report = match run(&opts) {
+        Ok(r) => r,
+        Err(e) => unreachable!("workspace lint scan must succeed: {e}"),
+    };
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — did the walk break?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "workspace must be lint-clean; report:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn waiver_budget_is_tight() {
+    // The acceptance bar is at most 5 justified waivers across the tree;
+    // today there is exactly one (inside the invariant crate itself).
+    let opts = ScanOptions::new(workspace_root());
+    let report = match run(&opts) {
+        Ok(r) => r,
+        Err(e) => unreachable!("workspace lint scan must succeed: {e}"),
+    };
+    assert!(
+        report.waivers_used <= 5,
+        "waiver count crept up to {} — justify or fix instead",
+        report.waivers_used
+    );
+    for w in &report.waived {
+        assert!(
+            !w.justification.is_empty(),
+            "waiver at {}:{} has no justification",
+            w.finding.path,
+            w.finding.line
+        );
+    }
+}
