@@ -1,0 +1,281 @@
+//! Fault-aware wrappers around the simnet primitives.
+//!
+//! [`ChaosLink`] and [`ChaosServer`] own a [`Link`] / [`FifoServer`] plus
+//! a [`FaultSchedule`]; every transfer/submission first consults the
+//! schedule at the virtual-clock instant of the call. A blackout or
+//! outage turns the operation into an explicit [`TransferOutcome`] /
+//! [`SubmitOutcome`] failure — callers decide whether to retry, back off
+//! or fall back to local execution (`leime-offload::degrade`).
+
+use crate::schedule::FaultSchedule;
+use crate::{EdgeHealth, LinkHealth};
+use leime_invariant as invariant;
+use leime_simnet::{FifoServer, Link, SimTime};
+
+/// Result of attempting a transfer over a fault-wrapped link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransferOutcome {
+    /// The payload arrives at the far end at this time.
+    Delivered(SimTime),
+    /// A link blackout swallowed the payload; the sender observes a
+    /// timeout and must retry or fall back.
+    Blackout,
+}
+
+impl TransferOutcome {
+    /// The arrival time, if the transfer succeeded.
+    pub fn delivered(self) -> Option<SimTime> {
+        match self {
+            TransferOutcome::Delivered(t) => Some(t),
+            TransferOutcome::Blackout => None,
+        }
+    }
+}
+
+/// Result of submitting work to a fault-wrapped server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SubmitOutcome {
+    /// The job completes at this time.
+    Accepted(SimTime),
+    /// The server is down; the job is not enqueued.
+    Outage,
+}
+
+impl SubmitOutcome {
+    /// The completion time, if the job was accepted.
+    pub fn accepted(self) -> Option<SimTime> {
+        match self {
+            SubmitOutcome::Accepted(t) => Some(t),
+            SubmitOutcome::Outage => None,
+        }
+    }
+}
+
+/// A [`Link`] that consults a [`FaultSchedule`] on every transfer.
+///
+/// Bandwidth collapses and latency spikes reshape the link for the
+/// duration of each call; blackouts drop the payload entirely. The
+/// nominal parameters are retained so health is always applied to the
+/// *configured* link, never compounded onto a previously-faulted state.
+#[derive(Debug, Clone)]
+pub struct ChaosLink {
+    inner: Link,
+    schedule: FaultSchedule,
+    device: usize,
+    nominal_bandwidth_bps: f64,
+    nominal_latency: SimTime,
+}
+
+impl ChaosLink {
+    /// Wraps `link` as device `device`'s uplink under `schedule`.
+    pub fn new(link: Link, schedule: FaultSchedule, device: usize) -> Self {
+        let nominal_bandwidth_bps = link.bandwidth_bps();
+        let nominal_latency = link.latency();
+        ChaosLink {
+            inner: link,
+            schedule,
+            device,
+            nominal_bandwidth_bps,
+            nominal_latency,
+        }
+    }
+
+    /// Composed link health at `now`.
+    pub fn health(&self, now: SimTime) -> LinkHealth {
+        self.schedule.link_health(self.device, now)
+    }
+
+    /// Attempts to transfer `bytes` at `now`.
+    ///
+    /// A blackout loses the payload (and occupies no medium time); an
+    /// up-but-degraded link carries it at the shaped bandwidth plus the
+    /// spiked latency.
+    pub fn transfer(&mut self, now: SimTime, bytes: f64) -> TransferOutcome {
+        let health = self.health(now);
+        if !health.up {
+            return TransferOutcome::Blackout;
+        }
+        self.inner
+            .set_bandwidth(self.nominal_bandwidth_bps * health.bandwidth_factor);
+        self.inner
+            .set_latency(self.nominal_latency + SimTime::from_secs(health.extra_latency_s));
+        let arrive = self.inner.transfer(now, bytes);
+        invariant::check_finite_cost("chaos.link.transfer", arrive.as_secs());
+        TransferOutcome::Delivered(arrive)
+    }
+
+    /// The wrapped link (current shaped state, byte counters).
+    pub fn inner(&self) -> &Link {
+        &self.inner
+    }
+
+    /// The schedule driving this link.
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+}
+
+/// A [`FifoServer`] that consults a [`FaultSchedule`] on every
+/// submission (the edge server's compute under brownout/outage).
+#[derive(Debug, Clone)]
+pub struct ChaosServer {
+    inner: FifoServer,
+    schedule: FaultSchedule,
+    nominal_rate_flops: f64,
+}
+
+impl ChaosServer {
+    /// Wraps `server` as the edge server under `schedule`.
+    pub fn new(server: FifoServer, schedule: FaultSchedule) -> Self {
+        let nominal_rate_flops = server.rate();
+        ChaosServer {
+            inner: server,
+            schedule,
+            nominal_rate_flops,
+        }
+    }
+
+    /// Composed edge health at `now`.
+    pub fn health(&self, now: SimTime) -> EdgeHealth {
+        self.schedule.edge_health(now)
+    }
+
+    /// Attempts to submit `flops` of work at `now`.
+    ///
+    /// During an outage the job is rejected outright; during a brownout
+    /// it is served at the slowed rate.
+    pub fn submit(&mut self, now: SimTime, flops: f64) -> SubmitOutcome {
+        let health = self.health(now);
+        if !health.up {
+            return SubmitOutcome::Outage;
+        }
+        self.inner
+            .set_rate(self.nominal_rate_flops * health.speed_factor);
+        let done = self.inner.submit(now, flops);
+        invariant::check_finite_cost("chaos.server.submit", done.as_secs());
+        SubmitOutcome::Accepted(done)
+    }
+
+    /// The wrapped server (backlog, utilisation, job counters).
+    pub fn inner(&self) -> &FifoServer {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{FaultEvent, FaultKind, FaultTarget};
+
+    fn schedule(kind: FaultKind, target: FaultTarget, start: f64, end: f64) -> FaultSchedule {
+        FaultSchedule::new(vec![FaultEvent {
+            kind,
+            target,
+            start: SimTime::from_secs(start),
+            end: SimTime::from_secs(end),
+        }])
+        .unwrap()
+    }
+
+    fn base_link() -> Link {
+        // 1 Mbps, zero latency, uncontended: 125 000 bytes take 1 s.
+        Link::new(1e6, SimTime::ZERO, false)
+    }
+
+    #[test]
+    fn blackout_drops_transfers_then_recovers() {
+        let s = schedule(FaultKind::LinkBlackout, FaultTarget::Device(0), 0.0, 5.0);
+        let mut l = ChaosLink::new(base_link(), s, 0);
+        assert_eq!(
+            l.transfer(SimTime::from_secs(1.0), 125_000.0),
+            TransferOutcome::Blackout
+        );
+        let after = l.transfer(SimTime::from_secs(5.0), 125_000.0);
+        assert_eq!(after.delivered(), Some(SimTime::from_secs(6.0)));
+        // The blackout moved no bytes.
+        assert!((l.inner().bytes_moved() - 125_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collapse_slows_then_restores_nominal_rate() {
+        let s = schedule(
+            FaultKind::BandwidthCollapse { factor: 0.25 },
+            FaultTarget::AllDevices,
+            0.0,
+            10.0,
+        );
+        let mut l = ChaosLink::new(base_link(), s, 3);
+        // 1 s of nominal payload takes 4 s under a 0.25× collapse.
+        let slow = l.transfer(SimTime::ZERO, 125_000.0).delivered();
+        assert_eq!(slow, Some(SimTime::from_secs(4.0)));
+        let fast = l.transfer(SimTime::from_secs(20.0), 125_000.0).delivered();
+        assert_eq!(fast, Some(SimTime::from_secs(21.0)));
+    }
+
+    #[test]
+    fn spike_adds_latency_without_reshaping_bandwidth() {
+        let s = schedule(
+            FaultKind::LatencySpike { add_s: 0.5 },
+            FaultTarget::Device(1),
+            0.0,
+            10.0,
+        );
+        let mut l = ChaosLink::new(base_link(), s, 1);
+        let t = l.transfer(SimTime::ZERO, 125_000.0).delivered();
+        assert_eq!(t, Some(SimTime::from_secs(1.5)));
+    }
+
+    #[test]
+    fn blackout_targets_only_its_device() {
+        let s = schedule(FaultKind::LinkBlackout, FaultTarget::Device(0), 0.0, 5.0);
+        let mut other = ChaosLink::new(base_link(), s, 1);
+        assert!(other
+            .transfer(SimTime::from_secs(1.0), 125_000.0)
+            .delivered()
+            .is_some());
+    }
+
+    #[test]
+    fn outage_rejects_then_brownout_slows_jobs() {
+        let sched = FaultSchedule::new(vec![
+            FaultEvent {
+                kind: FaultKind::EdgeOutage,
+                target: FaultTarget::Edge,
+                start: SimTime::ZERO,
+                end: SimTime::from_secs(2.0),
+            },
+            FaultEvent {
+                kind: FaultKind::EdgeSlowdown { factor: 0.5 },
+                target: FaultTarget::Edge,
+                start: SimTime::from_secs(2.0),
+                end: SimTime::from_secs(10.0),
+            },
+        ])
+        .unwrap();
+        let mut srv = ChaosServer::new(FifoServer::new(100.0), sched);
+        assert_eq!(
+            srv.submit(SimTime::from_secs(1.0), 100.0),
+            SubmitOutcome::Outage
+        );
+        assert_eq!(srv.inner().jobs_served(), 0);
+        // 1 s of nominal work takes 2 s at half rate, submitted at t = 2.
+        let done = srv.submit(SimTime::from_secs(2.0), 100.0).accepted();
+        assert_eq!(done, Some(SimTime::from_secs(4.0)));
+        // Past the brownout the nominal rate returns.
+        let later = srv.submit(SimTime::from_secs(20.0), 100.0).accepted();
+        assert_eq!(later, Some(SimTime::from_secs(21.0)));
+    }
+
+    #[test]
+    fn nominal_schedule_is_transparent() {
+        let mut l = ChaosLink::new(base_link(), FaultSchedule::empty(), 0);
+        let mut raw = base_link();
+        let wrapped = l.transfer(SimTime::ZERO, 250_000.0).delivered();
+        assert_eq!(wrapped, Some(raw.transfer(SimTime::ZERO, 250_000.0)));
+        let mut s = ChaosServer::new(FifoServer::new(100.0), FaultSchedule::empty());
+        assert_eq!(
+            s.submit(SimTime::ZERO, 300.0).accepted(),
+            Some(SimTime::from_secs(3.0))
+        );
+    }
+}

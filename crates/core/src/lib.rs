@@ -58,10 +58,18 @@ pub mod systems;
 /// `strict-invariants` feature; pass-through no-ops otherwise.
 pub use leime_invariant as invariant;
 
+/// Deterministic fault injection for scenarios (see [`Scenario::chaos`]):
+/// seed-driven schedules of link blackouts, bandwidth collapses, latency
+/// spikes, edge slowdown/outage and device churn on the virtual clock.
+pub use leime_chaos::{ChaosConfig, FaultModel, FaultSchedule};
+/// Graceful-degradation policy (timeout → bounded retry → local fallback)
+/// applied by the simulators when faults make the edge unreachable.
+pub use leime_offload::DegradePolicy;
+
 pub use deploy::{Deployment, ExitStrategy};
 pub use error::LeimeError;
 pub use model::ModelKind;
-pub use report::{RunReport, TierCounts};
+pub use report::{FaultStats, RunReport, TierCounts};
 pub use scenario::{ControllerKind, Scenario, WorkloadKind};
 pub use slotted::SlottedSystem;
 pub use tasksim::TaskSim;

@@ -28,6 +28,32 @@ impl TierCounts {
     }
 }
 
+/// Fault and degradation tallies for one run (all zero for fault-free
+/// scenarios).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Device-slots during which any injected fault touched the device's
+    /// path to the edge.
+    pub fault_slots: u64,
+    /// Device-slots lost to device churn (the device was absent).
+    pub churn_slots: u64,
+    /// Transmissions/probes that found the edge unreachable.
+    pub timeouts: u64,
+    /// Retries scheduled after a timeout.
+    pub retries: u64,
+    /// Transitions into fully-local fallback (`x = 0`).
+    pub fallbacks: u64,
+    /// Recoveries back to normal offloading.
+    pub recoveries: u64,
+}
+
+impl FaultStats {
+    /// Whether the run saw any fault at all.
+    pub fn any(&self) -> bool {
+        self.fault_slots > 0 || self.churn_slots > 0 || self.timeouts > 0
+    }
+}
+
 /// Aggregated results of one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -37,6 +63,11 @@ pub struct RunReport {
     offload_ratio: Welford,
     queue_q: Welford,
     queue_h: Welford,
+    faults: FaultStats,
+    /// Tasks that arrived / units of work actually served, for the
+    /// completion-rate SLA metric under faults.
+    arrived: u64,
+    served: f64,
 }
 
 impl RunReport {
@@ -69,6 +100,39 @@ impl RunReport {
     pub(crate) fn record_queues(&mut self, q: f64, h: f64) {
         self.queue_q.push(q);
         self.queue_h.push(h);
+    }
+
+    /// Records one device-slot's arrivals and the work actually drained
+    /// from its queues (device- plus edge-side), for the completion rate.
+    pub(crate) fn record_service(&mut self, arrived: u64, served: f64) {
+        self.arrived += arrived;
+        self.served += served.max(0.0);
+    }
+
+    /// Counts one faulted device-slot.
+    pub(crate) fn record_fault_slot(&mut self) {
+        self.faults.fault_slots += 1;
+    }
+
+    /// Counts one churned-out device-slot.
+    pub(crate) fn record_churn_slot(&mut self) {
+        self.faults.churn_slots += 1;
+    }
+
+    /// Folds one degradation outcome into the tallies.
+    pub(crate) fn record_degrade(&mut self, outcome: &leime_offload::DegradeOutcome) {
+        if outcome.timed_out {
+            self.faults.timeouts += 1;
+        }
+        if outcome.retried {
+            self.faults.retries += 1;
+        }
+        if outcome.fell_back {
+            self.faults.fallbacks += 1;
+        }
+        if outcome.recovered {
+            self.faults.recoveries += 1;
+        }
     }
 
     /// Number of completed tasks.
@@ -166,6 +230,49 @@ impl RunReport {
         }
         baseline.mean_tct_s() / own
     }
+
+    /// Fault and degradation tallies (all zero for fault-free runs).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
+    }
+
+    /// Fraction of arrived work served within the run — the throughput
+    /// SLA a faulty network erodes. Capped at 1; returns 1 when nothing
+    /// arrived.
+    pub fn completion_rate(&self) -> f64 {
+        if self.arrived == 0 {
+            1.0
+        } else {
+            (self.served / self.arrived as f64).min(1.0)
+        }
+    }
+
+    /// Mean TCT over tasks recorded at simulated time ≥ `after` seconds —
+    /// the post-fault recovery metric (0 when no such tasks exist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `after` is negative or non-finite.
+    pub fn mean_tct_after(&self, after: f64) -> f64 {
+        assert!(
+            after.is_finite() && after >= 0.0,
+            "bad recovery boundary {after}"
+        );
+        let boundary = leime_simnet::SimTime::from_secs(after);
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for &(t, tct) in self.series.points() {
+            if t >= boundary {
+                sum += tct;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -234,5 +341,66 @@ mod tests {
         assert_eq!(r.mean_tct_s(), 0.0);
         assert_eq!(r.tasks(), 0);
         assert_eq!(r.tiers().first_fraction(), 0.0);
+        assert!(!r.fault_stats().any());
+        assert_eq!(r.completion_rate(), 1.0);
+        assert_eq!(r.mean_tct_after(0.0), 0.0);
+    }
+
+    #[test]
+    fn fault_tallies_accumulate() {
+        use leime_offload::DegradeOutcome;
+        let mut r = RunReport::new();
+        r.record_fault_slot();
+        r.record_churn_slot();
+        r.record_degrade(&DegradeOutcome {
+            x: 0.0,
+            timed_out: true,
+            retried: true,
+            fell_back: false,
+            recovered: false,
+        });
+        r.record_degrade(&DegradeOutcome {
+            x: 0.5,
+            recovered: true,
+            ..DegradeOutcome::default()
+        });
+        let f = r.fault_stats();
+        assert!(f.any());
+        assert_eq!(f.fault_slots, 1);
+        assert_eq!(f.churn_slots, 1);
+        assert_eq!(f.timeouts, 1);
+        assert_eq!(f.retries, 1);
+        assert_eq!(f.fallbacks, 0);
+        assert_eq!(f.recoveries, 1);
+    }
+
+    #[test]
+    fn completion_rate_is_served_over_arrived() {
+        let mut r = RunReport::new();
+        r.record_service(10, 7.0);
+        r.record_service(10, 9.0);
+        assert!((r.completion_rate() - 0.8).abs() < 1e-12);
+        // Over-service (draining old backlog) saturates at 1.
+        let mut full = RunReport::new();
+        full.record_service(5, 50.0);
+        assert_eq!(full.completion_rate(), 1.0);
+    }
+
+    #[test]
+    fn mean_tct_after_splits_the_series() {
+        let mut r = RunReport::new();
+        r.record_tct(SimTime::from_secs(1.0), 1.0);
+        r.record_tct(SimTime::from_secs(2.0), 1.0);
+        r.record_tct(SimTime::from_secs(10.0), 3.0);
+        r.record_tct(SimTime::from_secs(11.0), 5.0);
+        assert!((r.mean_tct_after(10.0) - 4.0).abs() < 1e-12);
+        assert!((r.mean_tct_after(0.0) - 2.5).abs() < 1e-12);
+        assert_eq!(r.mean_tct_after(100.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad recovery boundary")]
+    fn mean_tct_after_rejects_negative() {
+        RunReport::new().mean_tct_after(-1.0);
     }
 }

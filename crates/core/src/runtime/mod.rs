@@ -58,6 +58,12 @@ pub struct RuntimeConfig {
     /// congestion (the length of the edge request queue), a lightweight
     /// live analogue of the Lyapunov controller's queue awareness.
     pub adaptive: bool,
+    /// Per-transmission probability that the device→edge uplink drops the
+    /// payload. A dropped transmission degrades gracefully: the device
+    /// settles for its local First-exit answer instead of blocking
+    /// (`x = 0` for that task). Zero (the default) injects no faults.
+    #[serde(default)]
+    pub edge_fault_rate: f64,
 }
 
 impl Default for RuntimeConfig {
@@ -73,6 +79,7 @@ impl Default for RuntimeConfig {
             intermediate_bytes: 8_192,
             seed: 0,
             adaptive: false,
+            edge_fault_rate: 0.0,
         }
     }
 }
@@ -94,6 +101,12 @@ impl RuntimeConfig {
             return Err(LeimeError::Config(
                 "invalid link emulation parameters".into(),
             ));
+        }
+        if !(0.0..=1.0).contains(&self.edge_fault_rate) {
+            return Err(LeimeError::Config(format!(
+                "edge_fault_rate {} outside [0, 1]",
+                self.edge_fault_rate
+            )));
         }
         Ok(())
     }
@@ -130,6 +143,14 @@ pub struct RuntimeReport {
     pub p99_tct_s: f64,
     /// Tasks whose raw input was offloaded to the edge.
     pub offloaded: usize,
+    /// Uplink transmissions lost to injected faults
+    /// ([`RuntimeConfig::edge_fault_rate`]).
+    #[serde(default)]
+    pub faults: usize,
+    /// Tasks that settled for the degraded local First-exit answer after
+    /// their transmission was lost.
+    #[serde(default)]
+    pub degraded: usize,
 }
 
 impl RuntimeReport {
@@ -241,7 +262,7 @@ fn run_live_inner(
     };
 
     // ---- Device threads.
-    let offload_count = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let counters = Arc::new(DeviceCounters::default());
     let mut device_handles = Vec::new();
     for dev in 0..config.num_devices {
         let pipeline = Arc::clone(&pipeline);
@@ -249,11 +270,11 @@ fn run_live_inner(
         let dataset = Arc::clone(&dataset);
         let edge = edge_tx.clone();
         let done = done_tx.clone();
-        let offloaded = Arc::clone(&offload_count);
+        let counters = Arc::clone(&counters);
         let wall = wall.clone();
         device_handles.push(thread::spawn(move || {
             device_loop(
-                dev, &pipeline, &cascade, &dataset, &edge, &done, &offloaded, &wall, config,
+                dev, &pipeline, &cascade, &dataset, &edge, &done, &counters, &wall, config,
             )
         }));
     }
@@ -326,8 +347,20 @@ fn run_live_inner(
         p50_tct_s: snapshot.quantile(0.5).unwrap_or(0.0),
         p95_tct_s: snapshot.quantile(0.95).unwrap_or(0.0),
         p99_tct_s: snapshot.quantile(0.99).unwrap_or(0.0),
-        offloaded: offload_count.load(std::sync::atomic::Ordering::Relaxed),
+        offloaded: counters
+            .offloaded
+            .load(std::sync::atomic::Ordering::Relaxed),
+        faults: counters.faults.load(std::sync::atomic::Ordering::Relaxed),
+        degraded: counters.degraded.load(std::sync::atomic::Ordering::Relaxed),
     })
+}
+
+/// Cross-thread tallies the device loops share.
+#[derive(Debug, Default)]
+struct DeviceCounters {
+    offloaded: std::sync::atomic::AtomicUsize,
+    faults: std::sync::atomic::AtomicUsize,
+    degraded: std::sync::atomic::AtomicUsize,
 }
 
 /// Elapsed time since `born` (a reading of the same run-scoped
@@ -346,11 +379,16 @@ fn device_loop(
     dataset: &SyntheticDataset,
     edge: &Sender<EdgeRequest>,
     done: &Sender<TaskOutcome>,
-    offloaded: &std::sync::atomic::AtomicUsize,
+    counters: &DeviceCounters,
     wall: &WallClock,
     config: RuntimeConfig,
 ) {
+    use std::sync::atomic::Ordering;
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(dev as u64));
+    // A transmission is lost with `edge_fault_rate` probability; the rate-0
+    // fast path keeps the RNG stream identical to fault-free builds.
+    let transmission_lost =
+        |rng: &mut StdRng| config.edge_fault_rate > 0.0 && rng.gen_bool(config.edge_fault_rate);
     for _ in 0..config.tasks_per_device {
         let sample = dataset.draw(&mut rng);
         let born = wall.now();
@@ -364,17 +402,23 @@ fn device_loop(
             config.offload_ratio
         };
         if rng.gen_bool(x.clamp(0.0, 1.0)) {
-            offloaded.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            // Offload the raw input: the edge runs the First-exit too.
-            thread::sleep(config.transfer_delay(config.input_bytes));
-            let _ = edge.send(EdgeRequest {
-                sample,
-                born,
-                feature_seed,
-                first_exit_pending: true,
-                payload: payload_for_bytes(config.input_bytes),
-            });
-            continue;
+            if transmission_lost(&mut rng) {
+                // Raw input lost in transit: fall back to running the
+                // first block locally (x = 0 for this task).
+                counters.faults.fetch_add(1, Ordering::Relaxed);
+            } else {
+                counters.offloaded.fetch_add(1, Ordering::Relaxed);
+                // Offload the raw input: the edge runs the First-exit too.
+                thread::sleep(config.transfer_delay(config.input_bytes));
+                let _ = edge.send(EdgeRequest {
+                    sample,
+                    born,
+                    feature_seed,
+                    first_exit_pending: true,
+                    payload: payload_for_bytes(config.input_bytes),
+                });
+                continue;
+            }
         }
         // Local First-exit on real tensors.
         let mut frng = StdRng::seed_from_u64(feature_seed);
@@ -383,6 +427,17 @@ fn device_loop(
             let _ = pred;
             let _ = done.send(TaskOutcome {
                 tier,
+                correct,
+                elapsed: elapsed_since(wall, born),
+            });
+        } else if transmission_lost(&mut rng) {
+            // Degraded routing: the intermediate payload would be lost, so
+            // the device settles for its (low-confidence) First-exit
+            // answer rather than blocking on a dark uplink.
+            counters.faults.fetch_add(1, Ordering::Relaxed);
+            counters.degraded.fetch_add(1, Ordering::Relaxed);
+            let _ = done.send(TaskOutcome {
+                tier: ExitDecision::Device,
                 correct,
                 elapsed: elapsed_since(wall, born),
             });
@@ -557,6 +612,44 @@ mod tests {
             adaptive.offloaded,
             fixed.offloaded
         );
+    }
+
+    #[test]
+    fn total_uplink_loss_degrades_every_task_to_device() {
+        let (pipeline, cascade, dataset) = setup();
+        let config = RuntimeConfig {
+            num_devices: 2,
+            tasks_per_device: 30,
+            offload_ratio: 0.8,
+            edge_fault_rate: 1.0,
+            time_scale: 0.0005,
+            ..RuntimeConfig::default()
+        };
+        let report = run_live(&pipeline, &cascade, &dataset, config).unwrap();
+        // Every transmission is lost, yet every task still completes —
+        // on-device, at the First-exit.
+        assert_eq!(report.completed, 60);
+        assert_eq!(report.offloaded, 0);
+        assert_eq!(report.tiers.second + report.tiers.third, 0);
+        assert!(report.faults > 0, "no faults recorded");
+        assert!(report.degraded > 0, "no degraded completions recorded");
+        assert!(report.faults >= report.degraded);
+    }
+
+    #[test]
+    fn fault_rate_validation_and_serde_default() {
+        let (pipeline, cascade, dataset) = setup();
+        let bad = RuntimeConfig {
+            edge_fault_rate: 1.5,
+            ..RuntimeConfig::default()
+        };
+        assert!(run_live(&pipeline, &cascade, &dataset, bad).is_err());
+        // Old configs without the field still parse (serde default 0).
+        let json = r#"{"num_devices":1,"tasks_per_device":1,"offload_ratio":0.2,
+            "bandwidth_bps":1e7,"latency_s":0.02,"time_scale":0.01,
+            "input_bytes":100,"intermediate_bytes":50,"seed":0,"adaptive":false}"#;
+        let cfg: RuntimeConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(cfg.edge_fault_rate, 0.0);
     }
 
     #[test]

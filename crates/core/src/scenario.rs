@@ -1,8 +1,9 @@
+use leime_chaos::{ChaosConfig, FaultModel};
 use leime_dnn::{DnnChain, ExitRates, ExitSpec};
 use leime_exitcfg::EnvParams;
 use leime_offload::{
-    CapabilityBased, DeviceOnly, DeviceParams, EdgeOnly, FixedRatio, LyapunovController,
-    OffloadController,
+    CapabilityBased, DegradePolicy, DeviceOnly, DeviceParams, EdgeOnly, FixedRatio,
+    LyapunovController, OffloadController,
 };
 use leime_simnet::TimeTrace;
 use leime_workload::ExitRateModel;
@@ -109,6 +110,15 @@ pub struct Scenario {
     /// `None` keeps links constant.
     #[serde(default)]
     pub bandwidth_scale: Option<TimeTrace>,
+    /// Optional deterministic fault injection (`leime-chaos`): a seeded
+    /// bundle of fault models compiled to an event schedule at run start.
+    /// `None` runs fault-free.
+    #[serde(default)]
+    pub chaos: Option<ChaosConfig>,
+    /// Graceful-degradation policy applied when faults make the edge
+    /// unreachable (timeout → bounded retry → local fallback).
+    #[serde(default)]
+    pub degrade: DegradePolicy,
 }
 
 impl Scenario {
@@ -130,6 +140,8 @@ impl Scenario {
             controller: ControllerKind::Lyapunov,
             workload: WorkloadKind::SlotPoisson { max: 1000 },
             bandwidth_scale: None,
+            chaos: None,
+            degrade: DegradePolicy::default(),
         }
     }
 
@@ -137,6 +149,35 @@ impl Scenario {
     pub fn jetson_nano_cluster(model: ModelKind, n: usize, arrival_mean: f64) -> Self {
         let mut s = Scenario::raspberry_pi_cluster(model, n, arrival_mean);
         s.devices = vec![DeviceParams::jetson_nano(arrival_mean); n];
+        s
+    }
+
+    /// The chaos testbed: a Pi fleet under a 30% link-blackout schedule
+    /// plus shared-medium bandwidth collapses, with faults confined to
+    /// `[0, fault_window_s)` so the tail of a longer run measures
+    /// recovery. The arrival rate (20 tasks/slot) deliberately exceeds
+    /// what a device sustains alone, so losing the edge *costs*
+    /// something and the completion-rate comparison against a
+    /// fully-local baseline is meaningful. Used by the `ext_chaos`
+    /// experiment and the `integration_chaos` replay/degradation
+    /// assertions.
+    pub fn chaos_testbed(model: ModelKind, n: usize, seed: u64, fault_window_s: f64) -> Self {
+        let mut s = Scenario::raspberry_pi_cluster(model, n, 20.0);
+        s.chaos = Some(ChaosConfig {
+            seed,
+            models: vec![
+                FaultModel::LinkFlaps {
+                    duty: 0.3,
+                    mean_outage_s: 8.0,
+                },
+                FaultModel::BandwidthCollapse {
+                    duty: 0.2,
+                    factor: 0.25,
+                    mean_episode_s: 10.0,
+                },
+            ],
+            window_s: Some(fault_window_s),
+        });
         s
     }
 
@@ -186,6 +227,14 @@ impl Scenario {
                 }
             }
         }
+        if let Some(chaos) = &self.chaos {
+            chaos
+                .validate()
+                .map_err(|e| LeimeError::Config(format!("chaos: {e}")))?;
+        }
+        self.degrade
+            .validate()
+            .map_err(|e| LeimeError::Config(format!("degrade: {e}")))?;
         Ok(())
     }
 
@@ -364,6 +413,29 @@ mod tests {
         let mut s = Scenario::raspberry_pi_cluster(ModelKind::Vgg16, 1, 5.0);
         s.num_classes = 1;
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn chaos_testbed_preset_validates() {
+        let s = Scenario::chaos_testbed(ModelKind::SqueezeNet, 3, 42, 60.0);
+        assert!(s.validate().is_ok());
+        assert!(s.chaos.is_some());
+    }
+
+    #[test]
+    fn validation_rejects_bad_chaos_and_degrade() {
+        let mut s = Scenario::chaos_testbed(ModelKind::SqueezeNet, 2, 42, 60.0);
+        if let Some(chaos) = &mut s.chaos {
+            chaos.models.push(FaultModel::LinkFlaps {
+                duty: 1.5,
+                mean_outage_s: 5.0,
+            });
+        }
+        assert!(matches!(s.validate(), Err(LeimeError::Config(_))));
+
+        let mut s = Scenario::raspberry_pi_cluster(ModelKind::SqueezeNet, 2, 5.0);
+        s.degrade.timeout_slots = 0;
+        assert!(matches!(s.validate(), Err(LeimeError::Config(_))));
     }
 
     #[test]

@@ -1,8 +1,9 @@
 use std::sync::Arc;
 
+use leime_chaos::{EdgeHealth, FaultSchedule, LinkHealth};
 use leime_offload::{
-    kkt_allocation_with_floor, ControllerTelemetry, DeviceParams, OffloadController, QueuePair,
-    SharedParams, SlotCost, SlotObservation,
+    kkt_allocation_with_floor, ControllerTelemetry, DegradeMode, DegradeState, DeviceParams,
+    OffloadController, QueuePair, SharedParams, SlotCost, SlotObservation,
 };
 use leime_simnet::SimTime;
 use leime_telemetry::{Histogram, Registry, Series, VirtualClock};
@@ -46,6 +47,9 @@ struct SlotTelemetry {
     queue_q: Arc<Series>,
     queue_h: Arc<Series>,
     offload_x: Arc<Series>,
+    /// Shares the controller's `{prefix}.ctrl.*` counters, so fault and
+    /// degradation events land next to the per-decision series.
+    ctrl: ControllerTelemetry,
 }
 
 impl SlottedSystem {
@@ -106,14 +110,11 @@ impl SlottedSystem {
     /// All series are stamped with simulated slot-start time.
     pub fn attach_registry(&mut self, registry: &Registry, prefix: &str) {
         let clock = VirtualClock::new();
-        self.controller
-            .attach_telemetry(ControllerTelemetry::attach(
-                registry,
-                &format!("{prefix}.ctrl"),
-                clock.clone(),
-            ));
+        let ctrl = ControllerTelemetry::attach(registry, &format!("{prefix}.ctrl"), clock.clone());
+        self.controller.attach_telemetry(ctrl.clone());
         self.telemetry = Some(SlotTelemetry {
             clock,
+            ctrl,
             tct: registry.histogram(&format!("{prefix}.tct_s")),
             tct_mean: registry.series(&format!("{prefix}.tct_mean_s")),
             queue_q: registry.series(&format!("{prefix}.queue_q")),
@@ -162,8 +163,7 @@ impl SlottedSystem {
     /// Expected second/third-block completion tail per *surviving* task
     /// cohort in one slot (the paper's Y covers first-block costs only;
     /// blocks 2–3 are processed "fixedly" on edge and cloud).
-    fn tail_cost(&self, cost: &SlotCost, x: f64, tasks: f64) -> f64 {
-        let s = self.shared();
+    fn tail_cost(&self, s: SharedParams, cost: &SlotCost, x: f64, tasks: f64) -> f64 {
         let dep = &self.deployment;
         let survivors1 = (1.0 - dep.sigma[0]) * tasks;
         let survivors2 = (1.0 - dep.sigma[1]) * tasks;
@@ -199,6 +199,10 @@ impl SlottedSystem {
         let shared = self.shared();
         let n = self.scenario.devices.len();
         let telemetry = self.telemetry.clone();
+        let horizon = SimTime::from_secs(slots as f64 * self.scenario.slot_len_s);
+        let schedule: Option<FaultSchedule> =
+            self.scenario.chaos.as_ref().map(|c| c.compile(n, horizon));
+        let mut degrade = vec![DegradeState::new(); n];
 
         for t in 0..slots {
             let slot_start = SimTime::from_secs(t as f64 * self.scenario.slot_len_s);
@@ -212,17 +216,58 @@ impl SlottedSystem {
             let mut slot = SlotAccumulator::default();
 
             for i in 0..n {
+                let (link, edge, alive) = match &schedule {
+                    Some(s) => (
+                        s.link_health(i, slot_start),
+                        s.edge_health(slot_start),
+                        s.device_alive(i, slot_start),
+                    ),
+                    None => (LinkHealth::NOMINAL, EdgeHealth::NOMINAL, true),
+                };
+                if !alive {
+                    // Churned out: the device is absent this slot — no
+                    // arrivals, no service, frozen queues (Eq. 10–11 with
+                    // all rates zero).
+                    report.record_churn_slot();
+                    continue;
+                }
+                let fault_active = !link.is_nominal() || !edge.is_nominal();
+                if fault_active {
+                    report.record_fault_slot();
+                    if let Some(tel) = &telemetry {
+                        tel.ctrl.record_fault_slot();
+                    }
+                }
+
                 let dev = DeviceParams {
                     arrival_mean: means[i],
-                    bandwidth_bps: self.scenario.bandwidth_at(i, slot_start),
+                    bandwidth_bps: self.scenario.bandwidth_at(i, slot_start)
+                        * link.bandwidth_factor,
+                    latency_s: self.scenario.devices[i].latency_s + link.extra_latency_s,
                     ..self.scenario.devices[i]
+                };
+                // Edge slowdown scales the server the whole fleet shares.
+                let shared_i = SharedParams {
+                    edge_flops: shared.edge_flops * edge.speed_factor,
+                    ..shared
                 };
                 let obs = SlotObservation {
                     q: self.queues[i].q(),
                     h: self.queues[i].h(),
                     p_share: shares[i].clamp(0.0, 1.0),
                 };
-                let x = self.controller.decide(shared, dev, obs);
+                let x_opt = self.controller.decide(shared_i, dev, obs);
+                let reachable = link.up && edge.up;
+                let outcome =
+                    degrade[i].degraded_decide(&self.scenario.degrade, t as u64, reachable, x_opt);
+                let x = outcome.x;
+                // Any non-Normal mode forces x = 0: the slot's tasks run
+                // fully locally and take the First-exit on device.
+                let degraded_local = degrade[i].mode() != DegradeMode::Normal;
+                report.record_degrade(&outcome);
+                if let Some(tel) = &telemetry {
+                    tel.ctrl.record_degrade(&outcome);
+                }
                 let arrivals = self.draw_arrivals(i, means[i], &mut rng);
 
                 // Realized per-slot cost with the actual arrival count.
@@ -230,14 +275,23 @@ impl SlottedSystem {
                     arrival_mean: arrivals as f64,
                     ..dev
                 };
-                let cost = SlotCost::new(shared, realized, obs.q, obs.h, obs.p_share);
+                let cost = SlotCost::new(shared_i, realized, obs.q, obs.h, obs.p_share);
                 if arrivals > 0 {
                     let first_block = cost.y(x);
-                    let total = first_block + self.tail_cost(&cost, x, arrivals as f64);
+                    let tail = if degraded_local {
+                        0.0
+                    } else {
+                        self.tail_cost(shared_i, &cost, x, arrivals as f64)
+                    };
+                    let total = first_block + tail;
                     let per_task = total / arrivals as f64;
                     for _ in 0..arrivals {
                         report.record_tct(slot_start, per_task);
-                        let tier = self.deployment.tier_for_draw(rng.gen_range(0.0..1.0))?;
+                        let tier = if degraded_local {
+                            0
+                        } else {
+                            self.deployment.tier_for_draw(rng.gen_range(0.0..1.0))?
+                        };
                         report.record_tier(tier);
                     }
                     if let Some(tel) = &telemetry {
@@ -254,10 +308,15 @@ impl SlottedSystem {
                 slot.h_sum += obs.h;
                 slot.x_sum += x;
 
-                // Queue recursions (Eq. 10–11).
+                // Queue recursions (Eq. 10–11). A downed edge serves
+                // nothing (zero H-quota); its backlog waits out the fault.
                 let a = (1.0 - x) * arrivals as f64;
                 let d_off = x * arrivals as f64;
-                self.queues[i].step(a, d_off, cost.device_quota(), cost.edge_quota(x));
+                let edge_quota = if edge.up { cost.edge_quota(x) } else { 0.0 };
+                self.queues[i].step(a, d_off, cost.device_quota(), edge_quota);
+                let served =
+                    (obs.q + a - self.queues[i].q()) + (obs.h + d_off - self.queues[i].h());
+                report.record_service(arrivals, served);
             }
 
             if let Some(tel) = &telemetry {
@@ -374,5 +433,83 @@ mod tests {
     fn edge_only_records_high_offloading() {
         let r = run(ControllerKind::EdgeOnly, 50, 9);
         assert!(r.mean_offload_ratio() > 0.5);
+    }
+
+    #[test]
+    fn quiet_chaos_config_matches_fault_free_run() {
+        let baseline = scenario();
+        let dep = baseline.deploy(ExitStrategy::Leime).unwrap();
+        let clean = baseline.run_slotted(&dep, 100, 11).unwrap();
+
+        let mut quiet = scenario();
+        quiet.chaos = Some(leime_chaos::ChaosConfig::quiet(99));
+        let chaotic = quiet.run_slotted(&dep, 100, 11).unwrap();
+
+        assert_eq!(clean.tasks(), chaotic.tasks());
+        assert!((clean.mean_tct_s() - chaotic.mean_tct_s()).abs() < 1e-15);
+        assert!(!chaotic.fault_stats().any());
+        assert_eq!(chaotic.completion_rate(), clean.completion_rate());
+    }
+
+    #[test]
+    fn permanent_blackout_forces_first_exit_fallback() {
+        let mut s = scenario();
+        s.chaos = Some(leime_chaos::ChaosConfig {
+            seed: 1,
+            models: vec![leime_chaos::FaultModel::LinkFlaps {
+                duty: 0.98,
+                mean_outage_s: 20.0,
+            }],
+            window_s: None,
+        });
+        let dep = s.deploy(ExitStrategy::Leime).unwrap();
+        let r = s.run_slotted(&dep, 100, 11).unwrap();
+        let f = r.fault_stats();
+        assert!(f.fault_slots > 150, "fault slots {}", f.fault_slots);
+        assert!(f.timeouts > 0 && f.fallbacks > 0);
+        // Overwhelmingly local: the rare up-gap slots may still offload,
+        // but nearly every task takes the First-exit on device.
+        assert!(
+            r.mean_offload_ratio() < 0.1,
+            "offload ratio {}",
+            r.mean_offload_ratio()
+        );
+        assert!(
+            r.tiers().first_fraction() > 0.85,
+            "first fraction {}",
+            r.tiers().first_fraction()
+        );
+        assert!(r.tasks() > 0);
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic_per_seed() {
+        let s = Scenario::chaos_testbed(ModelKind::SqueezeNet, 2, 42, 60.0);
+        let dep = s.deploy(ExitStrategy::Leime).unwrap();
+        let a = s.run_slotted(&dep, 120, 7).unwrap();
+        let b = s.run_slotted(&dep, 120, 7).unwrap();
+        assert_eq!(a.tasks(), b.tasks());
+        assert_eq!(a.fault_stats(), b.fault_stats());
+        assert!((a.mean_tct_s() - b.mean_tct_s()).abs() < 1e-15);
+        assert!((a.completion_rate() - b.completion_rate()).abs() < 1e-15);
+        // And the testbed actually injects faults plus recovers from them.
+        assert!(a.fault_stats().fault_slots > 0);
+        assert!(a.fault_stats().recoveries > 0);
+    }
+
+    #[test]
+    fn queues_recover_after_fault_window_closes() {
+        // Faults confined to the first 60 s of a 300-slot run: by the end
+        // the backlog must have drained back to roughly the fault-free
+        // steady state (≈19 per device at the testbed load).
+        let s = Scenario::chaos_testbed(ModelKind::SqueezeNet, 3, 5, 60.0);
+        let dep = s.deploy(ExitStrategy::Leime).unwrap();
+        let mut sys = SlottedSystem::new(s, dep).unwrap();
+        sys.run(300, 13).unwrap();
+        for qp in sys.queues() {
+            let backlog = qp.q() + qp.h();
+            leime_invariant::check_drained("slotted.recovery", backlog, 40.0);
+            assert!(backlog < 40.0, "undrained backlog {backlog}");
+        }
     }
 }

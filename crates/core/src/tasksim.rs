@@ -1,8 +1,9 @@
 use std::sync::Arc;
 
+use leime_chaos::{EdgeHealth, FaultSchedule, LinkHealth};
 use leime_offload::{
-    kkt_allocation_with_floor, ControllerTelemetry, DeviceParams, OffloadController, SharedParams,
-    SlotObservation,
+    kkt_allocation_with_floor, ControllerTelemetry, DegradeState, DeviceParams, OffloadController,
+    SharedParams, SlotObservation,
 };
 use leime_simnet::{EventQueue, FifoServer, Link, SimMonitor, SimTime};
 use leime_telemetry::{Histogram, Registry};
@@ -66,6 +67,9 @@ pub struct TaskSim {
     monitor: Option<SimMonitor>,
     /// Per-task completion-time histogram, populated alongside `monitor`.
     tct_hist: Option<Arc<Histogram>>,
+    /// Controller telemetry clone for fault/degradation counters,
+    /// populated alongside `monitor`.
+    ctrl: Option<ControllerTelemetry>,
 }
 
 impl TaskSim {
@@ -107,6 +111,7 @@ impl TaskSim {
             current_means,
             monitor: None,
             tct_hist: None,
+            ctrl: None,
         })
     }
 
@@ -126,12 +131,13 @@ impl TaskSim {
     /// virtual clock.
     pub fn attach_registry(&mut self, registry: &Registry, prefix: &str) {
         let monitor = SimMonitor::attach(registry, &format!("{prefix}.net"));
-        self.controller
-            .attach_telemetry(ControllerTelemetry::attach(
-                registry,
-                &format!("{prefix}.ctrl"),
-                monitor.clock().clone(),
-            ));
+        let ctrl = ControllerTelemetry::attach(
+            registry,
+            &format!("{prefix}.ctrl"),
+            monitor.clock().clone(),
+        );
+        self.controller.attach_telemetry(ctrl.clone());
+        self.ctrl = Some(ctrl);
         self.tct_hist = Some(registry.histogram(&format!("{prefix}.tct_s")));
         self.monitor = Some(monitor);
     }
@@ -169,6 +175,17 @@ impl TaskSim {
         let mut report = RunReport::new();
         let monitor = self.monitor.clone();
         let tct_hist = self.tct_hist.clone();
+        let ctrl = self.ctrl.clone();
+        let schedule: Option<FaultSchedule> =
+            scenario.chaos.as_ref().map(|c| c.compile(n, horizon));
+        let mut degrade = vec![DegradeState::new(); n];
+        let mut slot_idx: u64 = 0;
+        // Transmission-level health at an instant: can `dev` reach the
+        // edge right now?
+        let edge_reachable = |dev: usize, t: SimTime| match &schedule {
+            Some(s) => s.link_health(dev, t).up && s.edge_health(t).up,
+            None => true,
+        };
         let record_tct = |tct_s: f64| {
             if let Some(h) = &tct_hist {
                 h.record(tct_s);
@@ -214,12 +231,35 @@ impl TaskSim {
                     let flops: Vec<f64> = scenario.devices.iter().map(|d| d.flops).collect();
                     shares =
                         kkt_allocation_with_floor(&flops, &means, scenario.edge_flops, SHARE_FLOOR);
+                    let edge = match &schedule {
+                        Some(s) => s.edge_health(now),
+                        None => EdgeHealth::NOMINAL,
+                    };
                     let mut q_sum = 0.0;
                     let mut util_sum = 0.0;
                     for i in 0..n {
-                        let rate = (shares[i] * scenario.edge_flops).max(1.0);
+                        let (link, alive) = match &schedule {
+                            Some(s) => (s.link_health(i, now), s.device_alive(i, now)),
+                            None => (LinkHealth::NOMINAL, true),
+                        };
+                        if !alive {
+                            report.record_churn_slot();
+                            x[i] = 0.0;
+                            continue;
+                        }
+                        if !link.is_nominal() || !edge.is_nominal() {
+                            report.record_fault_slot();
+                            if let Some(c) = &ctrl {
+                                c.record_fault_slot();
+                            }
+                        }
+                        let rate = (shares[i] * scenario.edge_flops * edge.speed_factor).max(1.0);
                         edge_shares[i].set_rate(rate);
-                        dev_links[i].set_bandwidth(scenario.bandwidth_at(i, now));
+                        let bandwidth = scenario.bandwidth_at(i, now) * link.bandwidth_factor;
+                        dev_links[i].set_bandwidth(bandwidth);
+                        dev_links[i].set_latency(SimTime::from_secs(
+                            scenario.devices[i].latency_s + link.extra_latency_s,
+                        ));
                         // Queue estimates from server backlogs (in
                         // first-block task equivalents).
                         let q = device_servers[i].backlog(now).as_secs()
@@ -228,10 +268,11 @@ impl TaskSim {
                         let h = edge_shares[i].backlog(now).as_secs() * rate / shared.mu1;
                         let dev_params = DeviceParams {
                             arrival_mean: means[i],
-                            bandwidth_bps: scenario.bandwidth_at(i, now),
+                            bandwidth_bps: bandwidth,
+                            latency_s: scenario.devices[i].latency_s + link.extra_latency_s,
                             ..scenario.devices[i]
                         };
-                        x[i] = self.controller.decide(
+                        let x_opt = self.controller.decide(
                             shared,
                             dev_params,
                             SlotObservation {
@@ -240,11 +281,23 @@ impl TaskSim {
                                 p_share: shares[i].clamp(0.0, 1.0),
                             },
                         );
+                        let outcome = degrade[i].degraded_decide(
+                            &scenario.degrade,
+                            slot_idx,
+                            link.up && edge.up,
+                            x_opt,
+                        );
+                        x[i] = outcome.x;
+                        report.record_degrade(&outcome);
+                        if let Some(c) = &ctrl {
+                            c.record_degrade(&outcome);
+                        }
                         report.record_offload(x[i]);
                         report.record_queues(q, h);
                         q_sum += q;
                         util_sum += edge_shares[i].utilisation(now);
                     }
+                    slot_idx += 1;
                     if let Some(mon) = &monitor {
                         mon.sample_queue_depth(now, q_sum / n as f64);
                         mon.sample_utilisation(now, util_sum / n as f64);
@@ -255,36 +308,50 @@ impl TaskSim {
                     }
                 }
                 Event::Arrival { dev } => {
-                    let task = Task {
-                        born: now,
-                        tier: dep.tier_for_draw(rng.gen_range(0.0..1.0))?,
-                        needs_first_block: false,
+                    let alive = match &schedule {
+                        Some(s) => s.device_alive(dev, now),
+                        None => true,
                     };
-                    if rng.gen_bool(x[dev].clamp(0.0, 1.0)) {
-                        // Offload raw input to the edge.
+                    if alive {
                         let task = Task {
-                            needs_first_block: true,
-                            ..task
+                            born: now,
+                            tier: dep.tier_for_draw(rng.gen_range(0.0..1.0))?,
+                            needs_first_block: false,
                         };
-                        let arrive = dev_links[dev].transfer(now, dep.d[0]);
-                        if let Some(mon) = &monitor {
-                            mon.observe_transfer(now, arrive);
+                        report.record_service(1, 0.0);
+                        // Offloading needs the edge to be reachable *now* —
+                        // the slot decision may predate a mid-slot blackout.
+                        if rng.gen_bool(x[dev].clamp(0.0, 1.0)) && edge_reachable(dev, now) {
+                            // Offload raw input to the edge.
+                            let task = Task {
+                                needs_first_block: true,
+                                ..task
+                            };
+                            let arrive = dev_links[dev].transfer(now, dep.d[0]);
+                            if let Some(mon) = &monitor {
+                                mon.observe_transfer(now, arrive);
+                            }
+                            queue.schedule_at(arrive, Event::EdgeArrive { dev, task });
+                        } else {
+                            let done = device_servers[dev].submit(now, dep.mu[0]);
+                            queue.schedule_at(done, Event::DeviceDone { dev, task });
                         }
-                        queue.schedule_at(arrive, Event::EdgeArrive { dev, task });
-                    } else {
-                        let done = device_servers[dev].submit(now, dep.mu[0]);
-                        queue.schedule_at(done, Event::DeviceDone { dev, task });
                     }
-                    // Next arrival for this device.
+                    // Next arrival for this device (a churned-out device
+                    // generates nothing but will resume arrivals later).
                     let next = now + self.arrival_gap(dev, now, &mut rng);
                     if next < horizon {
                         queue.schedule_at(next, Event::Arrival { dev });
                     }
                 }
                 Event::DeviceDone { dev, task } => {
-                    if task.tier == 0 {
+                    if task.tier == 0 || !edge_reachable(dev, now) {
+                        // Done at the First-exit — either by design, or
+                        // degraded: the uplink is dark, so the device
+                        // settles for its local early-exit answer.
                         report.record_tct(now, (now - task.born).as_secs());
                         report.record_tier(0);
+                        report.record_service(0, 1.0);
                         record_tct((now - task.born).as_secs());
                     } else {
                         let arrive = dev_links[dev].transfer(now, dep.d[1]);
@@ -309,6 +376,7 @@ impl TaskSim {
                     if task.tier <= 1 {
                         report.record_tct(now, (now - task.born).as_secs());
                         report.record_tier(task.tier);
+                        report.record_service(0, 1.0);
                         record_tct((now - task.born).as_secs());
                     } else {
                         let arrive = cloud_link.transfer(now, dep.d[2]);
@@ -325,6 +393,7 @@ impl TaskSim {
                 Event::CloudDone { task } => {
                     report.record_tct(now, (now - task.born).as_secs());
                     report.record_tier(2);
+                    report.record_service(0, 1.0);
                     record_tct((now - task.born).as_secs());
                 }
             }
@@ -418,6 +487,68 @@ mod tests {
             r_leime.mean_tct_s(),
             r_ns.mean_tct_s()
         );
+    }
+
+    #[test]
+    fn blackouts_degrade_to_local_first_exit() {
+        let mut s = scenario();
+        s.chaos = Some(leime_chaos::ChaosConfig {
+            seed: 3,
+            models: vec![leime_chaos::FaultModel::LinkFlaps {
+                duty: 0.95,
+                mean_outage_s: 20.0,
+            }],
+            window_s: None,
+        });
+        s.controller = ControllerKind::EdgeOnly;
+        let dep = s.deploy(ExitStrategy::Leime).unwrap();
+        let r = s.run_des(&dep, 60.0, 8).unwrap();
+        // Even an offload-everything policy ends up mostly First-exit
+        // local when the uplink is dark ~95% of the time.
+        assert!(r.tasks() > 100);
+        assert!(
+            r.tiers().first_fraction() > 0.7,
+            "first fraction {}",
+            r.tiers().first_fraction()
+        );
+        let f = r.fault_stats();
+        assert!(f.fault_slots > 0 && f.timeouts > 0 && f.fallbacks > 0);
+        assert!(r.completion_rate() > 0.99, "{}", r.completion_rate());
+    }
+
+    #[test]
+    fn churned_devices_generate_no_tasks() {
+        let mut s = scenario();
+        s.chaos = Some(leime_chaos::ChaosConfig {
+            seed: 5,
+            models: vec![leime_chaos::FaultModel::DeviceChurn {
+                duty: 0.9,
+                mean_absence_s: 30.0,
+            }],
+            window_s: None,
+        });
+        let dep = s.deploy(ExitStrategy::Leime).unwrap();
+        let faulted = s.run_des(&dep, 60.0, 8).unwrap();
+        s.chaos = None;
+        let clean = s.run_des(&dep, 60.0, 8).unwrap();
+        assert!(faulted.fault_stats().churn_slots > 0);
+        assert!(
+            (faulted.tasks() as f64) < 0.5 * clean.tasks() as f64,
+            "churn {} vs clean {}",
+            faulted.tasks(),
+            clean.tasks()
+        );
+    }
+
+    #[test]
+    fn chaos_des_is_deterministic_per_seed() {
+        let s = Scenario::chaos_testbed(ModelKind::SqueezeNet, 2, 21, 30.0);
+        let dep = s.deploy(ExitStrategy::Leime).unwrap();
+        let a = s.run_des(&dep, 60.0, 4).unwrap();
+        let b = s.run_des(&dep, 60.0, 4).unwrap();
+        assert_eq!(a.tasks(), b.tasks());
+        assert_eq!(a.fault_stats(), b.fault_stats());
+        assert!((a.mean_tct_s() - b.mean_tct_s()).abs() < 1e-15);
     }
 
     #[test]

@@ -153,6 +153,30 @@ pub fn check_finite_cost(label: &str, v: f64) -> f64 {
     v
 }
 
+/// Post-fault recovery — once every injected fault has cleared, a queue
+/// backlog must have drained back inside a bounded envelope (the
+/// stability the Eq. 10–11 drift analysis promises once service again
+/// exceeds arrivals).
+///
+/// Returns `backlog` unchanged.
+#[inline]
+pub fn check_drained(label: &str, backlog: f64, envelope: f64) -> f64 {
+    if active() {
+        tick();
+        let envelope_ok = envelope.is_finite() && envelope >= 0.0;
+        if !envelope_ok || !backlog.is_finite() || backlog > envelope + TOL {
+            violation(
+                label,
+                &format!(
+                    "backlog {backlog} above recovery envelope {envelope} \
+                     after faults cleared (Eq. 10–11 stability)"
+                ),
+            );
+        }
+    }
+    backlog
+}
+
 /// Theorem 1 hypothesis — cumulative exit rates must be non-decreasing
 /// (this monotonicity is what makes the branch-and-bound pruning sound).
 #[inline]
@@ -211,6 +235,7 @@ mod tests {
         assert_eq!(check_nonneg("t", 3.0), 3.0);
         assert_eq!(check_finite_cost("t", 1.25), 1.25);
         assert_eq!(check_interval("t", 0.0, 1.0), (0.0, 1.0));
+        assert_eq!(check_drained("t", 2.0, 5.0), 2.0);
     }
 
     #[test]
@@ -257,6 +282,15 @@ mod tests {
             panic!("guards inactive: simulated Eq. 27 failure");
         }
         check_simplex("t", &[0.7, 0.7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery envelope")]
+    fn undrained_backlog_fires() {
+        if !active() {
+            panic!("guards inactive: simulated recovery envelope failure");
+        }
+        check_drained("t", 10.0, 5.0);
     }
 
     #[test]

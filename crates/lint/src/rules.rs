@@ -65,6 +65,7 @@ impl Default for RuleConfig {
             guarded_path_markers: vec![
                 "crates/offload/src".to_string(),
                 "crates/exitcfg/src".to_string(),
+                "crates/chaos/src".to_string(),
             ],
             guarded_fn_names: [
                 "kkt_allocation",
@@ -77,6 +78,13 @@ impl Default for RuleConfig {
                 "branch_and_bound",
                 "exhaustive",
                 "multi_tier_exits",
+                // chaos + graceful-degradation entry points
+                "compile",
+                "link_health",
+                "edge_health",
+                "degraded_decide",
+                "transfer",
+                "submit",
             ]
             .iter()
             .map(|s| (*s).to_string())

@@ -26,9 +26,13 @@
 //! * [`controller`] — pluggable per-slot policies: LEIME's Lyapunov
 //!   controller plus the paper's baselines (device-only, edge-only,
 //!   capability-based, fixed ratio),
+//! * [`degrade`] — graceful degradation when the edge stops answering:
+//!   per-slot transmission timeout, bounded retry, and fallback to
+//!   fully-local execution (`x_i(t) = 0`) with exponential-backoff
+//!   recovery probes,
 //! * [`telemetry`] — optional per-slot recording of the controller state
-//!   (`Q_i`, `H_i`, `x_i(t)`, drift-plus-penalty) into a
-//!   `leime-telemetry` registry.
+//!   (`Q_i`, `H_i`, `x_i(t)`, drift-plus-penalty) and fault/degradation
+//!   counters into a `leime-telemetry` registry.
 
 mod alloc;
 
@@ -38,6 +42,7 @@ mod params;
 mod queues;
 
 pub mod controller;
+pub mod degrade;
 pub mod solver;
 pub mod telemetry;
 
@@ -47,6 +52,7 @@ pub use controller::{
     SlotObservation,
 };
 pub use cost::SlotCost;
+pub use degrade::{DegradeMode, DegradeOutcome, DegradePolicy, DegradeState};
 pub use params::{DeviceParams, SharedParams};
 pub use queues::QueuePair;
 pub use telemetry::ControllerTelemetry;

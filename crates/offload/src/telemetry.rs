@@ -10,8 +10,9 @@
 
 use std::sync::Arc;
 
-use leime_telemetry::{Registry, Series, VirtualClock};
+use leime_telemetry::{Counter, Registry, Series, VirtualClock};
 
+use crate::degrade::DegradeOutcome;
 use crate::SlotObservation;
 
 /// Recording handles for one controller (or one system's controllers).
@@ -22,14 +23,21 @@ pub struct ControllerTelemetry {
     queue_h: Arc<Series>,
     offload_x: Arc<Series>,
     drift_plus_penalty: Arc<Series>,
+    fault_slots: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    retries: Arc<Counter>,
+    fallbacks: Arc<Counter>,
+    recoveries: Arc<Counter>,
 }
 
 impl ControllerTelemetry {
     /// Creates handles recording into `registry` as
     /// `{prefix}.queue_q`, `{prefix}.queue_h`, `{prefix}.offload_x` and
-    /// `{prefix}.drift_plus_penalty`. Points are stamped with `clock`
-    /// time — pass a clone of the simulator's clock so controller series
-    /// line up with the rest of the run's telemetry.
+    /// `{prefix}.drift_plus_penalty`, plus the fault/degradation counters
+    /// `{prefix}.fault_slots`, `{prefix}.timeouts`, `{prefix}.retries`,
+    /// `{prefix}.fallbacks` and `{prefix}.recoveries`. Points are stamped
+    /// with `clock` time — pass a clone of the simulator's clock so
+    /// controller series line up with the rest of the run's telemetry.
     pub fn attach(registry: &Registry, prefix: &str, clock: VirtualClock) -> Self {
         ControllerTelemetry {
             clock,
@@ -37,6 +45,11 @@ impl ControllerTelemetry {
             queue_h: registry.series(&format!("{prefix}.queue_h")),
             offload_x: registry.series(&format!("{prefix}.offload_x")),
             drift_plus_penalty: registry.series(&format!("{prefix}.drift_plus_penalty")),
+            fault_slots: registry.counter(&format!("{prefix}.fault_slots")),
+            timeouts: registry.counter(&format!("{prefix}.timeouts")),
+            retries: registry.counter(&format!("{prefix}.retries")),
+            fallbacks: registry.counter(&format!("{prefix}.fallbacks")),
+            recoveries: registry.counter(&format!("{prefix}.recoveries")),
         }
     }
 
@@ -54,6 +67,29 @@ impl ControllerTelemetry {
         self.queue_h.push(t, obs.h);
         self.offload_x.push(t, x);
         self.drift_plus_penalty.push(t, drift_plus_penalty);
+    }
+
+    /// Counts one device-slot in which any injected fault was active on
+    /// the device's path to the edge.
+    pub fn record_fault_slot(&self) {
+        self.fault_slots.incr();
+    }
+
+    /// Counts the transitions a [`DegradeOutcome`] reports (timeout,
+    /// retry, fallback, recovery).
+    pub fn record_degrade(&self, outcome: &DegradeOutcome) {
+        if outcome.timed_out {
+            self.timeouts.incr();
+        }
+        if outcome.retried {
+            self.retries.incr();
+        }
+        if outcome.fell_back {
+            self.fallbacks.incr();
+        }
+        if outcome.recovered {
+            self.recoveries.incr();
+        }
     }
 }
 
@@ -92,5 +128,44 @@ mod tests {
                 .points,
             vec![(2.0, 12.5)]
         );
+    }
+
+    #[test]
+    fn degrade_outcomes_increment_matching_counters() {
+        let registry = Registry::new();
+        let telemetry = ControllerTelemetry::attach(&registry, "sys.ctrl", VirtualClock::new());
+        telemetry.record_fault_slot();
+        telemetry.record_fault_slot();
+        telemetry.record_degrade(&DegradeOutcome {
+            x: 0.0,
+            timed_out: true,
+            retried: true,
+            fell_back: false,
+            recovered: false,
+        });
+        telemetry.record_degrade(&DegradeOutcome {
+            x: 0.0,
+            timed_out: true,
+            retried: false,
+            fell_back: true,
+            recovered: false,
+        });
+        telemetry.record_degrade(&DegradeOutcome {
+            x: 0.4,
+            recovered: true,
+            ..DegradeOutcome::default()
+        });
+        let snap = registry.snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|c| c.name == format!("sys.ctrl.{name}"))
+                .map(|c| c.value)
+        };
+        assert_eq!(counter("fault_slots"), Some(2));
+        assert_eq!(counter("timeouts"), Some(2));
+        assert_eq!(counter("retries"), Some(1));
+        assert_eq!(counter("fallbacks"), Some(1));
+        assert_eq!(counter("recoveries"), Some(1));
     }
 }

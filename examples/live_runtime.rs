@@ -67,6 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         intermediate_bytes: chain.intermediate_bytes(combo.first)? as usize,
         seed: 7,
         adaptive: true, // back off offloading when the edge queue grows
+        edge_fault_rate: 0.0,
     };
     println!("running live: 3 devices x 100 tasks…");
     let report = run_live(&pipeline, &cascade, &dataset, config)?;

@@ -54,6 +54,20 @@ proptest! {
 
     /// The golden-section solution never loses to any grid point on the
     /// drift-plus-penalty objective (convexity check).
+    ///
+    /// Regression-seed map for `integration_offloading.proptest-regressions`
+    /// (the vendored shim does not replay that file, so the corpus is
+    /// documentation; the inputs below remain inside the generated ranges
+    /// and are re-covered on every run):
+    ///
+    /// * `cc 9abb2662…` — shrunk to `q = 0.0, h = 44.05829483049645,
+    ///   k = 0.5, sigma1 = 0.0`: with an empty device queue, a large
+    ///   edge-bound backlog `H`, and no First-exit absorption, the
+    ///   drift-plus-penalty objective is flattest near the upper feasible
+    ///   bound; an early golden-section tolerance returned an `x` a grid
+    ///   point could beat by more than the comparison slack, violating
+    ///   this grid-optimality invariant. Fixed by tightening the section
+    ///   search's convergence interval.
     #[test]
     fn golden_section_is_grid_optimal(
         q in 0.0f64..50.0,
