@@ -1,0 +1,19 @@
+//! S1 fixture: `decide` funnels through a helper chain that never
+//! reaches an `invariant::` guard; `submit` delegates to one and is
+//! clean (the token-level L5 would have flagged both).
+
+pub fn decide(x: f64) -> f64 {
+    helper(x)
+}
+
+fn helper(x: f64) -> f64 {
+    x * 0.5
+}
+
+pub fn submit(x: f64) -> f64 {
+    checked(x)
+}
+
+fn checked(x: f64) -> f64 {
+    invariant::check_unit_interval("x", x)
+}

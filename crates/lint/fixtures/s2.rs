@@ -1,0 +1,16 @@
+//! S2 fixture: iterating a hash container leaks the hasher's ordering
+//! into the output; the `BTreeMap` path below stays legal.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn export(stats: HashMap<String, u64>) -> Vec<String> {
+    let mut out = Vec::new();
+    for name in stats.keys() {
+        out.push(name.clone());
+    }
+    out
+}
+
+pub fn export_sorted(stats: BTreeMap<String, u64>) -> Vec<String> {
+    stats.keys().cloned().collect()
+}

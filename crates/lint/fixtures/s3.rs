@@ -1,0 +1,10 @@
+//! S3 fixture: subtracting seconds from a millisecond budget; the
+//! same-family arithmetic and unit conversions below stay legal.
+
+pub fn remaining(budget_ms: f64, elapsed_s: f64) -> f64 {
+    budget_ms - elapsed_s
+}
+
+pub fn legal(budget_ms: f64, elapsed_ms: f64, rate_bytes: f64, dt_s: f64) -> f64 {
+    (budget_ms - elapsed_ms) + rate_bytes * dt_s
+}

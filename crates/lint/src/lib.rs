@@ -10,18 +10,27 @@
 //! (no `syn` in the offline build environment) and enforces the L1–L5
 //! rule set described in [`rules`], with inline
 //! `// lint:allow(<rule>): <justification>` waivers under a budget.
+//! The semantic S1–S4 rules — transitive invariant reachability, hash
+//! iteration, unit-suffix mixing, crate layering — come from
+//! [`leime_sema`] (re-exported as [`sema`]) and are merged into the
+//! same waiver/report pipeline under the `leime-lint/2` schema.
 //!
 //! The binary (`cargo run -p leime-lint -- --deny-all`) is the CI gate;
 //! the library is exercised directly by the tier-2 integration tests.
 
-pub mod lexer;
 pub mod report;
 pub mod rules;
+
+/// The semantic-analysis layer: parser, AST, call graph, S1–S4.
+pub use leime_sema as sema;
+/// The shared token-level lexer (lives in `leime-sema`, where the
+/// parser builds on it; the L-rules consume it from here).
+pub use leime_sema::lexer;
 
 pub use report::{Report, RuleCount, SCHEMA_VERSION};
 pub use rules::{FileScan, Finding, RuleConfig, Waived, RULE_IDS};
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::path::{Path, PathBuf};
 
 /// Default waiver budget: a handful of justified escapes, no more.
@@ -39,6 +48,9 @@ pub struct ScanOptions {
     pub max_waivers: usize,
     /// Rule configuration (scoping, guarded functions, enabled set).
     pub config: RuleConfig,
+    /// Whether to run the semantic S1–S4 rules (`--no-sema` turns the
+    /// run back into the token-level L1–L5 scanner).
+    pub sema: bool,
 }
 
 impl ScanOptions {
@@ -49,6 +61,7 @@ impl ScanOptions {
             paths: Vec::new(),
             max_waivers: DEFAULT_WAIVER_BUDGET,
             config: RuleConfig::default(),
+            sema: true,
         }
     }
 }
@@ -88,22 +101,71 @@ pub fn run(opts: &ScanOptions) -> Result<Report, String> {
     files.sort();
     files.dedup();
 
-    let mut violations = Vec::new();
-    let mut waived = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for file in &files {
         let src = std::fs::read_to_string(file)
             .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
-        let rel = display_path(&opts.root, file);
-        let scan = rules::scan_source(&rel, &src, &opts.config);
+        sources.push((display_path(&opts.root, file), src));
+    }
+
+    // Semantic pass first: S1 needs whole-crate call graphs, so files
+    // group by crate before per-file findings come back out.
+    let mut sema_by_file: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    if opts.sema {
+        let sema_cfg = opts.config.sema_config();
+        let mut groups: BTreeMap<String, Vec<(String, String)>> = BTreeMap::new();
+        for (rel, src) in &sources {
+            groups
+                .entry(crate_key(rel))
+                .or_default()
+                .push((rel.clone(), src.clone()));
+        }
+        for group in groups.values() {
+            for f in leime_sema::analyze_crate(group, &sema_cfg) {
+                sema_by_file.entry(f.path.clone()).or_default().push(f);
+            }
+        }
+    }
+
+    let mut violations = Vec::new();
+    let mut waived = Vec::new();
+    for (rel, src) in &sources {
+        let extra = sema_by_file.remove(rel).unwrap_or_default();
+        let scan = rules::scan_source_with(rel, src, &opts.config, extra);
         violations.extend(scan.findings);
         waived.extend(scan.waived);
     }
+
+    // S4 runs in workspace mode only (it reads `crates/*/Cargo.toml`
+    // under the root, not the scanned file list) and bypasses waivers:
+    // manifests carry no lint:allow comments by design.
+    if opts.sema && opts.paths.is_empty() {
+        violations.extend(leime_sema::check_layering(
+            &opts.root,
+            &opts.config.sema_config(),
+        )?);
+    }
+
     Ok(Report::new(
         files.len(),
         violations,
         waived,
         opts.max_waivers,
     ))
+}
+
+/// Grouping key for the per-crate semantic analysis: `crates/<name>`
+/// for workspace paths, the parent directory otherwise.
+fn crate_key(rel: &str) -> String {
+    let norm = rel.replace('\\', "/");
+    let comps: Vec<&str> = norm.split('/').collect();
+    if comps.len() >= 2 && comps[0] == "crates" {
+        return comps[..2].join("/");
+    }
+    match norm.rsplit_once('/') {
+        Some((dir, _)) => dir.to_string(),
+        None => String::new(),
+    }
 }
 
 /// Path shown in findings: relative to the root when possible.

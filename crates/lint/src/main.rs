@@ -12,8 +12,8 @@
 use leime_lint::{parse_rule_filter, run, ScanOptions};
 use std::path::PathBuf;
 
-const USAGE: &str = "usage: leime-lint [--root DIR] [--json] [--deny-all] \
-[--max-waivers N] [--rules L1,L2,...] [paths...]";
+const USAGE: &str = "usage: leime-lint [--root DIR] [--json] [--deny-all] [--no-sema] \
+[--max-waivers N] [--rules L1,...,S4] [paths...]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +30,7 @@ fn real_main(args: &[String]) -> i32 {
         match args[i].as_str() {
             "--json" => json = true,
             "--deny-all" => deny_all = true,
+            "--no-sema" => opts.sema = false,
             "--root" | "--max-waivers" | "--rules" => {
                 let Some(value) = args.get(i + 1) else {
                     eprintln!("{} needs a value\n{USAGE}", args[i]);

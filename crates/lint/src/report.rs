@@ -1,11 +1,15 @@
-//! Report rendering: human-readable text and the `leime-lint/1` JSON
+//! Report rendering: human-readable text and the `leime-lint/2` JSON
 //! schema (same versioned-schema idiom as `leime-telemetry/1`).
+//!
+//! `leime-lint/2` extends `/1` with the semantic S1–S4 rules and a
+//! `rule_set` field naming the rule universe the schema covers; all
+//! `/1` fields are unchanged, so `/1` consumers keep working.
 
-use crate::rules::{Finding, Waived};
+use crate::rules::{Finding, Waived, RULE_IDS};
 use serde::Serialize;
 
 /// Version tag written into every JSON report.
-pub const SCHEMA_VERSION: &str = "leime-lint/1";
+pub const SCHEMA_VERSION: &str = "leime-lint/2";
 
 /// Per-rule violation count.
 #[derive(Debug, Clone, Serialize, PartialEq, Eq)]
@@ -19,8 +23,10 @@ pub struct RuleCount {
 /// The aggregated result of one lint run.
 #[derive(Debug, Clone, Serialize)]
 pub struct Report {
-    /// Schema tag (`leime-lint/1`).
+    /// Schema tag (`leime-lint/2`).
     pub schema: String,
+    /// The rule identifiers this schema covers (L1–L5, S1–S4).
+    pub rule_set: Vec<String>,
     /// Number of files scanned.
     pub files_scanned: usize,
     /// Unwaived violations, sorted by path, line, rule.
@@ -57,6 +63,7 @@ impl Report {
         summary.sort_by(|a, b| a.rule.cmp(&b.rule));
         Report {
             schema: SCHEMA_VERSION.to_string(),
+            rule_set: RULE_IDS.iter().map(|r| (*r).to_string()).collect(),
             files_scanned,
             waivers_used: waived.len(),
             waiver_budget,
@@ -115,7 +122,7 @@ impl Report {
         out
     }
 
-    /// Renders the `leime-lint/1` JSON report.
+    /// Renders the `leime-lint/2` JSON report.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self)
             .unwrap_or_else(|e| format!("{{\"schema\":\"{SCHEMA_VERSION}\",\"error\":\"{e:?}\"}}"))

@@ -8,6 +8,11 @@
 //! | `L4` | no `==` / `!=` against float literals |
 //! | `L5` | guarded solver/queue functions in `offload`/`exitcfg` must call `invariant::` |
 //!
+//! The semantic S1–S4 rules (implemented in `leime-sema`, orchestrated
+//! by [`crate::run`]) share this module's waiver and finding machinery:
+//! S1–S3 findings merge into the per-file scan before waivers apply,
+//! S4 findings live in `Cargo.toml`s and are not waivable.
+//!
 //! Waivers: a comment `// lint:allow(<RULE>): <justification>` on the
 //! offending line, or on the line directly above it, suppresses exactly
 //! the named rule on that line. A waiver must name a known rule and carry
@@ -19,21 +24,14 @@ use crate::lexer::{lex, test_mask, Tok, TokKind};
 use serde::Serialize;
 use std::collections::HashSet;
 
-/// All primary rule identifiers.
-pub const RULE_IDS: &[&str] = &["L1", "L2", "L3", "L4", "L5"];
+/// One rule violation (or waived violation). The type lives in
+/// `leime-sema` so both analysis layers speak it; the waiver and report
+/// machinery wrapping it lives here.
+pub use leime_sema::Finding;
 
-/// One rule violation (or waived violation).
-#[derive(Debug, Clone, Serialize, PartialEq, Eq)]
-pub struct Finding {
-    /// Rule identifier (`L1`–`L5`, or `W1`–`W3` for waiver problems).
-    pub rule: String,
-    /// Path of the offending file, relative to the scan root.
-    pub path: String,
-    /// 1-based line number.
-    pub line: u32,
-    /// Human-readable description.
-    pub message: String,
-}
+/// All primary rule identifiers: the token-level L-rules plus the
+/// semantic S-rules from `leime-sema`.
+pub const RULE_IDS: &[&str] = &["L1", "L2", "L3", "L4", "L5", "S1", "S2", "S3", "S4"];
 
 /// A violation suppressed by an inline waiver.
 #[derive(Debug, Clone, Serialize, PartialEq, Eq)]
@@ -56,6 +54,10 @@ pub struct RuleConfig {
     /// Path substrings exempt from L3 (the telemetry crate owns the
     /// wall clock).
     pub wallclock_exempt_markers: Vec<String>,
+    /// Path substrings marking determinism-sensitive files (S2).
+    pub hash_path_markers: Vec<String>,
+    /// Path substrings marking unit-suffix-checked numeric files (S3).
+    pub unit_path_markers: Vec<String>,
 }
 
 impl Default for RuleConfig {
@@ -90,6 +92,8 @@ impl Default for RuleConfig {
             .map(|s| (*s).to_string())
             .collect(),
             wallclock_exempt_markers: vec!["crates/telemetry/".to_string()],
+            hash_path_markers: leime_sema::SemaConfig::default().hash_path_markers,
+            unit_path_markers: leime_sema::SemaConfig::default().unit_path_markers,
         }
     }
 }
@@ -99,6 +103,21 @@ impl RuleConfig {
         match &self.enabled {
             None => true,
             Some(set) => set.contains(id),
+        }
+    }
+
+    /// The `leime-sema` view of this configuration: same enabled set and
+    /// guarded-function scoping, plus the S2/S3 path markers.
+    pub fn sema_config(&self) -> leime_sema::SemaConfig {
+        leime_sema::SemaConfig {
+            enabled: self
+                .enabled
+                .as_ref()
+                .map(|set| set.iter().cloned().collect()),
+            guarded_path_markers: self.guarded_path_markers.clone(),
+            guarded_fn_names: self.guarded_fn_names.clone(),
+            hash_path_markers: self.hash_path_markers.clone(),
+            unit_path_markers: self.unit_path_markers.clone(),
         }
     }
 }
@@ -121,8 +140,15 @@ struct Waiver {
     used: bool,
 }
 
-/// Scans one file's source text against the rule set.
+/// Scans one file's source text against the token-level rule set.
 pub fn scan_source(path: &str, src: &str, cfg: &RuleConfig) -> FileScan {
+    scan_source_with(path, src, cfg, Vec::new())
+}
+
+/// Like [`scan_source`], with externally-produced raw findings (the
+/// semantic S1–S3 results for this file) merged in *before* waivers
+/// apply, so one `// lint:allow(S2): …` machinery covers both layers.
+pub fn scan_source_with(path: &str, src: &str, cfg: &RuleConfig, extra: Vec<Finding>) -> FileScan {
     let lexed = lex(src);
     let toks = &lexed.toks;
     let mask = test_mask(toks);
@@ -146,6 +172,7 @@ pub fn scan_source(path: &str, src: &str, cfg: &RuleConfig) -> FileScan {
     if cfg.rule_on("L5") && path_matches(path, &cfg.guarded_path_markers) {
         scan_l5(path, toks, &mask, &cfg.guarded_fn_names, &mut raw);
     }
+    raw.extend(extra);
 
     apply_waivers(path, &lexed.comments, raw)
 }

@@ -1,8 +1,8 @@
 //! Fixture tests: each seeded fixture file must produce exactly the
 //! expected `(rule, path, line)` tuples, in both the text and the
-//! `leime-lint/1` JSON renderings.
+//! `leime-lint/2` JSON renderings.
 
-use leime_lint::{run, Report, RuleConfig, ScanOptions, SCHEMA_VERSION};
+use leime_lint::{parse_rule_filter, run, Report, RuleConfig, ScanOptions, SCHEMA_VERSION};
 use std::path::{Path, PathBuf};
 
 /// Workspace root, derived from this crate's manifest directory.
@@ -96,8 +96,13 @@ fn l4_fixture_flags_float_eq_and_ne() {
 #[test]
 fn l5_fixture_flags_only_the_unguarded_solver() {
     // Mark the fixture directory as L5-guarded; by default only
-    // offload/exitcfg sources are.
+    // offload/exitcfg sources are. Restrict to the token rules so the
+    // (deliberately overlapping) transitive S1 rule stays out of the
+    // expectation — the S-rules have their own fixtures below.
     let mut config = RuleConfig::default();
+    if let Err(e) = parse_rule_filter(&mut config, "L1,L2,L3,L4,L5") {
+        unreachable!("rule filter must parse: {e}");
+    }
     config
         .guarded_path_markers
         .push("crates/lint/fixtures".to_string());
@@ -222,6 +227,158 @@ fn json_report_carries_schema_rules_paths_and_lines() {
     assert_eq!(summary[0]["count"].as_u64(), Some(4));
     assert_eq!(summary[1]["rule"].as_str(), Some("L3"));
     assert_eq!(summary[1]["count"].as_u64(), Some(2));
+}
+
+/// Config for the S-rule fixtures: semantic rules only, with every
+/// S1–S3 path marker pointing at the fixtures directory.
+fn s_rule_config() -> RuleConfig {
+    let mut config = RuleConfig::default();
+    if let Err(e) = parse_rule_filter(&mut config, "S1,S2,S3,S4") {
+        unreachable!("rule filter must parse: {e}");
+    }
+    let marker = "crates/lint/fixtures".to_string();
+    config.guarded_path_markers.push(marker.clone());
+    config.hash_path_markers.push(marker.clone());
+    config.unit_path_markers.push(marker);
+    config
+}
+
+#[test]
+fn s1_fixture_flags_the_transitively_unguarded_solver() {
+    let report = scan_fixture("s1.rs", s_rule_config());
+    assert_eq!(triples(&report), expected("S1", "s1.rs", &[5]));
+    assert_eq!(
+        report.violations[0].message,
+        "`fn decide` never reaches an `invariant::` guard on any call path \
+         (Eq. 8 / Eq. 10–11 / Eq. 27)"
+    );
+}
+
+#[test]
+fn s2_fixture_flags_hash_iteration_only() {
+    let report = scan_fixture("s2.rs", s_rule_config());
+    assert_eq!(triples(&report), expected("S2", "s2.rs", &[8]));
+    assert!(
+        report.violations[0].message.contains(".keys()")
+            && report.violations[0].message.contains("`stats`"),
+        "{}",
+        report.violations[0].message
+    );
+}
+
+#[test]
+fn s3_fixture_flags_unit_mixing_only() {
+    let report = scan_fixture("s3.rs", s_rule_config());
+    assert_eq!(triples(&report), expected("S3", "s3.rs", &[5]));
+    assert!(
+        report.violations[0].message.contains("milliseconds")
+            && report.violations[0].message.contains("seconds"),
+        "{}",
+        report.violations[0].message
+    );
+}
+
+#[test]
+fn s4_fixture_workspace_flags_rank_fence_and_shim_edges() {
+    // Point the scan root at a fake workspace whose manifests break the
+    // rank, tooling-fence and shim-path constraints one crate each; the
+    // clean leime-workload manifest must stay silent.
+    let mut opts = ScanOptions::new(
+        workspace_root()
+            .join("crates")
+            .join("lint")
+            .join("fixtures")
+            .join("s4_ws"),
+    );
+    opts.config = s_rule_config();
+    let report = match run(&opts) {
+        Ok(r) => r,
+        Err(e) => unreachable!("fixture scan must succeed: {e}"),
+    };
+    let want: Vec<(String, String, u32)> = [
+        ("crates/leime-dnn/Cargo.toml", "shims"),
+        ("crates/leime-simnet/Cargo.toml", "tooling"),
+        ("crates/leime-telemetry/Cargo.toml", "strictly downward"),
+    ]
+    .iter()
+    .map(|&(path, _)| ("S4".to_string(), path.to_string(), 6))
+    .collect();
+    assert_eq!(triples(&report), want);
+    assert!(report.violations[0].message.contains("shims"));
+    assert!(report.violations[1].message.contains("tooling"));
+    assert!(report.violations[2].message.contains("strictly downward"));
+}
+
+#[test]
+fn s_rule_findings_carry_rule_file_line_in_text_and_json() {
+    let mut opts = ScanOptions::new(workspace_root());
+    opts.paths = ["s1.rs", "s2.rs", "s3.rs"]
+        .iter()
+        .map(|f| PathBuf::from(format!("crates/lint/fixtures/{f}")))
+        .collect();
+    opts.config = s_rule_config();
+    let report = match run(&opts) {
+        Ok(r) => r,
+        Err(e) => unreachable!("fixture scan must succeed: {e}"),
+    };
+
+    let text = report.render_text();
+    for line in [
+        "crates/lint/fixtures/s1.rs:5: [S1]",
+        "crates/lint/fixtures/s2.rs:8: [S2]",
+        "crates/lint/fixtures/s3.rs:5: [S3]",
+    ] {
+        assert!(text.contains(line), "missing `{line}` in:\n{text}");
+    }
+
+    let v: serde_json::Value = match serde_json::from_str(&report.to_json()) {
+        Ok(v) => v,
+        Err(e) => unreachable!("JSON report must parse: {e:?}"),
+    };
+    assert_eq!(v["schema"].as_str(), Some(SCHEMA_VERSION));
+    let rule_set: Vec<&str> = v["rule_set"]
+        .as_array()
+        .map(|a| a.iter().filter_map(|r| r.as_str()).collect())
+        .unwrap_or_default();
+    for rule in ["S1", "S2", "S3", "S4"] {
+        assert!(rule_set.contains(&rule), "{rule} missing from {rule_set:?}");
+    }
+    let got: Vec<(String, String, u64)> = v["violations"]
+        .as_array()
+        .map(|list| {
+            list.iter()
+                .map(|f| {
+                    (
+                        f["rule"].as_str().unwrap_or("").to_string(),
+                        f["path"].as_str().unwrap_or("").to_string(),
+                        f["line"].as_u64().unwrap_or(0),
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let want: Vec<(String, String, u64)> = [
+        ("S1", "s1.rs", 5u64),
+        ("S2", "s2.rs", 8),
+        ("S3", "s3.rs", 5),
+    ]
+    .iter()
+    .map(|&(r, f, l)| (r.to_string(), format!("crates/lint/fixtures/{f}"), l))
+    .collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn no_sema_turns_the_s_rules_off() {
+    let mut opts = ScanOptions::new(workspace_root());
+    opts.paths = vec![PathBuf::from("crates/lint/fixtures/s1.rs")];
+    opts.config = s_rule_config();
+    opts.sema = false;
+    let report = match run(&opts) {
+        Ok(r) => r,
+        Err(e) => unreachable!("fixture scan must succeed: {e}"),
+    };
+    assert!(report.is_clean(), "{:?}", report.violations);
 }
 
 #[test]

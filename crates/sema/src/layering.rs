@@ -1,0 +1,362 @@
+//! S4: the workspace crate-dependency DAG, parsed from `Cargo.toml`s.
+//!
+//! The LEIME workspace layers strictly downward:
+//!
+//! | layer | crates |
+//! | ----- | ------ |
+//! | 0 | `leime-invariant`, `leime-telemetry` (leaf-like: no leime deps) |
+//! | 1 | `leime-tensor`, `leime-simnet`, `leime-sema` |
+//! | 2 | `leime-dnn`, `leime-lint` |
+//! | 3 | `leime-workload` |
+//! | 4 | `leime-inference`, `leime-exitcfg`, `leime-chaos`, `leime-offload` |
+//! | 5 | `leime` (core) |
+//! | 6 | `leime-bench` |
+//!
+//! Every `[dependencies]` edge must point to a *strictly lower* layer —
+//! that single check implies acyclicity, keeps `core` off `bench`, and
+//! keeps layer-0 crates leaf-like. Two extra constraints:
+//!
+//! * **tooling isolation** — `leime-lint`/`leime-sema` are reachable
+//!   only through the `lint → sema` edge, and depend on no product
+//!   crate; the analysis tools must never enter the product graph.
+//! * **no direct shim paths** — vendored shims under `crates/shims/`
+//!   are wired through the workspace root's `[workspace.dependencies]`
+//!   (the build edge); a `path = "…shims…"` in a crate manifest would
+//!   bypass that single point of control.
+//!
+//! `dev-dependencies` are exempt from layering (tests may look upward)
+//! but not from the shim-path check. S4 findings are **not waivable**:
+//! they live in manifests, which carry no `lint:allow` comments by
+//! design — fix the dependency instead.
+//!
+//! Crates not in the table (a future `crates/foo`) get only the
+//! tooling/shim checks until they are added here.
+
+use crate::{Finding, SemaConfig};
+use std::path::Path;
+
+/// The intended layering, lowest first. Rank = index in this table.
+pub const LAYERS: &[&[&str]] = &[
+    &["leime-invariant", "leime-telemetry"],
+    &["leime-tensor", "leime-simnet", "leime-sema"],
+    &["leime-dnn", "leime-lint"],
+    &["leime-workload"],
+    &[
+        "leime-inference",
+        "leime-exitcfg",
+        "leime-chaos",
+        "leime-offload",
+    ],
+    &["leime"],
+    &["leime-bench"],
+];
+
+/// Static-analysis tooling crates, isolated from the product graph.
+pub const TOOLING: &[&str] = &["leime-lint", "leime-sema"];
+
+/// Rank of a crate in [`LAYERS`], if known.
+pub fn rank_of(name: &str) -> Option<usize> {
+    LAYERS.iter().position(|layer| layer.contains(&name))
+}
+
+fn is_leime(name: &str) -> bool {
+    name == "leime" || name.starts_with("leime-")
+}
+
+/// One dependency entry parsed out of a manifest.
+#[derive(Debug)]
+struct Dep {
+    name: String,
+    line: u32,
+    /// Raw manifest line (for the shim-path check).
+    text: String,
+    /// From `[dev-dependencies]` / `[build-dependencies]`.
+    dev: bool,
+}
+
+/// A minimally-parsed `Cargo.toml`.
+#[derive(Debug)]
+struct Manifest {
+    name: String,
+    path: String,
+    deps: Vec<Dep>,
+}
+
+/// Line-oriented TOML subset parser: section headers, `name = "…"` in
+/// `[package]`, and `key = …` entries in dependency sections. The
+/// workspace's manifests are machine-regular; anything fancier than
+/// this subset is itself a smell S4 should surface (as an unknown
+/// crate with no name).
+fn parse_manifest(path: &str, text: &str) -> Manifest {
+    let mut name = String::new();
+    let mut deps = Vec::new();
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = (idx + 1) as u32;
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+            // `[dependencies.foo]` table form: the header itself names
+            // the dependency.
+            if let Some(dep) = section.strip_prefix("dependencies.") {
+                deps.push(Dep {
+                    name: dep.to_string(),
+                    line: lineno,
+                    text: String::new(),
+                    dev: false,
+                });
+            } else if let Some(dep) = section.strip_prefix("dev-dependencies.") {
+                deps.push(Dep {
+                    name: dep.to_string(),
+                    line: lineno,
+                    text: String::new(),
+                    dev: true,
+                });
+            }
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if section == "package" {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(v) = rest.strip_prefix('=') {
+                    name = v.trim().trim_matches('"').to_string();
+                }
+            }
+            continue;
+        }
+        let dev = section == "dev-dependencies" || section == "build-dependencies";
+        if section == "dependencies" || dev {
+            let key: String = line
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '-' || *c == '_')
+                .collect();
+            if key.is_empty() {
+                continue;
+            }
+            deps.push(Dep {
+                name: key,
+                line: lineno,
+                text: line.to_string(),
+                dev,
+            });
+        } else if (section == "dependencies"
+            || section.starts_with("dependencies.")
+            || section.starts_with("dev-dependencies."))
+            && line.contains("path")
+        {
+            // table-form `path = "…"` line: attach to the last dep.
+            if let Some(last) = deps.last_mut() {
+                last.text.push_str(line);
+            }
+        }
+    }
+    Manifest {
+        name,
+        path: path.to_string(),
+        deps,
+    }
+}
+
+/// Checks the workspace layering under `root` (expects
+/// `root/crates/*/Cargo.toml`). Findings point at the offending
+/// dependency line of the offending manifest.
+///
+/// # Errors
+///
+/// Returns a description of the first unreadable directory or manifest.
+pub fn check_layering(root: &Path, cfg: &SemaConfig) -> Result<Vec<Finding>, String> {
+    if !cfg.rule_on("S4") {
+        return Ok(Vec::new());
+    }
+    let crates_dir = root.join("crates");
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    dirs.sort();
+
+    let mut manifests = Vec::new();
+    for dir in dirs {
+        let manifest_path = dir.join("Cargo.toml");
+        if !manifest_path.is_file() {
+            continue;
+        }
+        let text = std::fs::read_to_string(&manifest_path)
+            .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+        let rel = manifest_path
+            .strip_prefix(root)
+            .unwrap_or(&manifest_path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        manifests.push(parse_manifest(&rel, &text));
+    }
+
+    let mut out = Vec::new();
+    for m in &manifests {
+        check_manifest(m, &mut out);
+    }
+    out.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
+    Ok(out)
+}
+
+fn check_manifest(m: &Manifest, out: &mut Vec<Finding>) {
+    let s4 = |line: u32, message: String| Finding {
+        rule: "S4".to_string(),
+        path: m.path.clone(),
+        line,
+        message,
+    };
+    let crate_rank = rank_of(&m.name);
+    let crate_is_tooling = TOOLING.contains(&m.name.as_str());
+    for dep in &m.deps {
+        if dep.text.contains("shims") {
+            out.push(s4(
+                dep.line,
+                format!(
+                    "`{}` wires `{}` straight to the vendored shims — shims are \
+                     reachable only through `[workspace.dependencies]` (the build edge)",
+                    m.name, dep.name
+                ),
+            ));
+        }
+        if dep.dev || !is_leime(&dep.name) {
+            continue;
+        }
+        let dep_is_tooling = TOOLING.contains(&dep.name.as_str());
+        if dep_is_tooling && !(m.name == "leime-lint" && dep.name == "leime-sema") {
+            out.push(s4(
+                dep.line,
+                format!(
+                    "`{}` depends on analysis tooling `{}` — tooling is reachable \
+                     only through the `leime-lint → leime-sema` edge",
+                    m.name, dep.name
+                ),
+            ));
+            continue;
+        }
+        if crate_is_tooling && !dep_is_tooling {
+            out.push(s4(
+                dep.line,
+                format!(
+                    "analysis tooling `{}` depends on product crate `{}` — \
+                     tooling must stay outside the product graph",
+                    m.name, dep.name
+                ),
+            ));
+            continue;
+        }
+        if let (Some(cr), Some(dr)) = (crate_rank, rank_of(&dep.name)) {
+            if dr >= cr {
+                out.push(s4(
+                    dep.line,
+                    format!(
+                        "`{}` (layer {cr}) depends on `{}` (layer {dr}) — \
+                         the crate DAG flows strictly downward",
+                        m.name, dep.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings_for(name: &str, body: &str) -> Vec<Finding> {
+        let text = format!("[package]\nname = \"{name}\"\n{body}");
+        let m = parse_manifest("crates/x/Cargo.toml", &text);
+        let mut out = Vec::new();
+        check_manifest(&m, &mut out);
+        out
+    }
+
+    #[test]
+    fn clean_downward_edges_pass() {
+        let out = findings_for(
+            "leime-offload",
+            "[dependencies]\nserde.workspace = true\nleime-dnn.workspace = true\n\
+             leime-invariant.workspace = true\nleime-telemetry.workspace = true",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn upward_edge_is_flagged_with_line() {
+        let out = findings_for(
+            "leime-telemetry",
+            "[dependencies]\nserde.workspace = true\nleime.workspace = true",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "S4");
+        assert_eq!(out[0].line, 5);
+        assert!(out[0].message.contains("strictly downward"));
+    }
+
+    #[test]
+    fn same_layer_edge_is_flagged() {
+        let out = findings_for(
+            "leime-exitcfg",
+            "[dependencies]\nleime-offload.workspace = true",
+        );
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn dev_dependencies_may_look_upward() {
+        let out = findings_for(
+            "leime-exitcfg",
+            "[dependencies]\nleime-dnn.workspace = true\n\
+             [dev-dependencies]\nleime-workload.workspace = true",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn tooling_is_fenced_both_ways() {
+        let product_on_tooling = findings_for(
+            "leime-simnet",
+            "[dependencies]\nleime-lint.workspace = true",
+        );
+        assert_eq!(product_on_tooling.len(), 1);
+        assert!(product_on_tooling[0].message.contains("tooling"));
+        let tooling_on_product = findings_for(
+            "leime-sema",
+            "[dependencies]\nleime-telemetry.workspace = true",
+        );
+        assert_eq!(tooling_on_product.len(), 1);
+        let lint_on_sema =
+            findings_for("leime-lint", "[dependencies]\nleime-sema.workspace = true");
+        assert!(lint_on_sema.is_empty(), "{lint_on_sema:?}");
+    }
+
+    #[test]
+    fn direct_shim_path_is_flagged_even_for_dev_deps() {
+        let out = findings_for(
+            "leime-dnn",
+            "[dev-dependencies]\nproptest = { path = \"../shims/proptest\" }",
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("shims"));
+    }
+
+    #[test]
+    fn unknown_crates_get_only_fence_checks() {
+        let out = findings_for(
+            "leime-future",
+            "[dependencies]\nleime-bench.workspace = true",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn rank_table_matches_reality_spot_checks() {
+        assert_eq!(rank_of("leime-invariant"), Some(0));
+        assert_eq!(rank_of("leime"), Some(5));
+        assert_eq!(rank_of("leime-bench"), Some(6));
+        assert_eq!(rank_of("not-a-crate"), None);
+    }
+}

@@ -1,12 +1,14 @@
 //! Token-level scanner for Rust sources.
 //!
-//! The offline build environment has no `syn`, so the lint rules work on
-//! a lexical token stream instead of a syntax tree. The scanner
-//! understands exactly as much of Rust's lexical grammar as the rules
-//! need: line/block comments (captured, for `lint:allow` waivers),
-//! string/char/lifetime disambiguation, raw and byte strings,
-//! identifiers, numeric literals with float detection, and multi-char
-//! operators — each token tagged with its 1-based source line.
+//! The offline build environment has no `syn`, so both the token-level
+//! lint rules and the [`crate::parser`] work on a lexical token stream
+//! instead of `rustc`'s own syntax tree. The scanner understands exactly
+//! as much of Rust's lexical grammar as its consumers need: line/block
+//! comments (captured, for `lint:allow` waivers), string/char/lifetime
+//! disambiguation, raw and byte strings, byte-char literals (`b'x'`),
+//! raw identifiers (`r#fn`), identifiers, numeric literals with float
+//! detection, and multi-char operators — each token tagged with the
+//! 1-based source line it *starts* on.
 
 /// Lexical class of a token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,7 +34,7 @@ pub struct Tok {
     pub kind: TokKind,
     /// Token text (empty for [`TokKind::Str`]).
     pub text: String,
-    /// 1-based line number.
+    /// 1-based line number of the token's first character.
     pub line: u32,
 }
 
@@ -129,7 +131,7 @@ pub fn lex(src: &str) -> Lexed {
             i = j;
             continue;
         }
-        // Identifier / keyword, or a raw/byte string prefix.
+        // Identifier / keyword, or a raw/byte string or byte-char prefix.
         if c.is_alphabetic() || c == '_' {
             let start = i;
             let mut j = i;
@@ -141,15 +143,36 @@ pub fn lex(src: &str) -> Lexed {
             let is_str_prefix = matches!(ident.as_str(), "r" | "b" | "br" | "rb");
             if is_str_prefix && (nc == '"' || nc == '#') {
                 let raw = ident != "b"; // plain `b"…"` keeps escape processing
+                let start_line = line;
                 if let Some(end) = consume_string(&chars, j, raw, &mut line) {
                     out.toks.push(Tok {
                         kind: TokKind::Str,
                         text: String::new(),
-                        line,
+                        line: start_line,
                     });
                     i = end;
                     continue;
                 }
+            }
+            // Raw identifier `r#fn`: one token, keyword meaning stripped.
+            if ident == "r" && nc == '#' && (at(j + 1).is_alphabetic() || at(j + 1) == '_') {
+                let mut k = j + 1;
+                while k < n && (chars[k].is_alphanumeric() || chars[k] == '_') {
+                    k += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: chars[j + 1..k].iter().collect(),
+                    line,
+                });
+                i = k;
+                continue;
+            }
+            // Byte-char literal `b'x'` / `b'\n'`: defer to the `'` branch
+            // below instead of emitting a phantom `b` identifier.
+            if ident == "b" && nc == '\'' {
+                i = j;
+                continue;
             }
             out.toks.push(Tok {
                 kind: TokKind::Ident,
@@ -168,11 +191,12 @@ pub fn lex(src: &str) -> Lexed {
         }
         // String literal.
         if c == '"' {
+            let start_line = line;
             if let Some(end) = consume_string(&chars, i, false, &mut line) {
                 out.toks.push(Tok {
                     kind: TokKind::Str,
                     text: String::new(),
-                    line,
+                    line: start_line,
                 });
                 i = end;
                 continue;
@@ -512,6 +536,81 @@ mod tests {
     }
 
     #[test]
+    fn raw_string_token_keeps_its_start_line() {
+        let src = "a\nlet s = r#\"first\nsecond\nthird\"#;\nb";
+        let lexed = lex(src);
+        let s_tok = lexed
+            .toks
+            .iter()
+            .find(|t| t.kind == TokKind::Str)
+            .expect("raw string token");
+        assert_eq!(
+            s_tok.line, 2,
+            "string tokens are stamped with their start line"
+        );
+        let b_tok = lexed.toks.iter().find(|t| t.text == "b").expect("b");
+        assert_eq!(b_tok.line, 5, "line counting resumes after the string body");
+    }
+
+    #[test]
+    fn raw_string_hash_contents_stay_hidden() {
+        // `r#"…"#` with quotes, hashes and comment markers inside.
+        let t = texts("let s = r##\"quote \"# almost // not a comment\"##; tail");
+        assert!(t.contains(&"tail".to_string()));
+        assert!(!t.contains(&"almost".to_string()));
+        let lexed = lex("let s = r##\"x\"##; t");
+        assert_eq!(lexed.comments.len(), 0);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let lexed = lex("before /* outer /* inner */ still outer */ after");
+        let t: Vec<&str> = lexed.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(t, vec!["before", "after"]);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner"));
+        // Line counting across a multi-line nested comment.
+        let lexed2 = lex("/* a\n/* b\n*/\n*/\ntail");
+        assert_eq!(lexed2.toks[0].text, "tail");
+        assert_eq!(lexed2.toks[0].line, 5);
+    }
+
+    #[test]
+    fn byte_char_literals_do_not_leak_a_b_ident() {
+        let lexed = lex("let x = b'a'; let nl = b'\\n'; tail");
+        let idents: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "x", "let", "nl", "tail"]);
+        let strs = lexed.toks.iter().filter(|t| t.kind == TokKind::Str).count();
+        assert_eq!(strs, 2, "b'a' and b'\\n' each lex as one literal");
+    }
+
+    #[test]
+    fn byte_strings_lex_as_one_literal() {
+        let t = texts("let s = b\"bytes\"; let r = br#\"raw bytes\"#; tail");
+        assert!(t.contains(&"tail".to_string()));
+        assert!(!t.contains(&"bytes".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_idents() {
+        let lexed = lex("let r#fn = 1; r#type + r#fn");
+        let idents: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "fn", "type", "fn"]);
+        // No stray `#` puncts left behind.
+        assert!(!lexed.toks.iter().any(|t| t.text == "#"));
+    }
+
+    #[test]
     fn lifetimes_versus_char_literals() {
         let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
         let lifetimes: Vec<&Tok> = lexed
@@ -522,6 +621,26 @@ mod tests {
         assert_eq!(lifetimes.len(), 2);
         let strs = lexed.toks.iter().filter(|t| t.kind == TokKind::Str).count();
         assert_eq!(strs, 2); // 'x' and '\n'
+    }
+
+    #[test]
+    fn static_lifetime_and_anonymous_lifetime() {
+        let lexed = lex("fn f(x: &'static str, y: &'_ u8) {}");
+        let lifetimes: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["static", "_"]);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let lexed = lex(r"let q = '\''; let bs = '\\'; tail");
+        let strs = lexed.toks.iter().filter(|t| t.kind == TokKind::Str).count();
+        assert_eq!(strs, 2);
+        assert!(lexed.toks.iter().any(|t| t.text == "tail"));
     }
 
     #[test]

@@ -1,0 +1,527 @@
+//! The S1–S3 semantic rules, run over a crate's parsed files.
+//!
+//! | Rule | Enforces |
+//! | ---- | -------- |
+//! | `S1` | guarded solver fns must *transitively* reach an `invariant::` call |
+//! | `S2` | no `HashMap`/`HashSet` iteration in determinism-sensitive paths |
+//! | `S3` | no arithmetic mixing identifiers with conflicting unit suffixes |
+//!
+//! (`S4`, crate layering, lives in [`crate::layering`] — it reads
+//! `Cargo.toml`s, not Rust sources.)
+//!
+//! All three rules skip `#[cfg(test)]` / `#[test]` items, mirroring the
+//! token-level L-rules' test mask.
+
+use crate::ast::{walk_block, Block, Expr, Item, ItemKind, Stmt};
+use crate::callgraph::CallGraph;
+use crate::parser::parse_source;
+use crate::symbols::{self, is_hash_type};
+use crate::{path_matches, Finding, SemaConfig};
+use std::collections::BTreeSet;
+
+/// Analyzes one crate's files (`(relative-path, source)` pairs)
+/// together: the call graph spans all of them, then S1–S3 report
+/// per-file findings, sorted by path, line and rule.
+pub fn analyze_crate(files: &[(String, String)], cfg: &SemaConfig) -> Vec<Finding> {
+    let parsed: Vec<(&str, crate::ast::File)> = files
+        .iter()
+        .map(|(path, src)| (path.as_str(), parse_source(src)))
+        .collect();
+
+    let mut graph = CallGraph::default();
+    if cfg.rule_on("S1") {
+        for ((_, file), (_, src)) in parsed.iter().zip(files) {
+            graph.add_file(file, src);
+        }
+    }
+
+    let mut out = Vec::new();
+    for (path, file) in &parsed {
+        if cfg.rule_on("S1") && path_matches(path, &cfg.guarded_path_markers) {
+            scan_s1(path, file, &graph, &cfg.guarded_fn_names, &mut out);
+        }
+        if cfg.rule_on("S2") && path_matches(path, &cfg.hash_path_markers) {
+            scan_s2(path, file, &mut out);
+        }
+        if cfg.rule_on("S3") && path_matches(path, &cfg.unit_path_markers) {
+            scan_s3(path, file, &mut out);
+        }
+    }
+    out.sort_by(|a, b| {
+        (&a.path, a.line, &a.rule, &a.message).cmp(&(&b.path, b.line, &b.rule, &b.message))
+    });
+    out
+}
+
+/// Calls `f` on every non-test `fn` item, skipping `#[cfg(test)]`
+/// subtrees entirely.
+fn nontest_fns<'a>(items: &'a [Item], f: &mut impl FnMut(&'a Item)) {
+    for item in items {
+        if item.cfg_test {
+            continue;
+        }
+        if item.kind == ItemKind::Fn {
+            f(item);
+        }
+        nontest_fns(&item.children, f);
+        if let Some(b) = &item.body {
+            for stmt in &b.stmts {
+                if let Stmt::Item(inner) = stmt {
+                    nontest_fns(std::slice::from_ref(inner), f);
+                }
+            }
+        }
+    }
+}
+
+// ----- S1: transitive invariant reachability ---------------------------
+
+fn scan_s1(
+    path: &str,
+    file: &crate::ast::File,
+    graph: &CallGraph,
+    guarded: &[String],
+    out: &mut Vec<Finding>,
+) {
+    nontest_fns(&file.items, &mut |f| {
+        if f.body.is_none() || !guarded.iter().any(|g| g == &f.name) {
+            return;
+        }
+        if !graph.reaches_guard(&f.name) {
+            out.push(Finding {
+                rule: "S1".to_string(),
+                path: path.to_string(),
+                line: f.line,
+                message: format!(
+                    "`fn {}` never reaches an `invariant::` guard on any call path \
+                     (Eq. 8 / Eq. 10–11 / Eq. 27)",
+                    f.name
+                ),
+            });
+        }
+    });
+}
+
+// ----- S2: no hash-container iteration ---------------------------------
+
+/// Iteration methods whose order is the hasher's, not the program's.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+];
+
+fn scan_s2(path: &str, file: &crate::ast::File, out: &mut Vec<Finding>) {
+    let table = symbols::build(file);
+    nontest_fns(&file.items, &mut |f| {
+        let Some(body) = &f.body else { return };
+
+        // Pass 1: names with a hash-container type — parameters, then
+        // `let` bindings anywhere in the body (scoping is ignored: a
+        // hash-typed name anywhere in the fn taints the whole fn, an
+        // over-approximation that fails loud rather than silently).
+        let mut hashed: BTreeSet<String> = BTreeSet::new();
+        for (name, ty) in &f.params {
+            if is_hash_type(ty) {
+                hashed.insert(name.clone());
+            }
+        }
+        let mut sniff_lets = |b: &Block| {
+            for stmt in &b.stmts {
+                if let Stmt::Let { name, ty, init, .. } = stmt {
+                    if name.is_empty() {
+                        continue;
+                    }
+                    let by_ty = ty.as_deref().is_some_and(is_hash_type);
+                    let by_init = init.as_ref().is_some_and(init_makes_hash);
+                    if by_ty || by_init {
+                        hashed.insert(name.clone());
+                    }
+                }
+            }
+        };
+        sniff_lets(body);
+        walk_block(body, &mut |e| {
+            match e {
+                Expr::For { body, .. } | Expr::While { body, .. } | Expr::BlockExpr(body) => {
+                    sniff_lets(body)
+                }
+                Expr::If { then, els, .. } => {
+                    sniff_lets(then);
+                    if let Some(b) = els {
+                        sniff_lets(b);
+                    }
+                }
+                _ => {}
+            };
+        });
+
+        // Pass 2: flag hash-ordered iteration.
+        let is_hashed = |e: &Expr| -> Option<String> {
+            let name = recv_name(e)?;
+            let by_local = hashed.contains(name);
+            let by_field = matches!(e_root(e), Expr::Field { .. })
+                && table
+                    .field_types
+                    .get(name)
+                    .copied()
+                    .is_some_and(is_hash_type);
+            (by_local || by_field).then(|| name.to_string())
+        };
+        walk_block(body, &mut |e| match e {
+            Expr::MethodCall {
+                recv, method, line, ..
+            } if ITER_METHODS.contains(&method.as_str()) => {
+                if let Some(name) = is_hashed(recv) {
+                    out.push(s2_finding(path, *line, &name, &format!(".{method}()")));
+                }
+            }
+            Expr::For { iter, line, .. } => {
+                if let Some(name) = is_hashed(iter) {
+                    out.push(s2_finding(path, *line, &name, "for-loop"));
+                }
+            }
+            _ => {}
+        });
+    });
+}
+
+fn s2_finding(path: &str, line: u32, name: &str, how: &str) -> Finding {
+    Finding {
+        rule: "S2".to_string(),
+        path: path.to_string(),
+        line,
+        message: format!(
+            "hash-ordered iteration ({how}) over `{name}` breaks replay determinism — \
+             use `BTreeMap`/`BTreeSet` or sort first"
+        ),
+    }
+}
+
+/// The identifier a receiver expression names, looking through
+/// `&`/`*` and casts: `map` → `map`, `&mut self.stats` → `stats`.
+fn recv_name(e: &Expr) -> Option<&str> {
+    match e_root(e) {
+        Expr::Path { segs, .. } if segs.len() == 1 => segs.first().map(String::as_str),
+        Expr::Field { name, .. } => Some(name.as_str()),
+        _ => None,
+    }
+}
+
+/// Strips `&`/`*` and `as` layers off an expression.
+fn e_root(e: &Expr) -> &Expr {
+    match e {
+        Expr::Unary { op, expr } if op == "&" || op == "*" => e_root(expr),
+        Expr::Cast { expr, .. } => e_root(expr),
+        _ => e,
+    }
+}
+
+/// Whether an initializer expression produces a hash container:
+/// `HashMap::new()` / `with_capacity` / `from`, or a
+/// `.collect::<HashMap<…>>()` turbofish.
+fn init_makes_hash(e: &Expr) -> bool {
+    match e {
+        Expr::Call { callee, .. } => match callee.as_ref() {
+            Expr::Path { segs, .. } => segs.iter().any(|s| s == "HashMap" || s == "HashSet"),
+            _ => false,
+        },
+        Expr::MethodCall {
+            method, turbofish, ..
+        } if method == "collect" => turbofish.as_deref().is_some_and(is_hash_type),
+        _ => false,
+    }
+}
+
+// ----- S3: conflicting unit suffixes -----------------------------------
+
+/// A measurement family inferred from an identifier suffix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Unit {
+    TimeS,
+    TimeMs,
+    TimeUs,
+    TimeNs,
+    Bytes,
+    Bits,
+    Slots,
+}
+
+impl Unit {
+    fn is_time(self) -> bool {
+        matches!(
+            self,
+            Unit::TimeS | Unit::TimeMs | Unit::TimeUs | Unit::TimeNs
+        )
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Unit::TimeS => "seconds",
+            Unit::TimeMs => "milliseconds",
+            Unit::TimeUs => "microseconds",
+            Unit::TimeNs => "nanoseconds",
+            Unit::Bytes => "bytes",
+            Unit::Bits => "bits",
+            Unit::Slots => "slots",
+        }
+    }
+}
+
+/// Suffix → unit; longest suffixes first so `_ns` is not read as `_s`.
+fn unit_of(name: &str) -> Option<Unit> {
+    let n = name.to_ascii_lowercase();
+    const TABLE: &[(&str, Unit)] = &[
+        ("_bytes", Unit::Bytes),
+        ("_bits", Unit::Bits),
+        ("_slots", Unit::Slots),
+        ("_slot", Unit::Slots),
+        ("_secs", Unit::TimeS),
+        ("_sec", Unit::TimeS),
+        ("_ms", Unit::TimeMs),
+        ("_us", Unit::TimeUs),
+        ("_ns", Unit::TimeNs),
+        ("_s", Unit::TimeS),
+    ];
+    TABLE
+        .iter()
+        .find(|(suf, _)| n.ends_with(suf))
+        .map(|(_, u)| *u)
+}
+
+/// Families that must never meet under `+`/`-`/comparison.
+fn units_conflict(a: Unit, b: Unit) -> bool {
+    if a == b {
+        return false;
+    }
+    (a.is_time() && b.is_time())
+        || matches!(
+            (a, b),
+            (Unit::Bytes, Unit::Bits) | (Unit::Bits, Unit::Bytes)
+        )
+        || (a == Unit::Slots && b.is_time())
+        || (b == Unit::Slots && a.is_time())
+}
+
+/// Operators where mixed units are meaningless (`*`/`/` are unit
+/// conversions, so they stay legal).
+const S3_OPS: &[&str] = &["+", "-", "+=", "-=", "<", "<=", ">", ">=", "==", "!="];
+
+/// The unit an operand carries, when it is a named identifier (possibly
+/// behind `&`/`*`/`as`, a field access, or a const path).
+fn operand_unit(e: &Expr) -> Option<(String, Unit)> {
+    let name = match e_root(e) {
+        Expr::Path { segs, .. } => segs.last()?,
+        Expr::Field { name, .. } => name,
+        _ => return None,
+    };
+    unit_of(name).map(|u| (name.clone(), u))
+}
+
+fn scan_s3(path: &str, file: &crate::ast::File, out: &mut Vec<Finding>) {
+    nontest_fns(&file.items, &mut |f| {
+        let Some(body) = &f.body else { return };
+        walk_block(body, &mut |e| {
+            let Expr::Binary { op, lhs, rhs, line } = e else {
+                return;
+            };
+            if !S3_OPS.contains(&op.as_str()) {
+                return;
+            }
+            let (Some((ln, lu)), Some((rn, ru))) = (operand_unit(lhs), operand_unit(rhs)) else {
+                return;
+            };
+            if units_conflict(lu, ru) {
+                out.push(Finding {
+                    rule: "S3".to_string(),
+                    path: path.to_string(),
+                    line: *line,
+                    message: format!(
+                        "`{ln}` ({}) `{op}` `{rn}` ({}) mixes unit families — \
+                         convert to one unit before combining",
+                        lu.label(),
+                        ru.label()
+                    ),
+                });
+            }
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_all_paths() -> SemaConfig {
+        SemaConfig {
+            guarded_path_markers: vec!["src".to_string()],
+            hash_path_markers: vec!["src".to_string()],
+            unit_path_markers: vec!["src".to_string()],
+            ..SemaConfig::default()
+        }
+    }
+
+    fn analyze(src: &str) -> Vec<Finding> {
+        analyze_crate(
+            &[("crates/x/src/lib.rs".to_string(), src.to_string())],
+            &cfg_all_paths(),
+        )
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&str> {
+        findings.iter().map(|f| f.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn s1_accepts_delegated_guard_that_l5_would_reject() {
+        let found = analyze(
+            "pub fn decide(x: f64) -> f64 { clamp(x) }\n\
+             fn clamp(x: f64) -> f64 { invariant::check_unit_interval(\"x\", x) }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn s1_flags_unreachable_guard() {
+        let found =
+            analyze("pub fn decide(x: f64) -> f64 { helper(x) }\nfn helper(x: f64) -> f64 { x }");
+        assert_eq!(rules_of(&found), vec!["S1"]);
+        assert_eq!(found[0].line, 1);
+    }
+
+    #[test]
+    fn s1_skips_trait_declarations_and_nonguarded_names() {
+        let found = analyze("pub trait C { fn decide(&self) -> f64; }\nfn misc() {}");
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn s1_spans_files_within_the_crate() {
+        let files = vec![
+            (
+                "crates/x/src/a.rs".to_string(),
+                "pub fn decide(x: f64) -> f64 { solver::balance(x) }".to_string(),
+            ),
+            (
+                "crates/x/src/b.rs".to_string(),
+                "pub fn balance(x: f64) -> f64 { invariant::check_unit_interval(\"x\", x) }"
+                    .to_string(),
+            ),
+        ];
+        let found = analyze_crate(&files, &cfg_all_paths());
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn s2_flags_iteration_over_local_and_param_and_field() {
+        let found = analyze(
+            "use std::collections::HashMap;\n\
+             pub struct S { stats: HashMap<String, u64> }\n\
+             pub fn a(m: HashMap<String, u64>) -> usize { m.iter().count() }\n\
+             pub fn b() { let m = HashMap::new(); for k in m.keys() { drop(k); } }\n\
+             impl S { pub fn c(&self) -> usize { self.stats.values().count() } }",
+        );
+        assert_eq!(rules_of(&found), vec!["S2", "S2", "S2"]);
+        let lines: Vec<u32> = found.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn s2_flags_for_loop_over_hash_reference() {
+        let found = analyze(
+            "pub struct S { seen: HashSet<u64> }\n\
+             impl S { pub fn dump(&self) { for v in &self.seen { drop(v); } } }",
+        );
+        assert_eq!(rules_of(&found), vec!["S2"]);
+        assert_eq!(found[0].line, 2);
+    }
+
+    #[test]
+    fn s2_flags_collect_turbofish() {
+        let found = analyze(
+            "pub fn f(v: Vec<(u64, u64)>) {\n\
+             let m = v.into_iter().collect::<HashMap<u64, u64>>();\n\
+             for (k, _) in m.iter() { drop(k); }\n}",
+        );
+        assert_eq!(rules_of(&found), vec!["S2"]);
+        assert_eq!(found[0].line, 3);
+    }
+
+    #[test]
+    fn s2_allows_btreemap_and_vec_iteration() {
+        let found = analyze(
+            "pub struct S { a: BTreeMap<String, u64>, b: Vec<u64> }\n\
+             impl S { pub fn f(&self) -> usize { self.a.iter().count() + self.b.iter().count() } }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn s2_skips_test_modules() {
+        let found = analyze(
+            "#[cfg(test)]\nmod tests {\n    pub fn f(m: HashMap<u64, u64>) { for k in m.keys() { drop(k); } }\n}",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn s2_outside_marked_paths_is_ignored() {
+        let files = vec![(
+            "crates/x/other/lib.rs".to_string(),
+            "pub fn f(m: HashMap<u64, u64>) { for k in m.keys() { drop(k); } }".to_string(),
+        )];
+        let found = analyze_crate(&files, &cfg_all_paths());
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn s3_flags_seconds_plus_milliseconds() {
+        let found = analyze("pub fn f(a_s: f64, b_ms: f64) -> f64 { a_s + b_ms }");
+        assert_eq!(rules_of(&found), vec!["S3"]);
+        assert!(found[0].message.contains("seconds"));
+        assert!(found[0].message.contains("milliseconds"));
+    }
+
+    #[test]
+    fn s3_flags_bytes_vs_bits_and_slots_vs_time() {
+        let found = analyze(
+            "pub fn f(tx_bytes: u64, rx_bits: u64, t_slots: u64, t_ms: u64) -> bool {\n\
+             tx_bytes < rx_bits && t_slots >= t_ms\n}",
+        );
+        assert_eq!(rules_of(&found), vec!["S3", "S3"]);
+    }
+
+    #[test]
+    fn s3_flags_compound_assignment_and_fields() {
+        let found = analyze(
+            "pub struct C { budget_ms: f64 }\n\
+             pub fn f(c: &mut C, dt_s: f64) { c.budget_ms -= dt_s; }",
+        );
+        assert_eq!(rules_of(&found), vec!["S3"]);
+        assert_eq!(found[0].line, 2);
+    }
+
+    #[test]
+    fn s3_allows_same_family_and_conversions() {
+        let found = analyze(
+            "pub fn f(a_ms: f64, b_ms: f64, rate_bytes: f64, dt_s: f64) -> f64 {\n\
+             (a_ms - b_ms) + rate_bytes * dt_s\n}",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn s3_suffix_table_is_longest_match() {
+        assert_eq!(unit_of("lat_ns"), Some(Unit::TimeNs));
+        assert_eq!(unit_of("lat_ms"), Some(Unit::TimeMs));
+        assert_eq!(unit_of("t_s"), Some(Unit::TimeS));
+        assert_eq!(unit_of("wait_secs"), Some(Unit::TimeS));
+        assert_eq!(unit_of("DEFAULT_TIMEOUT_MS"), Some(Unit::TimeMs));
+        assert_eq!(unit_of("arrivals"), None);
+        assert_eq!(unit_of("status"), None);
+    }
+}

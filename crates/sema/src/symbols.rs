@@ -1,0 +1,82 @@
+//! Per-file symbol table built from the parsed [`crate::ast::File`].
+//!
+//! The table is a flat, borrow-only view: every function item (at any
+//! nesting depth) and every struct field with its flattened type text.
+//! The S-rules use it to classify identifiers (is this receiver a
+//! `HashMap`-typed field?) and to enumerate the functions a file
+//! defines; the call graph uses it to seed graph nodes.
+
+use crate::ast::{walk_fns, File, Item, ItemKind};
+use std::collections::BTreeMap;
+
+/// A flat symbol view over one parsed file. Borrows the [`File`].
+#[derive(Debug, Default)]
+pub struct SymbolTable<'a> {
+    /// Every `fn` item in the file, in traversal order (modules, impls
+    /// and traits included; bodies may be absent for trait
+    /// declarations).
+    pub fns: Vec<&'a Item>,
+    /// Struct field name → flattened type text. When two structs share
+    /// a field name the *hash-like* type wins, so hash classification
+    /// over-approximates rather than misses (a lint should fail loud).
+    pub field_types: BTreeMap<&'a str, &'a str>,
+}
+
+/// Whether a flattened type text names a hash container.
+pub fn is_hash_type(ty: &str) -> bool {
+    ty.contains("HashMap") || ty.contains("HashSet")
+}
+
+/// Builds the symbol table for `file`.
+pub fn build(file: &File) -> SymbolTable<'_> {
+    let mut table = SymbolTable::default();
+    walk_fns(&file.items, &mut |f| table.fns.push(f));
+    collect_fields(&file.items, &mut table.field_types);
+    table
+}
+
+fn collect_fields<'a>(items: &'a [Item], out: &mut BTreeMap<&'a str, &'a str>) {
+    for item in items {
+        if item.kind == ItemKind::Struct {
+            for (name, ty) in &item.fields {
+                let entry = out.entry(name.as_str()).or_insert(ty.as_str());
+                if !is_hash_type(entry) && is_hash_type(ty) {
+                    *entry = ty.as_str();
+                }
+            }
+        }
+        collect_fields(&item.children, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_source;
+
+    #[test]
+    fn collects_fns_and_fields_at_depth() {
+        let file = parse_source(
+            "pub struct S { m: HashMap<String, u64>, n: u64 }\n\
+             mod inner { pub struct T { q: Vec<f64> } fn helper() {} }\n\
+             impl S { fn get(&self) -> u64 { self.n } }\n\
+             fn free() {}",
+        );
+        let t = build(&file);
+        let names: Vec<&str> = t.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["helper", "get", "free"]);
+        assert!(is_hash_type(t.field_types["m"]));
+        assert!(!is_hash_type(t.field_types["n"]));
+        assert!(!is_hash_type(t.field_types["q"]));
+    }
+
+    #[test]
+    fn hash_field_wins_on_name_collision() {
+        let file = parse_source(
+            "struct A { slots: Vec<u64> }\nstruct B { slots: HashSet<u64> }\n\
+             struct C { slots: Vec<u64> }",
+        );
+        let t = build(&file);
+        assert!(is_hash_type(t.field_types["slots"]));
+    }
+}

@@ -5,7 +5,14 @@
 //! it is taken at registration and snapshot time, never while
 //! recording — recording goes through the handles, which are atomics
 //! (and, for series, a per-series lock on a once-per-slot path).
+//!
+//! Tables are `BTreeMap`s, so every export walks names in one fixed
+//! order no matter what order metrics were registered in — snapshot
+//! output (and everything downstream: `telemetry.json`, replay diffs)
+//! is byte-stable by construction, with no sort step to forget. The
+//! S2 lint rule guards the same property against `HashMap` regressions.
 
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
@@ -16,19 +23,19 @@ use crate::metrics::{Counter, Gauge, Series};
 /// Named metric store; see the module docs for locking discipline.
 #[derive(Debug, Default)]
 pub struct Registry {
-    counters: Mutex<Vec<(String, Arc<Counter>)>>,
-    gauges: Mutex<Vec<(String, Arc<Gauge>)>>,
-    histograms: Mutex<Vec<(String, Arc<Histogram>)>>,
-    series: Mutex<Vec<(String, Arc<Series>)>>,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    series: Mutex<BTreeMap<String, Arc<Series>>>,
 }
 
-fn get_or_create<T: Default>(table: &Mutex<Vec<(String, Arc<T>)>>, name: &str) -> Arc<T> {
+fn get_or_create<T: Default>(table: &Mutex<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
     let mut table = crate::sync::lock_unpoisoned(table);
-    if let Some((_, handle)) = table.iter().find(|(n, _)| n == name) {
+    if let Some(handle) = table.get(name) {
         return Arc::clone(handle);
     }
     let handle = Arc::new(T::default());
-    table.push((name.to_string(), Arc::clone(&handle)));
+    table.insert(name.to_string(), Arc::clone(&handle));
     handle
 }
 
@@ -58,41 +65,38 @@ impl Registry {
         get_or_create(&self.series, name)
     }
 
-    /// A serializable copy of every registered metric's current state,
-    /// each table sorted by name so output is deterministic.
+    /// A serializable copy of every registered metric's current state.
+    /// The tables are ordered maps, so each section comes out sorted by
+    /// name with no explicit sort step.
     pub fn snapshot(&self) -> TelemetrySnapshot {
-        let mut counters: Vec<CounterSnapshot> = crate::sync::lock_unpoisoned(&self.counters)
+        let counters: Vec<CounterSnapshot> = crate::sync::lock_unpoisoned(&self.counters)
             .iter()
             .map(|(name, c)| CounterSnapshot {
                 name: name.clone(),
                 value: c.get(),
             })
             .collect();
-        counters.sort_by(|a, b| a.name.cmp(&b.name));
 
-        let mut gauges: Vec<GaugeSnapshot> = crate::sync::lock_unpoisoned(&self.gauges)
+        let gauges: Vec<GaugeSnapshot> = crate::sync::lock_unpoisoned(&self.gauges)
             .iter()
             .map(|(name, g)| GaugeSnapshot {
                 name: name.clone(),
                 value: g.get(),
             })
             .collect();
-        gauges.sort_by(|a, b| a.name.cmp(&b.name));
 
-        let mut histograms: Vec<HistogramSnapshot> = crate::sync::lock_unpoisoned(&self.histograms)
+        let histograms: Vec<HistogramSnapshot> = crate::sync::lock_unpoisoned(&self.histograms)
             .iter()
             .map(|(name, h)| HistogramSnapshot::from_buckets(name.clone(), h.snapshot()))
             .collect();
-        histograms.sort_by(|a, b| a.name.cmp(&b.name));
 
-        let mut series: Vec<SeriesSnapshot> = crate::sync::lock_unpoisoned(&self.series)
+        let series: Vec<SeriesSnapshot> = crate::sync::lock_unpoisoned(&self.series)
             .iter()
             .map(|(name, s)| SeriesSnapshot {
                 name: name.clone(),
                 points: s.points(),
             })
             .collect();
-        series.sort_by(|a, b| a.name.cmp(&b.name));
 
         TelemetrySnapshot {
             schema: SCHEMA_VERSION.to_string(),
@@ -229,6 +233,27 @@ mod tests {
         assert_eq!(snap.histograms[0].count, 1);
         assert_eq!(snap.histograms[0].max, Some(0.125));
         assert_eq!(snap.series_named("queue").unwrap().points, vec![(0.0, 3.0)]);
+    }
+
+    #[test]
+    fn snapshot_bytes_are_registration_order_independent() {
+        let forward = Registry::new();
+        for name in ["a", "b", "c", "zeta"] {
+            forward.counter(name).add(1);
+            forward.gauge(name).set(2.0);
+            forward.histogram(name).record(0.25);
+            forward.series(name).push(0.0, 1.0);
+        }
+        let backward = Registry::new();
+        for name in ["zeta", "c", "b", "a"] {
+            backward.counter(name).add(1);
+            backward.gauge(name).set(2.0);
+            backward.histogram(name).record(0.25);
+            backward.series(name).push(0.0, 1.0);
+        }
+        let fwd = serde_json::to_string_pretty(&forward.snapshot()).unwrap();
+        let bwd = serde_json::to_string_pretty(&backward.snapshot()).unwrap();
+        assert_eq!(fwd, bwd);
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Tier-2 gate: the workspace's own library sources must pass the full
-//! leime-lint rule set — zero violations, waivers within budget. This is
-//! the same scan `cargo run -p leime-lint -- --deny-all` performs in CI,
-//! run here so a plain `cargo test` catches regressions too.
+//! leime-lint rule set — token L1–L5 *and* semantic S1–S4, zero
+//! violations, waivers within budget. This is the same scan
+//! `cargo run -p leime-lint -- --deny-all` performs in CI, run here so
+//! a plain `cargo test` catches regressions too.
 
-use leime_lint::{run, ScanOptions};
+use leime_lint::{run, ScanOptions, RULE_IDS, SCHEMA_VERSION};
 use std::path::{Path, PathBuf};
 
 /// Workspace root: two levels above the `leime` core crate's manifest.
@@ -32,6 +33,41 @@ fn workspace_library_sources_are_lint_clean() {
         "workspace must be lint-clean; report:\n{}",
         report.render_text()
     );
+}
+
+#[test]
+fn semantic_rules_are_part_of_the_workspace_gate() {
+    // The default scan runs sema (S1–S4) and reports the `leime-lint/2`
+    // schema; the clean result above is therefore a *semantic* clean —
+    // every guarded solver transitively reaches `invariant::`, no hash
+    // iteration or unit mixing in the marked paths, and the crate DAG
+    // flows strictly downward.
+    let opts = ScanOptions::new(workspace_root());
+    assert!(opts.sema, "sema must be on by default");
+    let report = match run(&opts) {
+        Ok(r) => r,
+        Err(e) => unreachable!("workspace lint scan must succeed: {e}"),
+    };
+    assert_eq!(report.schema, SCHEMA_VERSION);
+    assert_eq!(SCHEMA_VERSION, "leime-lint/2");
+    for rule in ["L1", "L2", "L3", "L4", "L5", "S1", "S2", "S3", "S4"] {
+        assert!(
+            report.rule_set.iter().any(|r| r == rule),
+            "{rule} missing from rule_set {:?}",
+            report.rule_set
+        );
+        assert!(RULE_IDS.contains(&rule));
+    }
+    for f in &report.violations {
+        assert!(
+            !f.rule.starts_with('S'),
+            "semantic violation crept in at {}:{} [{}] {}",
+            f.path,
+            f.line,
+            f.rule,
+            f.message
+        );
+    }
 }
 
 #[test]
