@@ -1,0 +1,216 @@
+//! Perf baseline for the deterministic parallel fleet runner.
+//!
+//! Times the 64-device reference scenario sequentially and under
+//! `leime-par` sharding, verifies the outputs are byte-identical (the
+//! DESIGN.md §11 contract — a perf number from a diverging run would be
+//! meaningless), and writes `BENCH_par.json` (schema `leime-bench/1`)
+//! for CI to archive.
+//!
+//! ```text
+//! cargo run --release -p leime-bench --bin perf_baseline -- --workers 1,2,4
+//! ```
+//!
+//! Flags: `--workers <list>` (comma-separated counts, default `1,2,4`),
+//! `--devices <n>` (default 64), `--slots <n>` (default 200),
+//! `--json <path>` (default `BENCH_par.json`).
+//!
+//! The ≥1.5× speedup expectation at 4 workers is a *soft* check: on a
+//! constrained CI box it logs a warning rather than failing, so the
+//! artifact still lands and the regression shows up in the history.
+
+use std::num::NonZeroUsize;
+use std::path::PathBuf;
+
+use leime::{ControllerKind, ExitStrategy, ModelKind, RunReport, Scenario};
+use leime_bench::{fmt_speedup, fmt_time, header, render_table};
+use leime_telemetry::{Clock, WallClock};
+
+const SEED: u64 = 7;
+/// Expected parallel speedup at 4 workers on the reference scenario
+/// (soft: logged, not enforced — CI runners vary).
+const SOFT_SPEEDUP_FLOOR: f64 = 1.5;
+
+struct Args {
+    workers: Vec<usize>,
+    devices: usize,
+    slots: usize,
+    json: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workers: vec![1, 2, 4],
+        devices: 64,
+        slots: 200,
+        json: PathBuf::from("BENCH_par.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a {what} argument");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--workers" => {
+                args.workers = value("comma-separated list")
+                    .split(',')
+                    .map(|w| {
+                        w.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("bad worker count {w:?}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--devices" => args.devices = parse_or_die(&value("number")),
+            "--slots" => args.slots = parse_or_die(&value("number")),
+            "--json" => args.json = PathBuf::from(value("path")),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.workers.is_empty() || args.workers.contains(&0) {
+        eprintln!("--workers needs at least one non-zero count");
+        std::process::exit(2);
+    }
+    args
+}
+
+fn parse_or_die(s: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad numeric argument {s:?}");
+        std::process::exit(2);
+    })
+}
+
+/// Best-effort git revision for the archived record.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// One timed run; the clock is the telemetry crate's [`WallClock`] (the
+/// workspace's only sanctioned wall-time source, rule L3).
+fn timed_run(
+    scenario: &Scenario,
+    deployment: &leime::Deployment,
+    slots: usize,
+    workers: usize,
+) -> (RunReport, f64) {
+    let clock = WallClock::new();
+    let report = scenario
+        .run_slotted_workers(
+            deployment,
+            slots,
+            SEED,
+            NonZeroUsize::new(workers).expect("validated non-zero"),
+        )
+        .expect("reference scenario must run");
+    (report, clock.now())
+}
+
+fn main() {
+    let args = parse_args();
+    let mut scenario = Scenario::raspberry_pi_cluster(ModelKind::InceptionV3, args.devices, 5.0);
+    scenario.controller = ControllerKind::Lyapunov;
+    let deployment = scenario
+        .deploy(ExitStrategy::Leime)
+        .expect("reference deployment");
+
+    println!(
+        "== perf_baseline: {} devices, {} slots, seed {SEED} ==\n",
+        args.devices, args.slots
+    );
+
+    // Warm-up (page in code, spin up allocator arenas), then the timed
+    // sequential reference.
+    let _ = timed_run(&scenario, &deployment, args.slots.min(20), 1);
+    let (seq_report, seq_s) = timed_run(&scenario, &deployment, args.slots, 1);
+    let seq_json = serde_json::to_string(&seq_report).expect("report serializes");
+
+    let mut rows = Vec::new();
+    let mut runs = Vec::new();
+    rows.push(vec![
+        "1 (reference)".to_string(),
+        fmt_time(seq_s),
+        format!("{:.1}", args.slots as f64 / seq_s),
+        fmt_speedup(1.0),
+        "yes".to_string(),
+    ]);
+    let mut best_speedup = 1.0f64;
+    for &w in &args.workers {
+        if w == 1 {
+            continue;
+        }
+        let (report, par_s) = timed_run(&scenario, &deployment, args.slots, w);
+        let identical = serde_json::to_string(&report).expect("report serializes") == seq_json;
+        if !identical {
+            // A diverging parallel run is a correctness bug, not a perf
+            // data point; fail loudly.
+            eprintln!("FATAL: run with {w} workers diverged from sequential output");
+            std::process::exit(1);
+        }
+        let speedup = seq_s / par_s;
+        best_speedup = best_speedup.max(speedup);
+        rows.push(vec![
+            w.to_string(),
+            fmt_time(par_s),
+            format!("{:.1}", args.slots as f64 / par_s),
+            fmt_speedup(speedup),
+            "yes".to_string(),
+        ]);
+        runs.push(serde_json::json!({
+            "workers": w,
+            "wall_ms": par_s * 1e3,
+            "slots_per_sec": args.slots as f64 / par_s,
+            "speedup": speedup,
+            "identical_to_sequential": true,
+        }));
+    }
+    println!(
+        "{}",
+        render_table(
+            &header(&["workers", "wall", "slots/s", "speedup", "identical"]),
+            &rows
+        )
+    );
+
+    if args.workers.iter().any(|&w| w >= 4) && best_speedup < SOFT_SPEEDUP_FLOOR {
+        eprintln!(
+            "WARN: best speedup {best_speedup:.2}x below the {SOFT_SPEEDUP_FLOOR}x expectation \
+             (constrained runner?) — recorded, not failed"
+        );
+    }
+
+    let record = serde_json::json!({
+        "schema": "leime-bench/1",
+        "bench": "perf_baseline",
+        "git_rev": git_rev(),
+        "devices": args.devices,
+        "slots": args.slots,
+        "seed": SEED,
+        "sequential": {
+            "wall_ms": seq_s * 1e3,
+            "slots_per_sec": args.slots as f64 / seq_s,
+        },
+        "parallel": runs,
+        "best_speedup": best_speedup,
+        "soft_speedup_floor": SOFT_SPEEDUP_FLOOR,
+    });
+    let pretty = serde_json::to_string_pretty(&record).expect("record serializes");
+    if let Err(e) = std::fs::write(&args.json, &pretty) {
+        eprintln!("write {}: {e}", args.json.display());
+        std::process::exit(1);
+    }
+    println!("baseline written to {}", args.json.display());
+}

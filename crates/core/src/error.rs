@@ -1,4 +1,5 @@
 use leime_dnn::DnnError;
+use leime_par::ParError;
 use std::fmt;
 
 /// Top-level error type of the `leime` crate.
@@ -10,6 +11,9 @@ pub enum LeimeError {
     Config(String),
     /// A runtime (live prototype) failure, e.g. a disconnected channel.
     Runtime(String),
+    /// A failure in the deterministic parallel layer (a shard panic or a
+    /// lost worker — see [`leime_par::ParError`]).
+    Parallel(ParError),
 }
 
 impl fmt::Display for LeimeError {
@@ -18,6 +22,7 @@ impl fmt::Display for LeimeError {
             LeimeError::Dnn(e) => write!(f, "model error: {e}"),
             LeimeError::Config(msg) => write!(f, "configuration error: {msg}"),
             LeimeError::Runtime(msg) => write!(f, "runtime error: {msg}"),
+            LeimeError::Parallel(e) => write!(f, "parallel execution error: {e}"),
         }
     }
 }
@@ -34,6 +39,12 @@ impl std::error::Error for LeimeError {
 impl From<DnnError> for LeimeError {
     fn from(e: DnnError) -> Self {
         LeimeError::Dnn(e)
+    }
+}
+
+impl From<ParError> for LeimeError {
+    fn from(e: ParError) -> Self {
+        LeimeError::Parallel(e)
     }
 }
 

@@ -55,7 +55,11 @@ impl FaultStats {
 }
 
 /// Aggregated results of one simulation run.
-#[derive(Debug, Clone, Default)]
+///
+/// Serializes deterministically (field order is declaration order, the
+/// nested stats are plain data), which is what the `integration_par`
+/// differential suite compares byte-for-byte across worker counts.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunReport {
     tct: Percentiles,
     series: TimeSeries,

@@ -327,6 +327,26 @@ impl Scenario {
         SlottedSystem::new(self.clone(), deployment.clone())?.run(slots, seed)
     }
 
+    /// Like [`Scenario::run_slotted`], but shards the per-slot device
+    /// loop across up to `workers` threads (see
+    /// [`SlottedSystem::run_with_workers`]). The report is byte-identical
+    /// to [`Scenario::run_slotted`] at the same seed for every worker
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors and parallel-layer failures.
+    pub fn run_slotted_workers(
+        &self,
+        deployment: &Deployment,
+        slots: usize,
+        seed: u64,
+        workers: std::num::NonZeroUsize,
+    ) -> Result<RunReport> {
+        self.validate()?;
+        SlottedSystem::new(self.clone(), deployment.clone())?.run_with_workers(slots, seed, workers)
+    }
+
     /// Like [`Scenario::run_slotted`], but records per-slot telemetry into
     /// `registry` under `prefix` (see
     /// [`SlottedSystem::attach_registry`]).

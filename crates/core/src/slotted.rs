@@ -1,17 +1,19 @@
+use std::num::NonZeroUsize;
 use std::sync::Arc;
 
 use leime_chaos::{EdgeHealth, FaultSchedule, LinkHealth};
 use leime_offload::{
-    kkt_allocation_with_floor, ControllerTelemetry, DegradeMode, DegradeState, DeviceParams,
-    OffloadController, QueuePair, SharedParams, SlotCost, SlotObservation,
+    kkt_allocation_with_floor, ControllerTelemetry, DegradeMode, DegradeOutcome, DegradeState,
+    DeviceParams, OffloadController, QueuePair, SharedParams, SlotCost, SlotObservation,
 };
+use leime_par::RoundsError;
 use leime_simnet::SimTime;
 use leime_telemetry::{Histogram, Registry, Series, VirtualClock};
 use leime_workload::{Mmpp, SlotArrivals};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{Deployment, Result, RunReport, Scenario, WorkloadKind};
+use crate::{Deployment, LeimeError, Result, RunReport, Scenario, WorkloadKind};
 
 /// Minimum edge share handed to any device with positive demand: every
 /// device's second block runs on its share, so a zero share would starve
@@ -26,6 +28,18 @@ pub(crate) const SHARE_FLOOR: f64 = 1e-3;
 /// This is the model every motivation and ablation experiment runs on
 /// (Figs. 2, 3, 10, 11); the task-level DES ([`crate::TaskSim`])
 /// cross-validates it.
+///
+/// ## Determinism and parallelism (DESIGN.md §11)
+///
+/// The solver is decentralized (each device solves Eq. 20 independently
+/// per slot), so the per-slot device loop shards across workers via
+/// [`SlottedSystem::run_with_workers`]. Every device owns an RNG stream
+/// derived as `leime_par::stream_seed(seed, device_index)` — never a
+/// shared generator — and all report/telemetry recording is replayed on
+/// the driving thread in device order. The result: for any seed and any
+/// worker count, the run's [`RunReport`] and telemetry snapshot are
+/// byte-identical to the sequential run (enforced by the tier-2
+/// `integration_par` differential suite).
 #[derive(Debug)]
 pub struct SlottedSystem {
     scenario: Scenario,
@@ -52,6 +66,78 @@ struct SlotTelemetry {
     ctrl: ControllerTelemetry,
 }
 
+/// Mutable per-device simulation state. One stream of randomness per
+/// device (`stream_seed(seed, i)`), so shard layout never touches the
+/// draw sequence.
+#[derive(Debug)]
+struct DeviceState {
+    queue: QueuePair,
+    degrade: DegradeState,
+    mmpp: Option<Mmpp>,
+    rng: StdRng,
+}
+
+/// One worker's slice of the fleet: the devices in
+/// `[start, start + devices.len())`, in index order.
+#[derive(Debug)]
+struct ShardState {
+    start: usize,
+    devices: Vec<DeviceState>,
+}
+
+/// Immutable per-run inputs shared (by reference) with every worker.
+struct RunCtx<'a> {
+    scenario: &'a Scenario,
+    deployment: &'a Deployment,
+    schedule: Option<&'a FaultSchedule>,
+    decider: &'a dyn OffloadController,
+    shared: SharedParams,
+    /// Compute the drift-plus-penalty value at the optimum so the
+    /// driver can replay the controller's decision telemetry.
+    want_dpp: bool,
+}
+
+/// The per-slot broadcast: fleet-level quantities the driving thread
+/// computes once per slot (KKT shares are a global coupling — Eq. 27).
+struct SlotCtx {
+    slot_start: SimTime,
+    /// Slot index, as the degradation ladder's timeout clock counts it.
+    t_slot: u64,
+    means: Vec<f64>,
+    shares: Vec<f64>,
+}
+
+/// Everything one device-slot produces, replayed into the report and
+/// telemetry in device order by the driving thread.
+#[derive(Debug)]
+enum DeviceSlotOut {
+    /// Churned out: absent this slot, frozen queues.
+    Churned,
+    /// A simulated device-slot.
+    Active(ActiveOut),
+}
+
+#[derive(Debug)]
+struct ActiveOut {
+    fault: bool,
+    obs: SlotObservation,
+    /// The controller's optimum (what decision telemetry records).
+    x_opt: f64,
+    /// Drift-plus-penalty at `x_opt` (0 unless `want_dpp`).
+    dpp: f64,
+    /// The degradation ladder's outcome; `outcome.x` is the applied ratio.
+    outcome: DegradeOutcome,
+    arrivals: u64,
+    /// End-to-end completion time per task this slot.
+    per_task: f64,
+    /// Fleet-cost contribution (`per_task * arrivals`).
+    total: f64,
+    /// Exit tier of each task, in draw order.
+    tiers: Vec<usize>,
+    /// Work drained from the device+edge queues this slot.
+    served: f64,
+}
+
 impl SlottedSystem {
     /// Builds the system for a scenario and a deployed ME-DNN.
     ///
@@ -62,27 +148,7 @@ impl SlottedSystem {
         scenario.validate()?;
         let controller = scenario.controller.build();
         let queues = vec![QueuePair::new(); scenario.devices.len()];
-        let mmpp = match &scenario.workload {
-            WorkloadKind::Bursty {
-                burst_factor,
-                p_enter,
-                p_leave,
-                max,
-            } => scenario
-                .devices
-                .iter()
-                .map(|d| {
-                    Mmpp::new(
-                        d.arrival_mean,
-                        d.arrival_mean * burst_factor,
-                        *p_enter,
-                        *p_leave,
-                        *max,
-                    )
-                })
-                .collect(),
-            _ => Vec::new(),
-        };
+        let mmpp = build_mmpp(&scenario);
         Ok(SlottedSystem {
             scenario,
             deployment,
@@ -107,7 +173,10 @@ impl SlottedSystem {
     /// * `{prefix}.ctrl.*` — per-decision controller state, for policies
     ///   that support [`OffloadController::attach_telemetry`].
     ///
-    /// All series are stamped with simulated slot-start time.
+    /// All series are stamped with simulated slot-start time. Recording
+    /// happens on the driving thread in device order even under
+    /// [`SlottedSystem::run_with_workers`], so snapshots stay
+    /// byte-identical at every worker count.
     pub fn attach_registry(&mut self, registry: &Registry, prefix: &str) {
         let clock = VirtualClock::new();
         let ctrl = ControllerTelemetry::attach(registry, &format!("{prefix}.ctrl"), clock.clone());
@@ -136,65 +205,41 @@ impl SlottedSystem {
         }
     }
 
-    /// Per-slot *expected* arrival mean for device `i` at `slot_start` —
-    /// what the controller knows from "historical statistics" (for bursty
-    /// workloads that is the stationary mean, not the hidden state).
-    fn arrival_mean(&self, i: usize, slot_start: SimTime) -> f64 {
-        match &self.scenario.workload {
-            WorkloadKind::RateTrace { trace, .. } => trace.value_at(slot_start),
-            WorkloadKind::Bursty { .. } => self.mmpp[i].stationary_mean(),
-            _ => self.scenario.devices[i].arrival_mean,
-        }
-    }
-
-    fn draw_arrivals(&mut self, i: usize, mean: f64, rng: &mut StdRng) -> u64 {
-        match &self.scenario.workload {
-            WorkloadKind::Deterministic => SlotArrivals::Deterministic { k: mean }.draw(rng),
-            WorkloadKind::SlotPoisson { max } => {
-                SlotArrivals::Poisson { mean, max: *max }.draw(rng)
-            }
-            WorkloadKind::RateTrace { max, .. } => {
-                SlotArrivals::Poisson { mean, max: *max }.draw(rng)
-            }
-            WorkloadKind::Bursty { .. } => self.mmpp[i].draw(rng),
-        }
-    }
-
-    /// Expected second/third-block completion tail per *surviving* task
-    /// cohort in one slot (the paper's Y covers first-block costs only;
-    /// blocks 2–3 are processed "fixedly" on edge and cloud).
-    fn tail_cost(&self, s: SharedParams, cost: &SlotCost, x: f64, tasks: f64) -> f64 {
-        let dep = &self.deployment;
-        let survivors1 = (1.0 - dep.sigma[0]) * tasks;
-        let survivors2 = (1.0 - dep.sigma[1]) * tasks;
-        let mut tail = 0.0;
-        if survivors1 > 0.0 && dep.mu[1] > 0.0 {
-            let f_e2 = (cost.p_share * s.edge_flops - cost.edge_first_block_flops(x)).max(0.0);
-            if f_e2 > 0.0 {
-                tail += survivors1 * dep.mu[1] / f_e2;
-            } else {
-                // No edge capacity for the second block: fall back to the
-                // whole share (pessimistic but finite).
-                tail += survivors1 * dep.mu[1] / (cost.p_share * s.edge_flops).max(f64::EPSILON);
-            }
-        }
-        if survivors2 > 0.0 {
-            tail += survivors2
-                * (dep.d[2] * 8.0 / self.scenario.cloud_bandwidth_bps
-                    + self.scenario.cloud_latency_s
-                    + dep.mu[2] / self.scenario.cloud_flops);
-        }
-        tail
-    }
-
-    /// Runs `slots` time slots; returns the aggregated report.
+    /// Runs `slots` time slots on the driving thread; returns the
+    /// aggregated report. Equivalent to
+    /// [`SlottedSystem::run_with_workers`] with one worker — and
+    /// byte-identical to it at *any* worker count.
     ///
     /// # Errors
     ///
     /// Returns [`crate::LeimeError::Config`] if the deployment's tier sampling is
     /// inconsistent (cannot happen for deployments built by this crate).
     pub fn run(&mut self, slots: usize, seed: u64) -> Result<RunReport> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        self.run_with_workers(slots, seed, NonZeroUsize::MIN)
+    }
+
+    /// Runs `slots` time slots with the per-slot device loop sharded
+    /// across up to `workers` threads (capped at the fleet size).
+    ///
+    /// Per-slot fleet quantities (arrival means, KKT shares — Eq. 27)
+    /// are computed once per slot on the driving thread and broadcast;
+    /// each worker then solves its devices' per-slot problems (Eq. 20
+    /// balance + cost evaluation) against its own per-device state, and
+    /// the driver replays every shard's recordings in device order. The
+    /// produced [`RunReport`] (and any attached telemetry) is
+    /// byte-identical to the sequential run at the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::LeimeError::Config`] for inconsistent tier
+    /// sampling and [`crate::LeimeError::Parallel`] if a worker shard
+    /// fails (a caught panic surfaces as a typed error, never a hang).
+    pub fn run_with_workers(
+        &mut self,
+        slots: usize,
+        seed: u64,
+        workers: NonZeroUsize,
+    ) -> Result<RunReport> {
         let mut report = RunReport::new();
         let shared = self.shared();
         let n = self.scenario.devices.len();
@@ -202,135 +247,367 @@ impl SlottedSystem {
         let horizon = SimTime::from_secs(slots as f64 * self.scenario.slot_len_s);
         let schedule: Option<FaultSchedule> =
             self.scenario.chaos.as_ref().map(|c| c.compile(n, horizon));
-        let mut degrade = vec![DegradeState::new(); n];
+        let replay_decisions = self.controller.records_decisions();
 
-        for t in 0..slots {
-            let slot_start = SimTime::from_secs(t as f64 * self.scenario.slot_len_s);
+        // What the controller knows from "historical statistics": the
+        // stationary mean for bursty workloads, the configured mean
+        // otherwise (rate traces override per slot, below).
+        let base_means: Vec<f64> = self
+            .scenario
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| match &self.scenario.workload {
+                WorkloadKind::Bursty { .. } => self.mmpp[i].stationary_mean(),
+                _ => d.arrival_mean,
+            })
+            .collect();
+        let flops: Vec<f64> = self.scenario.devices.iter().map(|d| d.flops).collect();
+
+        // Per-device state under worker-count-independent RNG streams.
+        let mut states: Vec<DeviceState> = (0..n)
+            .map(|i| DeviceState {
+                queue: self.queues[i],
+                degrade: DegradeState::new(),
+                mmpp: self.mmpp.get(i).cloned(),
+                rng: StdRng::seed_from_u64(leime_par::stream_seed(seed, i as u64)),
+            })
+            .collect();
+        let mut shards = Vec::new();
+        for range in leime_par::partition(n, workers.get()) {
+            shards.push(ShardState {
+                start: range.start,
+                devices: states.drain(..range.len()).collect(),
+            });
+        }
+
+        // Decisions run on a telemetry-free controller so workers never
+        // race on the registry; the driver replays decision telemetry
+        // in device order. Sound because `decide` is required to be a
+        // pure function of `(shared, device, obs)`.
+        let decider = self.scenario.controller.build();
+        let run_ctx = RunCtx {
+            scenario: &self.scenario,
+            deployment: &self.deployment,
+            schedule: schedule.as_ref(),
+            decider: decider.as_ref(),
+            shared,
+            want_dpp: replay_decisions && telemetry.is_some(),
+        };
+
+        let slot_len_s = self.scenario.slot_len_s;
+        let make_ctx = |slot: usize| {
+            let slot_start = SimTime::from_secs(slot as f64 * slot_len_s);
             if let Some(tel) = &telemetry {
                 tel.clock.advance_to(slot_start.as_secs());
             }
-            let means: Vec<f64> = (0..n).map(|i| self.arrival_mean(i, slot_start)).collect();
-            let flops: Vec<f64> = self.scenario.devices.iter().map(|d| d.flops).collect();
+            let means: Vec<f64> = match &run_ctx.scenario.workload {
+                WorkloadKind::RateTrace { trace, .. } => {
+                    vec![trace.value_at(slot_start); n]
+                }
+                _ => base_means.clone(),
+            };
             let shares =
-                kkt_allocation_with_floor(&flops, &means, self.scenario.edge_flops, SHARE_FLOOR);
-            let mut slot = SlotAccumulator::default();
-
-            for i in 0..n {
-                let (link, edge, alive) = match &schedule {
-                    Some(s) => (
-                        s.link_health(i, slot_start),
-                        s.edge_health(slot_start),
-                        s.device_alive(i, slot_start),
-                    ),
-                    None => (LinkHealth::NOMINAL, EdgeHealth::NOMINAL, true),
-                };
-                if !alive {
-                    // Churned out: the device is absent this slot — no
-                    // arrivals, no service, frozen queues (Eq. 10–11 with
-                    // all rates zero).
-                    report.record_churn_slot();
-                    continue;
-                }
-                let fault_active = !link.is_nominal() || !edge.is_nominal();
-                if fault_active {
-                    report.record_fault_slot();
-                    if let Some(tel) = &telemetry {
-                        tel.ctrl.record_fault_slot();
-                    }
-                }
-
-                let dev = DeviceParams {
-                    arrival_mean: means[i],
-                    bandwidth_bps: self.scenario.bandwidth_at(i, slot_start)
-                        * link.bandwidth_factor,
-                    latency_s: self.scenario.devices[i].latency_s + link.extra_latency_s,
-                    ..self.scenario.devices[i]
-                };
-                // Edge slowdown scales the server the whole fleet shares.
-                let shared_i = SharedParams {
-                    edge_flops: shared.edge_flops * edge.speed_factor,
-                    ..shared
-                };
-                let obs = SlotObservation {
-                    q: self.queues[i].q(),
-                    h: self.queues[i].h(),
-                    p_share: shares[i].clamp(0.0, 1.0),
-                };
-                let x_opt = self.controller.decide(shared_i, dev, obs);
-                let reachable = link.up && edge.up;
-                let outcome =
-                    degrade[i].degraded_decide(&self.scenario.degrade, t as u64, reachable, x_opt);
-                let x = outcome.x;
-                // Any non-Normal mode forces x = 0: the slot's tasks run
-                // fully locally and take the First-exit on device.
-                let degraded_local = degrade[i].mode() != DegradeMode::Normal;
-                report.record_degrade(&outcome);
-                if let Some(tel) = &telemetry {
-                    tel.ctrl.record_degrade(&outcome);
-                }
-                let arrivals = self.draw_arrivals(i, means[i], &mut rng);
-
-                // Realized per-slot cost with the actual arrival count.
-                let realized = DeviceParams {
-                    arrival_mean: arrivals as f64,
-                    ..dev
-                };
-                let cost = SlotCost::new(shared_i, realized, obs.q, obs.h, obs.p_share);
-                if arrivals > 0 {
-                    let first_block = cost.y(x);
-                    let tail = if degraded_local {
-                        0.0
-                    } else {
-                        self.tail_cost(shared_i, &cost, x, arrivals as f64)
-                    };
-                    let total = first_block + tail;
-                    let per_task = total / arrivals as f64;
-                    for _ in 0..arrivals {
-                        report.record_tct(slot_start, per_task);
-                        let tier = if degraded_local {
-                            0
-                        } else {
-                            self.deployment.tier_for_draw(rng.gen_range(0.0..1.0))?
-                        };
-                        report.record_tier(tier);
-                    }
-                    if let Some(tel) = &telemetry {
-                        for _ in 0..arrivals {
-                            tel.tct.record(per_task);
-                        }
-                    }
-                    slot.tct_sum += total;
-                    slot.tasks += arrivals;
-                }
-                report.record_offload(x);
-                report.record_queues(obs.q, obs.h);
-                slot.q_sum += obs.q;
-                slot.h_sum += obs.h;
-                slot.x_sum += x;
-
-                // Queue recursions (Eq. 10–11). A downed edge serves
-                // nothing (zero H-quota); its backlog waits out the fault.
-                let a = (1.0 - x) * arrivals as f64;
-                let d_off = x * arrivals as f64;
-                let edge_quota = if edge.up { cost.edge_quota(x) } else { 0.0 };
-                self.queues[i].step(a, d_off, cost.device_quota(), edge_quota);
-                let served =
-                    (obs.q + a - self.queues[i].q()) + (obs.h + d_off - self.queues[i].h());
-                report.record_service(arrivals, served);
+                kkt_allocation_with_floor(&flops, &means, run_ctx.scenario.edge_flops, SHARE_FLOOR);
+            SlotCtx {
+                slot_start,
+                t_slot: slot as u64,
+                means,
+                shares,
             }
+        };
 
+        let work = |_shard: usize, _slot: usize, ctx: &SlotCtx, sh: &mut ShardState| {
+            let mut outs = Vec::with_capacity(sh.devices.len());
+            for (k, st) in sh.devices.iter_mut().enumerate() {
+                outs.push(device_slot(&run_ctx, ctx, sh.start + k, st)?);
+            }
+            Ok(outs)
+        };
+
+        let apply = |slot: usize, shard_outs: Vec<Result<Vec<DeviceSlotOut>>>| {
+            let slot_start = SimTime::from_secs(slot as f64 * slot_len_s);
+            let mut acc = SlotAccumulator::default();
+            for outs in shard_outs {
+                for out in outs? {
+                    apply_out(
+                        &mut report,
+                        telemetry.as_ref(),
+                        replay_decisions,
+                        slot_start,
+                        &mut acc,
+                        &out,
+                    );
+                }
+            }
             if let Some(tel) = &telemetry {
                 let t = slot_start.as_secs();
-                if slot.tasks > 0 {
-                    tel.tct_mean.push(t, slot.tct_sum / slot.tasks as f64);
+                if acc.tasks > 0 {
+                    tel.tct_mean.push(t, acc.tct_sum / acc.tasks as f64);
                 }
-                tel.queue_q.push(t, slot.q_sum / n as f64);
-                tel.queue_h.push(t, slot.h_sum / n as f64);
-                tel.offload_x.push(t, slot.x_sum / n as f64);
+                tel.queue_q.push(t, acc.q_sum / n as f64);
+                tel.queue_h.push(t, acc.h_sum / n as f64);
+                tel.offload_x.push(t, acc.x_sum / n as f64);
+            }
+            Ok(())
+        };
+
+        let finals =
+            leime_par::run_rounds(shards, slots, make_ctx, work, apply).map_err(|e| match e {
+                RoundsError::Par(p) => LeimeError::from(p),
+                RoundsError::Apply(e) => e,
+            })?;
+
+        // Hand the advanced per-device state back so repeated runs and
+        // post-run diagnostics ([`SlottedSystem::queues`]) behave exactly
+        // as the sequential implementation always did.
+        for (i, st) in finals.into_iter().flat_map(|s| s.devices).enumerate() {
+            self.queues[i] = st.queue;
+            if let (Some(slot), Some(m)) = (self.mmpp.get_mut(i), st.mmpp) {
+                *slot = m;
             }
         }
         Ok(report)
     }
+}
+
+/// Builds the per-device bursty state machines for `Bursty` workloads.
+fn build_mmpp(scenario: &Scenario) -> Vec<Mmpp> {
+    match &scenario.workload {
+        WorkloadKind::Bursty {
+            burst_factor,
+            p_enter,
+            p_leave,
+            max,
+        } => scenario
+            .devices
+            .iter()
+            .map(|d| {
+                Mmpp::new(
+                    d.arrival_mean,
+                    d.arrival_mean * burst_factor,
+                    *p_enter,
+                    *p_leave,
+                    *max,
+                )
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Draws one device's slot arrivals from its own stream.
+fn draw_arrivals(
+    workload: &WorkloadKind,
+    mmpp: Option<&mut Mmpp>,
+    mean: f64,
+    rng: &mut StdRng,
+) -> u64 {
+    match workload {
+        WorkloadKind::Deterministic => SlotArrivals::Deterministic { k: mean }.draw(rng),
+        WorkloadKind::SlotPoisson { max } => SlotArrivals::Poisson { mean, max: *max }.draw(rng),
+        WorkloadKind::RateTrace { max, .. } => SlotArrivals::Poisson { mean, max: *max }.draw(rng),
+        WorkloadKind::Bursty { .. } => match mmpp {
+            Some(m) => m.draw(rng),
+            // Unreachable for validated scenarios (Bursty always builds
+            // per-device MMPPs); degrade to the stationary mean.
+            None => SlotArrivals::Deterministic { k: mean }.draw(rng),
+        },
+    }
+}
+
+/// Expected second/third-block completion tail per *surviving* task
+/// cohort in one slot (the paper's Y covers first-block costs only;
+/// blocks 2–3 are processed "fixedly" on edge and cloud).
+fn tail_cost(run: &RunCtx<'_>, s: SharedParams, cost: &SlotCost, x: f64, tasks: f64) -> f64 {
+    let dep = run.deployment;
+    let survivors1 = (1.0 - dep.sigma[0]) * tasks;
+    let survivors2 = (1.0 - dep.sigma[1]) * tasks;
+    let mut tail = 0.0;
+    if survivors1 > 0.0 && dep.mu[1] > 0.0 {
+        let f_e2 = (cost.p_share * s.edge_flops - cost.edge_first_block_flops(x)).max(0.0);
+        if f_e2 > 0.0 {
+            tail += survivors1 * dep.mu[1] / f_e2;
+        } else {
+            // No edge capacity for the second block: fall back to the
+            // whole share (pessimistic but finite).
+            tail += survivors1 * dep.mu[1] / (cost.p_share * s.edge_flops).max(f64::EPSILON);
+        }
+    }
+    if survivors2 > 0.0 {
+        tail += survivors2
+            * (dep.d[2] * 8.0 / run.scenario.cloud_bandwidth_bps
+                + run.scenario.cloud_latency_s
+                + dep.mu[2] / run.scenario.cloud_flops);
+    }
+    tail
+}
+
+/// Simulates one device-slot: the decentralized per-device solve plus
+/// queue recursion, touching nothing but this device's state. Safe to
+/// run concurrently across devices; all recording is deferred to
+/// [`apply_out`] on the driving thread.
+fn device_slot(
+    run: &RunCtx<'_>,
+    slot: &SlotCtx,
+    i: usize,
+    st: &mut DeviceState,
+) -> Result<DeviceSlotOut> {
+    let (link, edge, alive) = match run.schedule {
+        Some(s) => (
+            s.link_health(i, slot.slot_start),
+            s.edge_health(slot.slot_start),
+            s.device_alive(i, slot.slot_start),
+        ),
+        None => (LinkHealth::NOMINAL, EdgeHealth::NOMINAL, true),
+    };
+    if !alive {
+        // Churned out: the device is absent this slot — no arrivals, no
+        // service, frozen queues (Eq. 10–11 with all rates zero).
+        return Ok(DeviceSlotOut::Churned);
+    }
+    let fault = !link.is_nominal() || !edge.is_nominal();
+
+    let dev = DeviceParams {
+        arrival_mean: slot.means[i],
+        bandwidth_bps: run.scenario.bandwidth_at(i, slot.slot_start) * link.bandwidth_factor,
+        latency_s: run.scenario.devices[i].latency_s + link.extra_latency_s,
+        ..run.scenario.devices[i]
+    };
+    // Edge slowdown scales the server the whole fleet shares.
+    let shared_i = SharedParams {
+        edge_flops: run.shared.edge_flops * edge.speed_factor,
+        ..run.shared
+    };
+    let obs = SlotObservation {
+        q: st.queue.q(),
+        h: st.queue.h(),
+        p_share: slot.shares[i].clamp(0.0, 1.0),
+    };
+    let x_opt = run.decider.decide(shared_i, dev, obs);
+    let dpp = if run.want_dpp {
+        SlotCost::new(shared_i, dev, obs.q, obs.h, obs.p_share).drift_plus_penalty(x_opt)
+    } else {
+        0.0
+    };
+    let reachable = link.up && edge.up;
+    let outcome = st
+        .degrade
+        .degraded_decide(&run.scenario.degrade, slot.t_slot, reachable, x_opt);
+    let x = outcome.x;
+    // Any non-Normal mode forces x = 0: the slot's tasks run fully
+    // locally and take the First-exit on device.
+    let degraded_local = st.degrade.mode() != DegradeMode::Normal;
+    let arrivals = draw_arrivals(
+        &run.scenario.workload,
+        st.mmpp.as_mut(),
+        slot.means[i],
+        &mut st.rng,
+    );
+
+    // Realized per-slot cost with the actual arrival count.
+    let realized = DeviceParams {
+        arrival_mean: arrivals as f64,
+        ..dev
+    };
+    let cost = SlotCost::new(shared_i, realized, obs.q, obs.h, obs.p_share);
+    let (per_task, total, tiers) = if arrivals > 0 {
+        let first_block = cost.y(x);
+        let tail = if degraded_local {
+            0.0
+        } else {
+            tail_cost(run, shared_i, &cost, x, arrivals as f64)
+        };
+        let total = first_block + tail;
+        let per_task = total / arrivals as f64;
+        let mut tiers = Vec::with_capacity(arrivals as usize);
+        for _ in 0..arrivals {
+            let tier = if degraded_local {
+                0
+            } else {
+                run.deployment.tier_for_draw(st.rng.gen_range(0.0..1.0))?
+            };
+            tiers.push(tier);
+        }
+        (per_task, total, tiers)
+    } else {
+        (0.0, 0.0, Vec::new())
+    };
+
+    // Queue recursions (Eq. 10–11). A downed edge serves nothing (zero
+    // H-quota); its backlog waits out the fault.
+    let a = (1.0 - x) * arrivals as f64;
+    let d_off = x * arrivals as f64;
+    let edge_quota = if edge.up { cost.edge_quota(x) } else { 0.0 };
+    st.queue.step(a, d_off, cost.device_quota(), edge_quota);
+    let served = (obs.q + a - st.queue.q()) + (obs.h + d_off - st.queue.h());
+
+    Ok(DeviceSlotOut::Active(ActiveOut {
+        fault,
+        obs,
+        x_opt,
+        dpp,
+        outcome,
+        arrivals,
+        per_task,
+        total,
+        tiers,
+        served,
+    }))
+}
+
+/// Replays one device-slot's recordings, in exactly the order the
+/// historical sequential loop produced them.
+fn apply_out(
+    report: &mut RunReport,
+    telemetry: Option<&SlotTelemetry>,
+    replay_decisions: bool,
+    slot_start: SimTime,
+    acc: &mut SlotAccumulator,
+    out: &DeviceSlotOut,
+) {
+    let a = match out {
+        DeviceSlotOut::Churned => {
+            report.record_churn_slot();
+            return;
+        }
+        DeviceSlotOut::Active(a) => a,
+    };
+    if a.fault {
+        report.record_fault_slot();
+        if let Some(tel) = telemetry {
+            tel.ctrl.record_fault_slot();
+        }
+    }
+    if replay_decisions {
+        if let Some(tel) = telemetry {
+            tel.ctrl.record_decision(&a.obs, a.x_opt, a.dpp);
+        }
+    }
+    let x = a.outcome.x;
+    report.record_degrade(&a.outcome);
+    if let Some(tel) = telemetry {
+        tel.ctrl.record_degrade(&a.outcome);
+    }
+    if a.arrivals > 0 {
+        for &tier in &a.tiers {
+            report.record_tct(slot_start, a.per_task);
+            report.record_tier(tier);
+        }
+        if let Some(tel) = telemetry {
+            for _ in 0..a.arrivals {
+                tel.tct.record(a.per_task);
+            }
+        }
+        acc.tct_sum += a.total;
+        acc.tasks += a.arrivals;
+    }
+    report.record_offload(x);
+    report.record_queues(a.obs.q, a.obs.h);
+    acc.q_sum += a.obs.q;
+    acc.h_sum += a.obs.h;
+    acc.x_sum += x;
+    report.record_service(a.arrivals, a.served);
 }
 
 /// Fleet-wide sums over one slot, for the per-slot telemetry series.
@@ -375,6 +652,56 @@ mod tests {
         let b = run(ControllerKind::Lyapunov, 50, 42);
         assert_eq!(a.tasks(), b.tasks());
         assert!((a.mean_tct_s() - b.mean_tct_s()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn parallel_run_is_byte_identical_to_sequential() {
+        let mut s = Scenario::raspberry_pi_cluster(ModelKind::SqueezeNet, 5, 6.0);
+        s.controller = ControllerKind::Lyapunov;
+        let dep = s.deploy(ExitStrategy::Leime).unwrap();
+        let mut seq_sys = SlottedSystem::new(s.clone(), dep.clone()).unwrap();
+        let seq = seq_sys.run(60, 11).unwrap();
+        let seq_bytes = serde_json::to_string(&seq).unwrap();
+        for workers in [2usize, 3, 8] {
+            let mut par_sys = SlottedSystem::new(s.clone(), dep.clone()).unwrap();
+            let par = par_sys
+                .run_with_workers(60, 11, NonZeroUsize::new(workers).unwrap())
+                .unwrap();
+            assert_eq!(
+                seq_bytes,
+                serde_json::to_string(&par).unwrap(),
+                "workers = {workers} diverged from sequential"
+            );
+            // Post-run queue diagnostics must agree too.
+            for (a, b) in seq_sys.queues().iter().zip(par_sys.queues()) {
+                assert_eq!(a.q().to_bits(), b.q().to_bits());
+                assert_eq!(a.h().to_bits(), b.h().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_chaos_run_matches_sequential_with_telemetry() {
+        let s = Scenario::chaos_testbed(ModelKind::SqueezeNet, 5, 42, 60.0);
+        let dep = s.deploy(ExitStrategy::Leime).unwrap();
+        let snapshot = |workers: usize| {
+            let registry = Registry::new();
+            let mut sys = SlottedSystem::new(s.clone(), dep.clone()).unwrap();
+            sys.attach_registry(&registry, "par");
+            let report = sys
+                .run_with_workers(90, 7, NonZeroUsize::new(workers).unwrap())
+                .unwrap();
+            (
+                serde_json::to_string(&report).unwrap(),
+                serde_json::to_string(&registry.snapshot()).unwrap(),
+            )
+        };
+        let (seq_report, seq_tel) = snapshot(1);
+        for workers in [2usize, 4] {
+            let (par_report, par_tel) = snapshot(workers);
+            assert_eq!(seq_report, par_report, "report diverged at {workers}");
+            assert_eq!(seq_tel, par_tel, "telemetry diverged at {workers}");
+        }
     }
 
     #[test]

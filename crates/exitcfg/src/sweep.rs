@@ -1,0 +1,203 @@
+//! Parallel exit-setting sweeps.
+//!
+//! Calibration and the experiment harness repeatedly solve `P0` over a
+//! grid — model zoo × environment perturbations (Fig. 10's benchmark
+//! tables, the chaos sensitivity sweeps). Each cell is an independent
+//! branch-and-bound run, so the grid shards across workers through
+//! `leime-par` under the workspace determinism contract (DESIGN.md §11):
+//! static sharding, results reduced in cell order, no randomness. For
+//! every worker count, [`par_sweep`] returns exactly what [`seq_sweep`]
+//! returns — combos, costs *and* [`SearchStats`] — a property pinned by
+//! the `integration_par` golden tests.
+
+use std::num::NonZeroUsize;
+
+use leime_dnn::{DnnError, ExitCombo, ExitRates, ModelProfile};
+use leime_invariant as invariant;
+use leime_par::ParError;
+
+use crate::{branch_and_bound, CostModel, EnvParams, SearchStats};
+
+/// One cell of an exit-setting sweep: a profiled model, its exit rates,
+/// and the environment to solve `P0` in.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Profiled chain (layer FLOPS, activation sizes, exit classifiers).
+    pub profile: ModelProfile,
+    /// Cumulative exit rates for every candidate exit.
+    pub rates: ExitRates,
+    /// Device/edge/cloud environment for this cell.
+    pub env: EnvParams,
+    /// Solve with the offload-aware first leg
+    /// ([`CostModel::new_offload_aware`]) instead of the paper-faithful
+    /// Eq. 1–4 model.
+    pub offload_aware: bool,
+}
+
+impl SweepCell {
+    /// A paper-faithful cell (first block priced at device speed).
+    pub fn new(profile: ModelProfile, rates: ExitRates, env: EnvParams) -> Self {
+        SweepCell {
+            profile,
+            rates,
+            env,
+            offload_aware: false,
+        }
+    }
+}
+
+/// The optimum of one sweep cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepResult {
+    /// Optimal exit triple.
+    pub combo: ExitCombo,
+    /// Its expected completion time `T(E)` (Eq. 4).
+    pub cost: f64,
+    /// Branch-and-bound instrumentation (Theorem 2 evidence).
+    pub stats: SearchStats,
+}
+
+/// A failure during a sweep: either a cell was ill-formed or the
+/// parallel layer itself broke.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError {
+    /// A cell failed to solve (bad rates, tiny chain, invalid env).
+    Dnn(DnnError),
+    /// The parallel layer failed (shard panic, lost worker).
+    Par(ParError),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Dnn(e) => write!(f, "sweep cell failed: {e}"),
+            SweepError::Par(e) => write!(f, "sweep execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<DnnError> for SweepError {
+    fn from(e: DnnError) -> Self {
+        SweepError::Dnn(e)
+    }
+}
+
+impl From<ParError> for SweepError {
+    fn from(e: ParError) -> Self {
+        SweepError::Par(e)
+    }
+}
+
+/// Solves one cell (the unit of work both sweep drivers share).
+fn solve_cell(cell: &SweepCell) -> Result<SweepResult, DnnError> {
+    let cost = if cell.offload_aware {
+        CostModel::new_offload_aware(&cell.profile, &cell.rates, cell.env)?
+    } else {
+        CostModel::new(&cell.profile, &cell.rates, cell.env)?
+    };
+    let (combo, cost, stats) = branch_and_bound(&cost)?;
+    Ok(SweepResult { combo, cost, stats })
+}
+
+/// Sequential reference sweep: solves every cell in order.
+///
+/// # Errors
+///
+/// Returns the first cell failure ([`DnnError`]).
+pub fn seq_sweep(cells: &[SweepCell]) -> Result<Vec<SweepResult>, DnnError> {
+    cells.iter().map(solve_cell).collect()
+}
+
+/// Parallel sweep: shards `cells` across up to `workers` threads and
+/// returns results in cell order — identical (combo, cost, and
+/// [`SearchStats`]) to [`seq_sweep`] at every worker count.
+///
+/// # Errors
+///
+/// Returns [`SweepError::Dnn`] for the first ill-formed cell (lowest
+/// index, matching the sequential sweep's failure) and
+/// [`SweepError::Par`] if a worker shard fails.
+pub fn par_sweep(
+    cells: &[SweepCell],
+    workers: NonZeroUsize,
+) -> Result<Vec<SweepResult>, SweepError> {
+    let outs = leime_par::par_map_shards(cells, workers, |_, cell| solve_cell(cell))?;
+    let results: Vec<SweepResult> = outs.into_iter().collect::<Result<_, _>>()?;
+    for r in &results {
+        // Eq. 4 sanity on the reduced results (guard L5/S1: the parallel
+        // entry point re-checks what the per-cell solver promised).
+        invariant::check_finite_cost("exitcfg.sweep.total", r.cost);
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leime_dnn::{zoo, ExitSpec};
+    use leime_workload::ExitRateModel;
+
+    fn cells() -> Vec<SweepCell> {
+        let mut out = Vec::new();
+        for chain in zoo::cifar_models(10) {
+            let profile = ModelProfile::from_chain(&chain, ExitSpec::default()).unwrap();
+            let rates = ExitRateModel::cifar_like().rates_for_chain(&chain);
+            for env in [EnvParams::raspberry_pi(), EnvParams::jetson_nano()] {
+                out.push(SweepCell::new(profile.clone(), rates.clone(), env));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn par_matches_seq_at_every_worker_count() {
+        let cells = cells();
+        let seq = seq_sweep(&cells).unwrap();
+        for workers in [1usize, 2, 3, 8, 16] {
+            let par = par_sweep(&cells, NonZeroUsize::new(workers).unwrap()).unwrap();
+            assert_eq!(par.len(), seq.len());
+            for (i, (p, s)) in par.iter().zip(&seq).enumerate() {
+                assert_eq!(p.combo, s.combo, "cell {i} combo, workers {workers}");
+                assert_eq!(
+                    p.cost.to_bits(),
+                    s.cost.to_bits(),
+                    "cell {i} cost, workers {workers}"
+                );
+                assert_eq!(p.stats, s.stats, "cell {i} stats, workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn offload_aware_cells_solve_too() {
+        let mut cs = cells();
+        for c in &mut cs {
+            c.offload_aware = true;
+        }
+        let seq = seq_sweep(&cs).unwrap();
+        let par = par_sweep(&cs, NonZeroUsize::new(4).unwrap()).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (p, s) in par.iter().zip(&seq) {
+            assert_eq!(p.combo, s.combo);
+            assert_eq!(p.cost.to_bits(), s.cost.to_bits());
+        }
+    }
+
+    #[test]
+    fn bad_cell_surfaces_lowest_index_error() {
+        let mut cs = cells();
+        // Corrupt two cells; the parallel sweep must report the first.
+        cs[3].env.cloud_flops = -1.0;
+        cs[5].env.cloud_flops = -1.0;
+        let seq_err = seq_sweep(&cs).unwrap_err();
+        let par_err = par_sweep(&cs, NonZeroUsize::new(4).unwrap()).unwrap_err();
+        assert_eq!(SweepError::Dnn(seq_err), par_err);
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        assert!(par_sweep(&[], NonZeroUsize::MIN).unwrap().is_empty());
+    }
+}

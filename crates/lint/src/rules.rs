@@ -87,6 +87,8 @@ impl Default for RuleConfig {
                 "degraded_decide",
                 "transfer",
                 "submit",
+                // parallel sweep entry point (finite-cost guard)
+                "par_sweep",
             ]
             .iter()
             .map(|s| (*s).to_string())

@@ -36,6 +36,16 @@ pub trait OffloadController: Send + Sync + std::fmt::Debug {
     fn attach_telemetry(&mut self, telemetry: ControllerTelemetry) {
         let _ = telemetry;
     }
+
+    /// Whether this controller records per-decision telemetry from inside
+    /// [`OffloadController::decide`]. Drivers that fan decisions out to a
+    /// telemetry-free clone (the deterministic parallel runner) consult
+    /// this to know they must replay
+    /// [`ControllerTelemetry::record_decision`] themselves, in device
+    /// order, to stay byte-identical with the sequential path.
+    fn records_decisions(&self) -> bool {
+        false
+    }
 }
 
 /// LEIME's online controller: minimises the drift-plus-penalty objective.
@@ -79,6 +89,10 @@ impl OffloadController for LyapunovController {
 
     fn attach_telemetry(&mut self, telemetry: ControllerTelemetry) {
         self.telemetry = Some(telemetry);
+    }
+
+    fn records_decisions(&self) -> bool {
+        self.telemetry.is_some()
     }
 }
 

@@ -1,0 +1,95 @@
+//! Order-independent reduction helpers.
+//!
+//! Shard outputs arrive as one value per shard, already sorted by shard
+//! index (the pool guarantees it). These helpers fold such sequences
+//! into aggregate structures whose result provably does not depend on
+//! how items were cut into shards — the property the differential tests
+//! lean on. `BTreeMap` is the sanctioned aggregate container
+//! (determinism rule S2): its iteration order is key order, never
+//! insertion order, so merged snapshots serialize identically however
+//! the work was sharded.
+
+use std::collections::BTreeMap;
+
+/// Concatenates per-shard vectors in shard order.
+///
+/// With contiguous static shards this reassembles exactly the item
+/// order a sequential pass would have produced.
+pub fn concat_shards<T>(shards: Vec<Vec<T>>) -> Vec<T> {
+    let total = shards.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for shard in shards {
+        out.extend(shard);
+    }
+    out
+}
+
+/// Merges per-shard `BTreeMap`s in shard order, combining values that
+/// share a key with `combine(accumulated, incoming)`.
+///
+/// For commutative + associative `combine` (sums, counters, histogram
+/// bucket adds) the result is independent of the shard layout; for
+/// merely associative `combine` it is still deterministic because the
+/// fold order is shard order, which is itself deterministic.
+pub fn merge_btree_maps<K: Ord, V>(
+    shards: Vec<BTreeMap<K, V>>,
+    mut combine: impl FnMut(&mut V, V),
+) -> BTreeMap<K, V> {
+    let mut merged = BTreeMap::new();
+    for shard in shards {
+        for (k, v) in shard {
+            match merged.entry(k) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(v);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    combine(slot.get_mut(), v);
+                }
+            }
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn concat_restores_item_order() {
+        let shards = crate::shard::partition(11, 3)
+            .into_iter()
+            .map(|r| r.collect::<Vec<_>>())
+            .collect::<Vec<_>>();
+        assert_eq!(concat_shards(shards), (0..11).collect::<Vec<_>>());
+        assert_eq!(concat_shards::<u8>(Vec::new()), Vec::<u8>::new());
+    }
+
+    /// The merge law: splitting a key/value stream into shards by any
+    /// static partition and merging must equal the sequential fold.
+    fn sequential_fold(pairs: &[(u8, i64)]) -> BTreeMap<u8, i64> {
+        let mut m = BTreeMap::new();
+        for &(k, v) in pairs {
+            *m.entry(k).or_insert(0) += v;
+        }
+        m
+    }
+
+    proptest! {
+        #[test]
+        fn merge_is_partition_independent(
+            pairs in proptest::collection::vec((0u8..16, -100i64..100), 0..60),
+            workers in 1usize..9,
+        ) {
+            let expect = sequential_fold(&pairs);
+            let shard_maps: Vec<BTreeMap<u8, i64>> =
+                crate::shard::partition(pairs.len(), workers)
+                    .into_iter()
+                    .map(|r| sequential_fold(&pairs[r]))
+                    .collect();
+            let merged = merge_btree_maps(shard_maps, |acc, v| *acc += v);
+            prop_assert_eq!(merged, expect);
+        }
+    }
+}

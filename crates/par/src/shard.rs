@@ -1,0 +1,120 @@
+//! Static sharding: one deterministic partition of `0..n` per run.
+//!
+//! Shards are contiguous, ordered, non-empty index ranges whose sizes
+//! differ by at most one. The partition is a pure function of
+//! `(n_items, workers)` — no work stealing, no dynamic balancing — so a
+//! run's shard layout is reproducible and results can be reduced in
+//! shard-index order (which, for contiguous shards, *is* item order).
+
+use std::ops::Range;
+
+/// Splits `0..n_items` into at most `workers` contiguous, non-empty
+/// ranges covering every index exactly once, in ascending order.
+///
+/// Returns fewer than `workers` ranges when there are fewer items than
+/// workers (never an empty range), and an empty vector for zero items.
+/// `workers == 0` is treated as 1 rather than panicking — callers pass
+/// user-facing knobs straight through.
+pub fn partition(n_items: usize, workers: usize) -> Vec<Range<usize>> {
+    let workers = workers.max(1).min(n_items);
+    if n_items == 0 {
+        return Vec::new();
+    }
+    let base = n_items / workers;
+    let extra = n_items % workers;
+    let mut shards = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    for k in 0..workers {
+        // The first `extra` shards absorb one leftover item each.
+        let len = base + usize::from(k < extra);
+        shards.push(start..start + len);
+        start += len;
+    }
+    shards
+}
+
+/// The shard index that owns `item` under `partition(n_items, workers)`.
+///
+/// Returns `None` when `item >= n_items`. Mirrors [`partition`] exactly;
+/// pinned against it by a property test.
+pub fn owner_of(item: usize, n_items: usize, workers: usize) -> Option<usize> {
+    if item >= n_items {
+        return None;
+    }
+    let workers = workers.max(1).min(n_items);
+    let base = n_items / workers;
+    let extra = n_items % workers;
+    // The first `extra` shards have `base + 1` items.
+    let boundary = extra * (base + 1);
+    if item < boundary {
+        Some(item / (base + 1))
+    } else {
+        Some(extra + (item - boundary) / base.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_covers(n: usize, workers: usize) {
+        let shards = partition(n, workers);
+        // Non-empty, contiguous, ordered, complete.
+        let mut next = 0usize;
+        for r in &shards {
+            assert!(!r.is_empty(), "empty shard in partition({n}, {workers})");
+            assert_eq!(r.start, next, "gap/overlap in partition({n}, {workers})");
+            next = r.end;
+        }
+        assert_eq!(next, n, "partition({n}, {workers}) does not cover 0..{n}");
+        // Balanced: sizes differ by at most one.
+        if let (Some(max), Some(min)) = (
+            shards.iter().map(Range::len).max(),
+            shards.iter().map(Range::len).min(),
+        ) {
+            assert!(max - min <= 1, "unbalanced partition({n}, {workers})");
+        }
+    }
+
+    #[test]
+    fn uneven_partitions_lose_nothing() {
+        for n in 0..40 {
+            for workers in 0..10 {
+                assert_covers(n, workers);
+            }
+        }
+    }
+
+    #[test]
+    fn more_workers_than_items_caps_at_items() {
+        assert_eq!(partition(3, 8).len(), 3);
+        assert_eq!(partition(1, 8), vec![0..1]);
+    }
+
+    #[test]
+    fn zero_items_is_empty() {
+        assert!(partition(0, 4).is_empty());
+        assert!(partition(0, 0).is_empty());
+    }
+
+    #[test]
+    fn zero_workers_behaves_like_one() {
+        assert_eq!(partition(5, 0), partition(5, 1));
+        assert_eq!(partition(5, 1), vec![0..5]);
+    }
+
+    proptest! {
+        #[test]
+        fn partition_is_total_and_balanced(n in 0usize..500, workers in 0usize..20) {
+            assert_covers(n, workers);
+        }
+
+        #[test]
+        fn owner_matches_partition(n in 1usize..300, workers in 1usize..12, item in 0usize..300) {
+            let shards = partition(n, workers);
+            let expect = shards.iter().position(|r| r.contains(&item));
+            prop_assert_eq!(owner_of(item, n, workers), expect);
+        }
+    }
+}

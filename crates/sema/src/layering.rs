@@ -5,7 +5,7 @@
 //! | layer | crates |
 //! | ----- | ------ |
 //! | 0 | `leime-invariant`, `leime-telemetry` (leaf-like: no leime deps) |
-//! | 1 | `leime-tensor`, `leime-simnet`, `leime-sema` |
+//! | 1 | `leime-tensor`, `leime-simnet`, `leime-sema`, `leime-par` |
 //! | 2 | `leime-dnn`, `leime-lint` |
 //! | 3 | `leime-workload` |
 //! | 4 | `leime-inference`, `leime-exitcfg`, `leime-chaos`, `leime-offload` |
@@ -38,7 +38,7 @@ use std::path::Path;
 /// The intended layering, lowest first. Rank = index in this table.
 pub const LAYERS: &[&[&str]] = &[
     &["leime-invariant", "leime-telemetry"],
-    &["leime-tensor", "leime-simnet", "leime-sema"],
+    &["leime-tensor", "leime-simnet", "leime-sema", "leime-par"],
     &["leime-dnn", "leime-lint"],
     &["leime-workload"],
     &[

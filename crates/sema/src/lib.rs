@@ -93,6 +93,7 @@ impl Default for SemaConfig {
                 "degraded_decide",
                 "transfer",
                 "submit",
+                "par_sweep",
             ]
             .iter()
             .map(|s| (*s).to_string())
@@ -104,6 +105,7 @@ impl Default for SemaConfig {
                 "crates/telemetry/src".to_string(),
                 "crates/simnet/src".to_string(),
                 "crates/core/src".to_string(),
+                "crates/par/src".to_string(),
             ],
             unit_path_markers: vec![
                 "crates/exitcfg/src".to_string(),

@@ -124,11 +124,7 @@ pub mod channel {
                 if self.inner.senders.load(Ordering::SeqCst) == 0 {
                     return Err(RecvError);
                 }
-                q = self
-                    .inner
-                    .ready
-                    .wait(q)
-                    .unwrap_or_else(|e| e.into_inner());
+                q = self.inner.ready.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         }
 

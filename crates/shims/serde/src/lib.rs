@@ -173,7 +173,11 @@ impl<A: Serialize, B: Serialize> Serialize for (A, B) {
 
 impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     fn to_value(&self) -> Value {
-        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
     }
 }
 
@@ -236,7 +240,10 @@ impl Deserialize for f64 {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
             Value::Number(n) => Ok(n.as_f64()),
-            other => Err(DeError::custom(format!("expected number, found {}", other.kind()))),
+            other => Err(DeError::custom(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -251,7 +258,10 @@ impl Deserialize for bool {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
             Value::Bool(b) => Ok(*b),
-            other => Err(DeError::custom(format!("expected bool, found {}", other.kind()))),
+            other => Err(DeError::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -260,7 +270,10 @@ impl Deserialize for String {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
             Value::String(s) => Ok(s.clone()),
-            other => Err(DeError::custom(format!("expected string, found {}", other.kind()))),
+            other => Err(DeError::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -287,7 +300,10 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
             Value::Array(items) => items.iter().map(T::from_value).collect(),
-            other => Err(DeError::custom(format!("expected array, found {}", other.kind()))),
+            other => Err(DeError::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -315,7 +331,10 @@ fn tuple_slice<'v>(v: &'v Value, n: usize) -> Result<&'v [Value], DeError> {
             "expected array of length {n}, found {}",
             items.len()
         ))),
-        other => Err(DeError::custom(format!("expected array, found {}", other.kind()))),
+        other => Err(DeError::custom(format!(
+            "expected array, found {}",
+            other.kind()
+        ))),
     }
 }
 
@@ -329,7 +348,11 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
 impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         let s = tuple_slice(v, 3)?;
-        Ok((A::from_value(&s[0])?, B::from_value(&s[1])?, C::from_value(&s[2])?))
+        Ok((
+            A::from_value(&s[0])?,
+            B::from_value(&s[1])?,
+            C::from_value(&s[2])?,
+        ))
     }
 }
 

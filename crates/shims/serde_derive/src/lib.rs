@@ -33,8 +33,14 @@ struct Variant {
 }
 
 enum Item {
-    Struct { name: String, fields: Fields },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 fn compile_error(msg: &str) -> TokenStream {
@@ -138,7 +144,11 @@ fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<Field>, String> {
         i += 1;
         match &toks[i] {
             TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
-            other => return Err(format!("expected `:` after field `{name}`, found `{other}`")),
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found `{other}`"
+                ))
+            }
         }
         // Skip the type: consume until a top-level comma.
         let mut angle = 0i32;
@@ -189,7 +199,11 @@ fn parse_variants(group: &proc_macro::Group) -> Result<Vec<Variant>, String> {
         match toks.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
             None => {}
-            Some(other) => return Err(format!("expected `,` after variant `{name}`, found `{other}`")),
+            Some(other) => {
+                return Err(format!(
+                    "expected `,` after variant `{name}`, found `{other}`"
+                ))
+            }
         }
         variants.push(Variant { name, fields });
     }
@@ -212,7 +226,9 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     };
     i += 1;
     if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
-        return Err(format!("serde shim derive does not support generic type `{name}`"));
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
     }
     match kind.as_str() {
         "struct" => match toks.get(i) {
@@ -376,7 +392,9 @@ fn generate_deserialize(item: &Item) -> String {
             Fields::Tuple(n) => {
                 let mut elems = String::new();
                 for i in 0..*n {
-                    elems.push_str(&format!("::serde::Deserialize::from_value(&__items[{i}])?,"));
+                    elems.push_str(&format!(
+                        "::serde::Deserialize::from_value(&__items[{i}])?,"
+                    ));
                 }
                 format!(
                     "let __items = match __v {{ \

@@ -71,7 +71,10 @@ fn parse_value(s: &str) -> Result<Value, Error> {
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::custom(format!("trailing characters at byte {}", p.pos)));
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
     }
     Ok(v)
 }
@@ -115,7 +118,10 @@ impl<'a> Parser<'a> {
     }
 
     fn value(&mut self) -> Result<Value, Error> {
-        match self.peek().ok_or_else(|| self.err("unexpected end of input"))? {
+        match self
+            .peek()
+            .ok_or_else(|| self.err("unexpected end of input"))?
+        {
             b'{' => self.object(),
             b'[' => self.array(),
             b'"' => self.string().map(Value::String),

@@ -1,0 +1,421 @@
+//! Differential tests for the deterministic parallel layer (`leime-par`,
+//! DESIGN.md §11): for every seed and worker count, the parallel slotted
+//! runner and the parallel exit-setting sweep must produce **byte
+//! identical** output to their sequential references — reports, telemetry
+//! snapshots, post-run queue states, combos, costs and search statistics.
+//! Plus the Theorem-2 statistical check: the branch-and-bound search cost
+//! stays `O(m ln m)`-shaped on random monotone chains while agreeing with
+//! the exhaustive optimum.
+
+use std::num::NonZeroUsize;
+
+use leime::{
+    ChaosConfig, ControllerKind, ExitStrategy, FaultModel, ModelKind, Scenario, SlottedSystem,
+    WorkloadKind,
+};
+use leime_dnn::{zoo, DnnChain, ExitRates, ExitSpec, Layer, LayerKind, ModelProfile};
+use leime_exitcfg::{
+    branch_and_bound, exhaustive, par_sweep, seq_sweep, CostModel, EnvParams, SweepCell,
+};
+use leime_telemetry::Registry;
+use leime_workload::ExitRateModel;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const RUN_SEED: u64 = 29;
+
+/// Worker counts every differential case is checked at (1 doubles as a
+/// sanity check that `run_with_workers(…, 1)` is the sequential path).
+const WORKER_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+fn w(n: usize) -> NonZeroUsize {
+    NonZeroUsize::new(n).expect("worker counts are non-zero")
+}
+
+/// Builds a chaos config from generated parameters (the
+/// `integration_chaos` generator, trimmed: at least one model active).
+fn generated_chaos(seed: u64, mask: u8, duty: f64, mean_s: f64) -> ChaosConfig {
+    let mut models = Vec::new();
+    if mask & 1 != 0 {
+        models.push(FaultModel::LinkFlaps {
+            duty,
+            mean_outage_s: mean_s,
+        });
+    }
+    if mask & 2 != 0 {
+        models.push(FaultModel::BandwidthCollapse {
+            duty,
+            factor: 0.25,
+            mean_episode_s: mean_s,
+        });
+    }
+    if mask & 4 != 0 {
+        models.push(FaultModel::EdgeBrownout {
+            duty,
+            factor: 0.5,
+            mean_episode_s: mean_s,
+        });
+    }
+    if mask & 8 != 0 {
+        models.push(FaultModel::EdgeOutages {
+            duty,
+            mean_outage_s: mean_s,
+        });
+    }
+    if models.is_empty() {
+        models.push(FaultModel::LinkFlaps {
+            duty,
+            mean_outage_s: mean_s,
+        });
+    }
+    ChaosConfig {
+        seed,
+        models,
+        window_s: Some(40.0),
+    }
+}
+
+fn controller_for(selector: u8) -> ControllerKind {
+    match selector % 5 {
+        0 => ControllerKind::Lyapunov,
+        1 => ControllerKind::DeviceOnly,
+        2 => ControllerKind::EdgeOnly,
+        3 => ControllerKind::CapabilityBased,
+        _ => ControllerKind::Fixed(0.3),
+    }
+}
+
+fn workload_for(selector: u8) -> WorkloadKind {
+    match selector % 3 {
+        0 => WorkloadKind::SlotPoisson { max: 40 },
+        1 => WorkloadKind::Deterministic,
+        _ => WorkloadKind::Bursty {
+            burst_factor: 2.5,
+            p_enter: 0.2,
+            p_leave: 0.3,
+            max: 60,
+        },
+    }
+}
+
+/// One generated differential scenario.
+struct Case {
+    devices: usize,
+    arrival: f64,
+    controller: u8,
+    workload: u8,
+    chaos: Option<(u64, u8, f64, f64)>,
+}
+
+fn build_scenario(case: &Case) -> Scenario {
+    let mut s = Scenario::raspberry_pi_cluster(ModelKind::SqueezeNet, case.devices, case.arrival);
+    s.controller = controller_for(case.controller);
+    s.workload = workload_for(case.workload);
+    s.chaos = case
+        .chaos
+        .map(|(seed, mask, duty, mean_s)| generated_chaos(seed, mask, duty, mean_s));
+    s
+}
+
+/// The §11 contract, asserted: serialized report, telemetry snapshot and
+/// post-run queue states from `run_with_workers(…, N)` are byte-identical
+/// to the sequential run for every `N`.
+fn assert_workers_byte_identical(scenario: &Scenario, slots: usize, seed: u64) {
+    let dep = scenario.deploy(ExitStrategy::Leime).unwrap();
+    let run = |workers: usize| {
+        let registry = Registry::new();
+        let mut sys = SlottedSystem::new(scenario.clone(), dep.clone()).unwrap();
+        sys.attach_registry(&registry, "par");
+        let report = sys.run_with_workers(slots, seed, w(workers)).unwrap();
+        let queues: Vec<(u64, u64)> = sys
+            .queues()
+            .iter()
+            .map(|qp| (qp.q().to_bits(), qp.h().to_bits()))
+            .collect();
+        (
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&registry.snapshot()).unwrap(),
+            queues,
+        )
+    };
+
+    // The sequential reference is the plain `run` path.
+    let (seq_report, seq_tel, seq_queues) = {
+        let registry = Registry::new();
+        let mut sys = SlottedSystem::new(scenario.clone(), dep.clone()).unwrap();
+        sys.attach_registry(&registry, "par");
+        let report = sys.run(slots, seed).unwrap();
+        let queues: Vec<(u64, u64)> = sys
+            .queues()
+            .iter()
+            .map(|qp| (qp.q().to_bits(), qp.h().to_bits()))
+            .collect();
+        (
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&registry.snapshot()).unwrap(),
+            queues,
+        )
+    };
+
+    for workers in WORKER_COUNTS {
+        let (report, tel, queues) = run(workers);
+        assert_eq!(
+            seq_report,
+            report,
+            "RunReport diverged at {workers} workers ({} devices, {slots} slots)",
+            scenario.devices.len()
+        );
+        assert_eq!(
+            seq_tel, tel,
+            "telemetry snapshot diverged at {workers} workers"
+        );
+        assert_eq!(
+            seq_queues, queues,
+            "post-run queue states diverged at {workers} workers"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary fleet × workload × controller × optional chaos: the
+    /// parallel slotted run is byte-identical to sequential at every
+    /// worker count.
+    #[test]
+    fn parallel_slotted_run_is_byte_identical_to_sequential(
+        devices in 1usize..65,
+        slots in 1usize..201,
+        arrival in 1.0f64..10.0,
+        controller in 0u8..5,
+        workload in 0u8..3,
+        with_chaos in 0u8..2,
+        chaos_seed in 0u64..1_000_000,
+        mask in 1u8..16,
+        duty in 0.05f64..0.6,
+        mean_s in 0.5f64..15.0,
+    ) {
+        let case = Case {
+            devices,
+            arrival,
+            controller,
+            workload,
+            chaos: (with_chaos == 1).then_some((chaos_seed, mask, duty, mean_s)),
+        };
+        assert_workers_byte_identical(&build_scenario(&case), slots, RUN_SEED);
+    }
+}
+
+/// Pinned regression cases for the property above. The vendored proptest
+/// shim does not replay `.proptest-regressions` files, so the corpus in
+/// `integration_par.proptest-regressions` is mirrored here explicitly;
+/// keep the two in sync when adding cases.
+#[test]
+fn parallel_differential_pinned_regressions() {
+    // Full-width fleet (devices > max shard count) under a compound
+    // chaos schedule with the telemetry-recording Lyapunov controller:
+    // the hardest replay-ordering case (decision + degrade + fault
+    // series interleaved across 64 device streams).
+    assert_workers_byte_identical(
+        &build_scenario(&Case {
+            devices: 64,
+            arrival: 6.0,
+            controller: 0,
+            workload: 0,
+            chaos: Some((906_617, 15, 0.59, 14.5)),
+        }),
+        120,
+        RUN_SEED,
+    );
+    // Single device: every worker count collapses to one shard; the
+    // bursty MMPP state machine must advance identically inline and
+    // under the pool.
+    assert_workers_byte_identical(
+        &build_scenario(&Case {
+            devices: 1,
+            arrival: 3.0,
+            controller: 2,
+            workload: 2,
+            chaos: None,
+        }),
+        200,
+        RUN_SEED,
+    );
+    // Shard-count boundary (devices = 7 against workers ∈ {2, 3, 8}):
+    // uneven partitions plus an edge-outage-only schedule exercising the
+    // churn/fault replay paths with a non-recording controller.
+    assert_workers_byte_identical(
+        &build_scenario(&Case {
+            devices: 7,
+            arrival: 8.0,
+            controller: 4,
+            workload: 1,
+            chaos: Some((7, 8, 0.5, 3.0)),
+        }),
+        150,
+        RUN_SEED,
+    );
+}
+
+/// The six-model zoo at its native input sizes (as in `integration_chaos`).
+fn full_zoo() -> Vec<DnnChain> {
+    let mut chains = zoo::cifar_models(10);
+    chains.push(zoo::alexnet(224, 1000));
+    chains.push(zoo::mobilenet_v1(224, 1000));
+    chains
+}
+
+/// Fault-perturbed views of an environment (nominal, bandwidth collapse,
+/// edge brownout, compound worst case — per base tier).
+fn env_grid() -> Vec<EnvParams> {
+    let mut envs = Vec::new();
+    for base in [EnvParams::raspberry_pi(), EnvParams::jetson_nano()] {
+        envs.push(base);
+        envs.push(base.with_edge_link(base.edge_bandwidth_bps * 0.25, base.edge_latency_s + 0.05));
+        envs.push(base.with_edge_scale(0.4));
+        envs.push(
+            base.with_edge_link(base.edge_bandwidth_bps * 0.1, base.edge_latency_s + 0.2)
+                .with_edge_scale(0.5),
+        );
+    }
+    envs
+}
+
+/// Golden parallel sweep: `par_sweep` over the zoo × fault-perturbed
+/// environment grid (both cost-model variants) returns exactly what
+/// `seq_sweep` returns — combo, bit-identical cost, and `SearchStats` —
+/// at every worker count.
+#[test]
+fn par_sweep_matches_seq_sweep_across_zoo_and_fault_grid() {
+    let mut cells = Vec::new();
+    for chain in full_zoo() {
+        let profile = ModelProfile::from_chain(&chain, ExitSpec::default()).unwrap();
+        let rates = ExitRateModel::cifar_like().rates_for_chain(&chain);
+        for env in env_grid() {
+            cells.push(SweepCell::new(profile.clone(), rates.clone(), env));
+            let mut aware = SweepCell::new(profile.clone(), rates.clone(), env);
+            aware.offload_aware = true;
+            cells.push(aware);
+        }
+    }
+    let seq = seq_sweep(&cells).unwrap();
+    assert_eq!(seq.len(), cells.len());
+    for workers in [2usize, 5, 16] {
+        let par = par_sweep(&cells, w(workers)).unwrap();
+        assert_eq!(par.len(), seq.len(), "{workers} workers lost cells");
+        for (i, (p, s)) in par.iter().zip(&seq).enumerate() {
+            assert_eq!(
+                p.combo, s.combo,
+                "cell {i}: combo diverged at {workers} workers"
+            );
+            assert_eq!(
+                p.cost.to_bits(),
+                s.cost.to_bits(),
+                "cell {i}: cost diverged at {workers} workers"
+            );
+            assert_eq!(
+                p.stats, s.stats,
+                "cell {i}: SearchStats diverged at {workers} workers"
+            );
+        }
+    }
+}
+
+/// Random chain with log-uniform layer costs and shrinking activations
+/// (the `theorem2_complexity` generator).
+fn random_profile(m: usize, rng: &mut StdRng) -> ModelProfile {
+    let layers: Vec<Layer> = (0..m)
+        .map(|i| Layer {
+            name: format!("l{i}"),
+            kind: LayerKind::Conv,
+            flops: 10f64.powf(rng.gen_range(7.0..9.5)),
+            out_channels: rng.gen_range(16..512),
+            out_h: (64 >> (i * 6 / m)).max(1),
+            out_w: (64 >> (i * 6 / m)).max(1),
+        })
+        .collect();
+    let chain = DnnChain::new("synthetic", 3, 64, 64, 10, layers).unwrap();
+    ModelProfile::from_chain(&chain, ExitSpec::default()).unwrap()
+}
+
+/// Random monotone cumulative exit rates (sorted, last pinned to 1).
+fn random_rates(m: usize, rng: &mut StdRng) -> ExitRates {
+    let mut v: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0..1.0)).collect();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    v[m - 1] = 1.0;
+    ExitRates::new(v).unwrap()
+}
+
+/// Theorem 2, statistically: on random monotone-rate chains the
+/// branch-and-bound's average evaluation count tracks `m·ln m` (ratio in
+/// a pinned band, measured ≈ 0.5–1.1 over m ∈ 8…512 at 50 trials) and
+/// decisively beats the exhaustive `~m²/2` combo count — while returning
+/// the exhaustive search's optimum every single time.
+#[test]
+fn theorem2_search_cost_is_subquadratic_and_optimal_on_random_chains() {
+    const TRIALS: usize = 12;
+    // Band for avg_evals / (m·ln m), with margin around the measured
+    // 0.49–1.12; a quadratic search would sit at m / (2 ln m) ≈ 6.6
+    // already at m = 64.
+    const BAND: (f64, f64) = (0.2, 3.0);
+    let mut rng = StdRng::seed_from_u64(1729);
+    for m in [8usize, 16, 32, 64, 128] {
+        let mut total_evals = 0u64;
+        for _ in 0..TRIALS {
+            let profile = random_profile(m, &mut rng);
+            let rates = random_rates(m, &mut rng);
+            let env = EnvParams::raspberry_pi()
+                .with_edge_link(10f64.powf(rng.gen_range(6.0..8.0)), rng.gen_range(0.0..0.2));
+            let cost = CostModel::new(&profile, &rates, env).unwrap();
+            let (bb_combo, bb_cost, stats) = branch_and_bound(&cost).unwrap();
+            total_evals += stats.total_evals();
+
+            // Agreement with the exhaustive optimum on every instance.
+            let (ex_combo, ex_cost) = exhaustive(&cost).unwrap();
+            assert_eq!(bb_combo, ex_combo, "m = {m}: optimum diverged");
+            assert!(
+                (bb_cost - ex_cost).abs() <= 1e-9 * ex_cost.max(1.0),
+                "m = {m}: bb cost {bb_cost} != exhaustive {ex_cost}"
+            );
+        }
+        let avg = total_evals as f64 / TRIALS as f64;
+        let mlnm = m as f64 * (m as f64).ln();
+        let ratio = avg / mlnm;
+        assert!(
+            (BAND.0..=BAND.1).contains(&ratio),
+            "m = {m}: avg evals {avg:.1} is {ratio:.3}× m·ln m, outside {BAND:?}"
+        );
+        // Sub-quadratic in absolute terms too: under a quarter of the
+        // exhaustive (m-1)(m-2)/2 combo count from m = 64 up (measured
+        // ≤ 0.10 there).
+        if m >= 64 {
+            let exhaustive_combos = ((m - 1) * (m - 2)) as f64 / 2.0;
+            assert!(
+                avg < 0.25 * exhaustive_combos,
+                "m = {m}: avg evals {avg:.1} not clearly sub-quadratic \
+                 (exhaustive would be {exhaustive_combos:.0})"
+            );
+        }
+    }
+}
+
+/// The parallel layer must not disturb repeated-run semantics: a second
+/// `run_with_workers` on the same system continues from the advanced
+/// queue states exactly as a second sequential `run` does.
+#[test]
+fn repeated_parallel_runs_continue_from_advanced_state() {
+    let scenario = Scenario::raspberry_pi_cluster(ModelKind::SqueezeNet, 6, 5.0);
+    let dep = scenario.deploy(ExitStrategy::Leime).unwrap();
+
+    let mut seq_sys = SlottedSystem::new(scenario.clone(), dep.clone()).unwrap();
+    let seq_a = serde_json::to_string(&seq_sys.run(60, 3).unwrap()).unwrap();
+    let seq_b = serde_json::to_string(&seq_sys.run(60, 4).unwrap()).unwrap();
+
+    let mut par_sys = SlottedSystem::new(scenario, dep).unwrap();
+    let par_a = serde_json::to_string(&par_sys.run_with_workers(60, 3, w(4)).unwrap()).unwrap();
+    let par_b = serde_json::to_string(&par_sys.run_with_workers(60, 4, w(3)).unwrap()).unwrap();
+
+    assert_eq!(seq_a, par_a, "first run diverged");
+    assert_eq!(seq_b, par_b, "second run (from advanced state) diverged");
+}
