@@ -3,8 +3,13 @@
 //! Times the 64-device reference scenario sequentially and under
 //! `leime-par` sharding, verifies the outputs are byte-identical (the
 //! DESIGN.md §11 contract — a perf number from a diverging run would be
-//! meaningless), and writes `BENCH_par.json` (schema `leime-bench/1`)
-//! for CI to archive.
+//! meaningless), and appends the run to `BENCH_par.json` (schema
+//! `leime-bench/1`) for CI to archive.
+//!
+//! The artifact is a *history*: `{"runs": [...]}` with one record per
+//! invocation, keyed by git revision and a monotonically increasing run
+//! id, so perf drift across commits stays visible. A pre-history
+//! single-record file is migrated in place on the next run.
 //!
 //! ```text
 //! cargo run --release -p leime-bench --bin perf_baseline -- --workers 1,2,4
@@ -192,9 +197,9 @@ fn main() {
         );
     }
 
+    let mut history = load_history(&args.json);
     let record = serde_json::json!({
-        "schema": "leime-bench/1",
-        "bench": "perf_baseline",
+        "run": history.len() + 1,
         "git_rev": git_rev(),
         "devices": args.devices,
         "slots": args.slots,
@@ -207,10 +212,53 @@ fn main() {
         "best_speedup": best_speedup,
         "soft_speedup_floor": SOFT_SPEEDUP_FLOOR,
     });
-    let pretty = serde_json::to_string_pretty(&record).expect("record serializes");
-    if let Err(e) = std::fs::write(&args.json, &pretty) {
+    history.push(record);
+    let doc = serde_json::json!({
+        "schema": "leime-bench/1",
+        "bench": "perf_baseline",
+        "runs": history,
+    });
+    let pretty = serde_json::to_string_pretty(&doc).expect("record serializes");
+    if let Err(e) = std::fs::write(&args.json, pretty + "\n") {
         eprintln!("write {}: {e}", args.json.display());
         std::process::exit(1);
     }
-    println!("baseline written to {}", args.json.display());
+    println!(
+        "baseline appended to {} ({} run(s) on record)",
+        args.json.display(),
+        doc["runs"].as_array().map_or(0, Vec::len)
+    );
+}
+
+/// Prior runs from `path`: the current `runs` history if present, a
+/// migrated pre-history single record, or empty for a missing /
+/// unreadable file (the artifact is regenerable, so a corrupt history
+/// warns and restarts rather than blocking the run).
+fn load_history(path: &std::path::Path) -> Vec<serde_json::Value> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(serde_json::Value::Object(mut doc)) = serde_json::from_str::<serde_json::Value>(&text)
+    else {
+        eprintln!(
+            "WARN: {} is not a JSON object — starting a fresh history",
+            path.display()
+        );
+        return Vec::new();
+    };
+    if let Some(serde_json::Value::Array(runs)) = doc.remove("runs") {
+        return runs;
+    }
+    // Pre-history layout: the whole file was one run record.
+    if doc.get("sequential").is_some() {
+        doc.remove("schema");
+        doc.remove("bench");
+        doc.insert("run".to_string(), serde_json::json!(1));
+        return vec![serde_json::Value::Object(doc)];
+    }
+    eprintln!(
+        "WARN: {} has an unrecognized layout — starting a fresh history",
+        path.display()
+    );
+    Vec::new()
 }

@@ -71,7 +71,7 @@ pub use error::LeimeError;
 pub use model::ModelKind;
 pub use report::{FaultStats, RunReport, TierCounts};
 pub use scenario::{ControllerKind, Scenario, WorkloadKind};
-pub use slotted::SlottedSystem;
+pub use slotted::{SlottedSystem, SHARE_FLOOR};
 pub use tasksim::TaskSim;
 
 /// Convenience alias for results returned by this crate.

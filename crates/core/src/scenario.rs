@@ -239,8 +239,10 @@ impl Scenario {
     }
 
     /// Effective bandwidth of device `i` at time `t` under the optional
-    /// bandwidth trace.
-    pub(crate) fn bandwidth_at(&self, i: usize, t: leime_simnet::SimTime) -> f64 {
+    /// bandwidth trace. Public so request-level runtimes layered on this
+    /// scenario (`leime-serving`) price transfers consistently with the
+    /// slotted system.
+    pub fn bandwidth_at(&self, i: usize, t: leime_simnet::SimTime) -> f64 {
         let base = self.devices[i].bandwidth_bps;
         match &self.bandwidth_scale {
             Some(trace) => base * trace.value_at(t),

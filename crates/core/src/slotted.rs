@@ -17,8 +17,9 @@ use crate::{Deployment, LeimeError, Result, RunReport, Scenario, WorkloadKind};
 
 /// Minimum edge share handed to any device with positive demand: every
 /// device's second block runs on its share, so a zero share would starve
-/// it (see `kkt_allocation_with_floor`).
-pub(crate) const SHARE_FLOOR: f64 = 1e-3;
+/// it (see `kkt_allocation_with_floor`). Public so runtimes layered on
+/// this system (`leime-serving`) allocate shares identically.
+pub const SHARE_FLOOR: f64 = 1e-3;
 
 /// The paper's slotted queueing system (§III-D): per-slot arrivals, an
 /// offloading decision per device, queue recursions (Eq. 10–11), and the

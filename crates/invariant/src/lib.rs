@@ -177,6 +177,24 @@ pub fn check_drained(label: &str, backlog: f64, envelope: f64) -> f64 {
     backlog
 }
 
+/// Eq. 10–11 stability bound as a *decision predicate*: whether a
+/// predicted next-slot backlog stays within `bound` (with the usual
+/// boundary slop [`TOL`]).
+///
+/// Unlike the guards above this never panics — admission control asks
+/// it *before* admitting load, so out-of-bound inputs are an expected
+/// answer ("shed"), not a broken analysis. Callers that then admit
+/// anyway should still route the admitted value through
+/// [`check_nonneg`] / [`violation`].
+#[inline]
+#[must_use]
+pub fn within_bound(predicted: f64, bound: f64) -> bool {
+    if active() {
+        tick();
+    }
+    predicted.is_finite() && bound.is_finite() && predicted <= bound + TOL
+}
+
 /// Theorem 1 hypothesis — cumulative exit rates must be non-decreasing
 /// (this monotonicity is what makes the branch-and-bound pruning sound).
 #[inline]
@@ -236,6 +254,17 @@ mod tests {
         assert_eq!(check_finite_cost("t", 1.25), 1.25);
         assert_eq!(check_interval("t", 0.0, 1.0), (0.0, 1.0));
         assert_eq!(check_drained("t", 2.0, 5.0), 2.0);
+    }
+
+    #[test]
+    fn within_bound_is_a_predicate_not_a_guard() {
+        assert!(within_bound(3.0, 5.0));
+        assert!(within_bound(5.0 + 0.5 * TOL, 5.0));
+        assert!(!within_bound(5.1, 5.0));
+        // Non-finite inputs answer "no" instead of panicking.
+        assert!(!within_bound(f64::NAN, 5.0));
+        assert!(!within_bound(f64::INFINITY, 5.0));
+        assert!(!within_bound(3.0, f64::NAN));
     }
 
     #[test]

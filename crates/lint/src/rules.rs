@@ -68,6 +68,7 @@ impl Default for RuleConfig {
                 "crates/offload/src".to_string(),
                 "crates/exitcfg/src".to_string(),
                 "crates/chaos/src".to_string(),
+                "crates/serving/src".to_string(),
             ],
             guarded_fn_names: [
                 "kkt_allocation",
@@ -89,6 +90,9 @@ impl Default for RuleConfig {
                 "submit",
                 // parallel sweep entry point (finite-cost guard)
                 "par_sweep",
+                // serving admission + exit-steering entry points
+                "admit",
+                "steer_exits",
             ]
             .iter()
             .map(|s| (*s).to_string())

@@ -10,7 +10,8 @@
 //! | 3 | `leime-workload` |
 //! | 4 | `leime-inference`, `leime-exitcfg`, `leime-chaos`, `leime-offload` |
 //! | 5 | `leime` (core) |
-//! | 6 | `leime-bench` |
+//! | 6 | `leime-serving` |
+//! | 7 | `leime-bench` |
 //!
 //! Every `[dependencies]` edge must point to a *strictly lower* layer —
 //! that single check implies acyclicity, keeps `core` off `bench`, and
@@ -48,6 +49,7 @@ pub const LAYERS: &[&[&str]] = &[
         "leime-offload",
     ],
     &["leime"],
+    &["leime-serving"],
     &["leime-bench"],
 ];
 
@@ -356,7 +358,8 @@ mod tests {
     fn rank_table_matches_reality_spot_checks() {
         assert_eq!(rank_of("leime-invariant"), Some(0));
         assert_eq!(rank_of("leime"), Some(5));
-        assert_eq!(rank_of("leime-bench"), Some(6));
+        assert_eq!(rank_of("leime-serving"), Some(6));
+        assert_eq!(rank_of("leime-bench"), Some(7));
         assert_eq!(rank_of("not-a-crate"), None);
     }
 }

@@ -75,6 +75,7 @@ impl Default for SemaConfig {
                 "crates/offload/src".to_string(),
                 "crates/exitcfg/src".to_string(),
                 "crates/chaos/src".to_string(),
+                "crates/serving/src".to_string(),
             ],
             guarded_fn_names: [
                 "kkt_allocation",
@@ -94,6 +95,8 @@ impl Default for SemaConfig {
                 "transfer",
                 "submit",
                 "par_sweep",
+                "admit",
+                "steer_exits",
             ]
             .iter()
             .map(|s| (*s).to_string())
@@ -106,6 +109,7 @@ impl Default for SemaConfig {
                 "crates/simnet/src".to_string(),
                 "crates/core/src".to_string(),
                 "crates/par/src".to_string(),
+                "crates/serving/src".to_string(),
             ],
             unit_path_markers: vec![
                 "crates/exitcfg/src".to_string(),

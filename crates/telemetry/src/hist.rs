@@ -192,6 +192,12 @@ impl Buckets {
         Some(self.max)
     }
 
+    /// The 99.9th percentile (tail-latency SLO quantile), or `None` when
+    /// empty. Same log-bucket error bound as [`Buckets::quantile`].
+    pub fn p999(&self) -> Option<f64> {
+        self.quantile(0.999)
+    }
+
     /// Merges `other` into `self`. Bucket counts add, so the merged
     /// histogram is indistinguishable from one that recorded both sample
     /// streams.
@@ -375,6 +381,12 @@ impl Histogram {
     pub fn quantile(&self, q: f64) -> Option<f64> {
         self.snapshot().quantile(q)
     }
+
+    /// The 99.9th percentile of the current contents (see
+    /// [`Buckets::p999`]).
+    pub fn p999(&self) -> Option<f64> {
+        self.snapshot().p999()
+    }
 }
 
 #[cfg(test)]
@@ -458,6 +470,41 @@ mod tests {
                 "quantile({q}) = {est}, exact {exact}: off by more than one bucket"
             );
         }
+    }
+
+    #[test]
+    fn p999_error_is_within_one_bucket() {
+        // A heavy-tailed sample set (Pareto-ish spacing) where the 99.9th
+        // percentile sits deep in the tail: the log-bucket estimate must
+        // land within one bucket width of the exact nearest-rank value,
+        // and between the p99 and max estimates.
+        let mut b = Buckets::new();
+        let mut samples: Vec<f64> = (1..=10_000)
+            .map(|i| 0.01 / (i as f64 / 10_000.0).powf(0.8))
+            .collect();
+        for &s in &samples {
+            b.record(s);
+        }
+        samples.sort_by(|x, y| x.total_cmp(y));
+        let exact = {
+            let rank = ((0.999 * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            samples[rank - 1]
+        };
+        let est = b.p999().unwrap();
+        assert_eq!(b.p999(), b.quantile(0.999));
+        let ratio = est / exact;
+        assert!(
+            ratio <= growth() + 1e-9 && ratio >= 1.0 / growth() - 1e-9,
+            "p999 = {est}, exact {exact}: off by more than one bucket"
+        );
+        assert!(b.quantile(0.99).unwrap() <= est);
+        assert!(est <= b.max().unwrap());
+        // The atomic histogram surfaces the same accessor.
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        assert_eq!(h.p999(), Some(est));
     }
 
     #[test]

@@ -145,6 +145,8 @@ pub struct HistogramSnapshot {
     pub p95: Option<f64>,
     /// 99th-percentile estimate.
     pub p99: Option<f64>,
+    /// 99.9th-percentile estimate (tail-latency SLO quantile).
+    pub p999: Option<f64>,
     /// Exact maximum.
     pub max: Option<f64>,
     /// Full bucket contents, for re-aggregation.
@@ -161,6 +163,7 @@ impl HistogramSnapshot {
             p50: buckets.quantile(0.5),
             p95: buckets.quantile(0.95),
             p99: buckets.quantile(0.99),
+            p999: buckets.p999(),
             max: buckets.max(),
             buckets,
         }
