@@ -17,11 +17,20 @@
 //!
 //! Flags: `--workers <list>` (comma-separated counts, default `1,2,4`),
 //! `--devices <n>` (default 64), `--slots <n>` (default 200),
-//! `--json <path>` (default `BENCH_par.json`).
+//! `--json <path>` (default `BENCH_par.json`), `--gate` (regression
+//! gate, see below).
 //!
 //! The ≥1.5× speedup expectation at 4 workers is a *soft* check: on a
 //! constrained CI box it logs a warning rather than failing, so the
 //! artifact still lands and the regression shows up in the history.
+//!
+//! `--gate` turns the *history* into a hard check: the run's best
+//! slots/s is compared against the best comparable prior record (same
+//! device and slot counts, keyed by git revision), and a drop of more
+//! than [`GATE_REGRESSION_PCT`]% exits non-zero — after appending the
+//! run, so the regression is archived either way. With no comparable
+//! history the gate skips with a notice instead of failing, so fresh
+//! clones and parameter changes don't wedge CI.
 
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
@@ -34,12 +43,16 @@ const SEED: u64 = 7;
 /// Expected parallel speedup at 4 workers on the reference scenario
 /// (soft: logged, not enforced — CI runners vary).
 const SOFT_SPEEDUP_FLOOR: f64 = 1.5;
+/// `--gate` tolerance: fail when best slots/s drops more than this far
+/// below the best comparable history entry.
+const GATE_REGRESSION_PCT: f64 = 10.0;
 
 struct Args {
     workers: Vec<usize>,
     devices: usize,
     slots: usize,
     json: PathBuf,
+    gate: bool,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +61,7 @@ fn parse_args() -> Args {
         devices: 64,
         slots: 200,
         json: PathBuf::from("BENCH_par.json"),
+        gate: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -72,6 +86,7 @@ fn parse_args() -> Args {
             "--devices" => args.devices = parse_or_die(&value("number")),
             "--slots" => args.slots = parse_or_die(&value("number")),
             "--json" => args.json = PathBuf::from(value("path")),
+            "--gate" => args.gate = true,
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -198,6 +213,15 @@ fn main() {
     }
 
     let mut history = load_history(&args.json);
+    // Snapshot the strongest comparable prior record before this run
+    // joins the history; the gate verdict comes after the write so the
+    // regression is archived either way.
+    let prior_best = best_comparable(&history, args.devices, args.slots);
+    let current_best = (args.slots as f64 / seq_s).max(
+        runs.iter()
+            .filter_map(|r| r["slots_per_sec"].as_f64())
+            .fold(0.0, f64::max),
+    );
     let record = serde_json::json!({
         "run": history.len() + 1,
         "git_rev": git_rev(),
@@ -228,6 +252,64 @@ fn main() {
         args.json.display(),
         doc["runs"].as_array().map_or(0, Vec::len)
     );
+
+    if args.gate {
+        match prior_best {
+            None => println!(
+                "gate: skipped — no comparable history for {} devices / {} slots",
+                args.devices, args.slots
+            ),
+            Some((rev, best)) => {
+                let floor = best * (1.0 - GATE_REGRESSION_PCT / 100.0);
+                if current_best < floor {
+                    eprintln!(
+                        "gate: FAIL — best {current_best:.1} slots/s is more than \
+                         {GATE_REGRESSION_PCT}% below the history best {best:.1} \
+                         (git {rev}); the run is archived in {} for triage",
+                        args.json.display()
+                    );
+                    std::process::exit(1);
+                }
+                println!(
+                    "gate: ok — best {current_best:.1} slots/s vs history best {best:.1} \
+                     (git {rev}, floor {floor:.1})"
+                );
+            }
+        }
+    }
+}
+
+/// The best slots/s among prior runs with the same device and slot
+/// counts, with the git revision that set it. Sequential and parallel
+/// figures both count — the gate tracks peak throughput, whichever mode
+/// produced it.
+fn best_comparable(
+    history: &[serde_json::Value],
+    devices: usize,
+    slots: usize,
+) -> Option<(String, f64)> {
+    let mut best: Option<(String, f64)> = None;
+    for run in history {
+        if run["devices"].as_u64() != Some(devices as u64)
+            || run["slots"].as_u64() != Some(slots as u64)
+        {
+            continue;
+        }
+        let rev = run["git_rev"].as_str().unwrap_or("unknown");
+        let candidates = std::iter::once(run["sequential"]["slots_per_sec"].as_f64()).chain(
+            run["parallel"]
+                .as_array()
+                .into_iter()
+                .flatten()
+                .map(|p| p["slots_per_sec"].as_f64()),
+        );
+        for sps in candidates.flatten() {
+            if best.as_ref().is_none_or(|(_, b)| sps > *b) {
+                best = Some((rev.to_string(), sps));
+            }
+        }
+    }
+    best
 }
 
 /// Prior runs from `path`: the current `runs` history if present, a

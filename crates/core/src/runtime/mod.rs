@@ -384,7 +384,7 @@ fn device_loop(
     config: RuntimeConfig,
 ) {
     use std::sync::atomic::Ordering;
-    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(dev as u64));
+    let mut rng = StdRng::seed_from_u64(leime_par::stream_seed(config.seed, dev as u64));
     // A transmission is lost with `edge_fault_rate` probability; the rate-0
     // fast path keeps the RNG stream identical to fault-free builds.
     let transmission_lost =
@@ -420,8 +420,10 @@ fn device_loop(
                 continue;
             }
         }
-        // Local First-exit on real tensors.
-        let mut frng = StdRng::seed_from_u64(feature_seed);
+        // Local First-exit on real tensors. Feature streams are tiered:
+        // stream 0 = device, 1 = edge, 2 = cloud — `stream_seed` keeps
+        // them collision-free instead of the old `wrapping_add` offsets.
+        let mut frng = StdRng::seed_from_u64(leime_par::stream_seed(feature_seed, 0));
         let (tier, pred, _conf, correct) = pipeline.infer_first(cascade, sample, &mut frng);
         if tier == ExitDecision::Device {
             let _ = pred;
@@ -464,7 +466,7 @@ fn edge_loop(
     config: RuntimeConfig,
 ) {
     while let Ok(req) = edge_rx.recv() {
-        let mut frng = StdRng::seed_from_u64(req.feature_seed.wrapping_add(1));
+        let mut frng = StdRng::seed_from_u64(leime_par::stream_seed(req.feature_seed, 1));
         if req.first_exit_pending {
             // Offloaded raw input: run the First-exit here first.
             let (tier, _pred, _conf, correct) =
@@ -504,7 +506,7 @@ fn cloud_loop(
     wall: &WallClock,
 ) {
     while let Ok(req) = cloud_rx.recv() {
-        let mut frng = StdRng::seed_from_u64(req.feature_seed.wrapping_add(2));
+        let mut frng = StdRng::seed_from_u64(leime_par::stream_seed(req.feature_seed, 2));
         let (_pred, correct) = pipeline.infer_third(cascade, req.sample, &mut frng);
         let _ = done.send(TaskOutcome {
             tier: ExitDecision::Cloud,

@@ -171,7 +171,7 @@ impl TaskSim {
         let shared = self.shared();
         let n = scenario.devices.len();
         let horizon = SimTime::from_secs(horizon_s);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = StdRng::seed_from_u64(leime_par::stream_seed(seed, 0));
         let mut report = RunReport::new();
         let monitor = self.monitor.clone();
         let tct_hist = self.tct_hist.clone();

@@ -1,0 +1,12 @@
+//! Cross-file flow fixture: the shard body mutates a driver-side
+//! counter and calls a helper defined in `worker.rs`, whose blocking
+//! receive must surface transitively.
+
+pub fn run_shards(items: &[u32], workers: usize) -> u32 {
+    let mut hits = 0;
+    let _ = par_map_shards(items, workers, |_i, x| {
+        hits += 1;
+        shard_step(*x)
+    });
+    hits
+}

@@ -1,0 +1,27 @@
+//! S5 fixture: the `par_map_shards` worker closure mutably captures
+//! driver-side state (a counter and a Mutex); the capture-free shard
+//! body below stays legal.
+
+pub fn bad_sum(items: &[u32], workers: usize) -> u32 {
+    let mut total = 0;
+    let _ = par_map_shards(items, workers, |_i, x| {
+        total += x;
+        0
+    });
+    total
+}
+
+pub fn bad_shared(items: &[u32], workers: usize) -> u32 {
+    let shared = Mutex::new(0u32);
+    let _ = par_map_shards(items, workers, |_i, x| {
+        *shared.lock() += x;
+        0
+    });
+    0
+}
+
+pub fn good_sum(items: &[u32], workers: usize) -> u32 {
+    let base = 1;
+    let outs = par_map_shards(items, workers, |_i, x| x + base);
+    outs.len() as u32
+}

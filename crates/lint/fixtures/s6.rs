@@ -1,0 +1,22 @@
+//! S6 fixture: hot-path allocation counts compared against the pinned
+//! fixture baseline (`s6_baseline.json`), which holds them at zero —
+//! both allocating functions must trip the ratchet. `cold` allocates
+//! too but is unreachable from the hot roots.
+
+pub fn run(n: usize) -> Vec<u32> {
+    let v: Vec<u32> = (0..n as u32).collect();
+    helper(n);
+    v
+}
+
+fn helper(n: usize) -> String {
+    let mut s = String::new();
+    for i in 0..n {
+        s = format!("{s}{i}");
+    }
+    s
+}
+
+fn cold(n: usize) -> String {
+    n.to_string()
+}

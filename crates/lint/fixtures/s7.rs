@@ -1,0 +1,18 @@
+//! S7 fixture: RNGs seeded from a literal, an ad-hoc derivation, and
+//! ambient entropy; the `stream_seed`-derived stream stays legal.
+
+pub fn bad_literal() -> StdRng {
+    StdRng::seed_from_u64(42)
+}
+
+pub fn bad_adhoc(seed: u64, i: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_add(i))
+}
+
+pub fn bad_entropy() -> StdRng {
+    StdRng::from_entropy()
+}
+
+pub fn good(seed: u64, i: u64) -> StdRng {
+    StdRng::seed_from_u64(leime_par::stream_seed(seed, i))
+}

@@ -1,0 +1,19 @@
+//! S8 fixture: the shard body sleeps directly and calls a helper that
+//! blocks on a channel receive; the wait-free body stays legal.
+
+pub fn bad(items: &[u32], workers: usize, pause: Duration) {
+    let _ = par_map_shards(items, workers, |_i, x| {
+        std::thread::sleep(pause);
+        slow_helper(*x)
+    });
+}
+
+fn slow_helper(x: u32) -> u32 {
+    let extra = inbox.recv();
+    x + extra
+}
+
+pub fn good(items: &[u32], workers: usize) -> usize {
+    let outs = par_map_shards(items, workers, |_i, x| x + 1);
+    outs.len()
+}

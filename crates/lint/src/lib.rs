@@ -11,9 +11,12 @@
 //! rule set described in [`rules`], with inline
 //! `// lint:allow(<rule>): <justification>` waivers under a budget.
 //! The semantic S1–S4 rules — transitive invariant reachability, hash
-//! iteration, unit-suffix mixing, crate layering — come from
-//! [`leime_sema`] (re-exported as [`sema`]) and are merged into the
-//! same waiver/report pipeline under the `leime-lint/2` schema.
+//! iteration, unit-suffix mixing, crate layering — and the
+//! interprocedural flow rules S5–S8 — shard-capture races, the
+//! hot-path allocation ratchet, RNG-stream hygiene, shard-body
+//! blocking — come from [`leime_sema`] (re-exported as [`sema`]) and
+//! are merged into the same waiver/report pipeline under the
+//! `leime-lint/3` schema.
 //!
 //! The binary (`cargo run -p leime-lint -- --deny-all`) is the CI gate;
 //! the library is exercised directly by the tier-2 integration tests.
@@ -21,7 +24,7 @@
 pub mod report;
 pub mod rules;
 
-/// The semantic-analysis layer: parser, AST, call graph, S1–S4.
+/// The semantic-analysis layer: parser, AST, call graph, flow, S1–S8.
 pub use leime_sema as sema;
 /// The shared token-level lexer (lives in `leime-sema`, where the
 /// parser builds on it; the L-rules consume it from here).
@@ -48,9 +51,16 @@ pub struct ScanOptions {
     pub max_waivers: usize,
     /// Rule configuration (scoping, guarded functions, enabled set).
     pub config: RuleConfig,
-    /// Whether to run the semantic S1–S4 rules (`--no-sema` turns the
+    /// Whether to run the semantic S1–S8 rules (`--no-sema` turns the
     /// run back into the token-level L1–L5 scanner).
     pub sema: bool,
+    /// S6 allocation-ratchet baseline file. `None` uses the committed
+    /// [`S6_BASELINE_PATH`] under the root in workspace mode and
+    /// disables the ratchet for explicit-path scans.
+    pub s6_baseline: Option<PathBuf>,
+    /// Regenerate the S6 baseline from this run's counts instead of
+    /// comparing against it (`--write-baseline`).
+    pub write_s6_baseline: bool,
 }
 
 impl ScanOptions {
@@ -62,9 +72,20 @@ impl ScanOptions {
             max_waivers: DEFAULT_WAIVER_BUDGET,
             config: RuleConfig::default(),
             sema: true,
+            s6_baseline: None,
+            write_s6_baseline: false,
         }
     }
 }
+
+/// The committed S6 hot-allocation baseline, relative to the workspace
+/// root. The ratchet: a hot-path function's allocation count may only
+/// go down; raising it requires deliberately regenerating this file
+/// with `--write-baseline` (and justifying the diff in review).
+pub const S6_BASELINE_PATH: &str = "crates/lint/hot_alloc_baseline.json";
+
+/// Schema tag of the S6 baseline file.
+pub const S6_BASELINE_SCHEMA: &str = "leime-lint-hot-alloc/1";
 
 /// Directory names never descended into.
 const SKIP_DIRS: &[&str] = &["target", ".git", "node_modules"];
@@ -125,6 +146,35 @@ pub fn run(opts: &ScanOptions) -> Result<Report, String> {
                 sema_by_file.entry(f.path.clone()).or_default().push(f);
             }
         }
+
+        // Interprocedural flow pass (S5/S7/S8): one analysis over the
+        // whole scanned file set — flow edges cross crates.
+        let flow = leime_sema::flow::FlowAnalysis::build(&sources, &sema_cfg);
+        for f in flow.findings(&sema_cfg) {
+            sema_by_file.entry(f.path.clone()).or_default().push(f);
+        }
+
+        // S6 allocation ratchet: hot-path counts against the pinned
+        // baseline. Explicit-path scans skip it unless a baseline was
+        // passed in (a partial scan would see a partial hot set and
+        // report nonsense diffs).
+        let baseline_path = opts.s6_baseline.clone().or_else(|| {
+            opts.paths
+                .is_empty()
+                .then(|| opts.root.join(S6_BASELINE_PATH))
+        });
+        if sema_cfg.rule_on("S6") {
+            if let Some(bp) = baseline_path {
+                let counts = flow.hot_alloc_counts(&sema_cfg);
+                if opts.write_s6_baseline {
+                    write_s6_baseline(&bp, &counts)?;
+                } else if bp.is_file() {
+                    for f in check_s6(&bp, &counts)? {
+                        sema_by_file.entry(f.path.clone()).or_default().push(f);
+                    }
+                }
+            }
+        }
     }
 
     let mut violations = Vec::new();
@@ -152,6 +202,69 @@ pub fn run(opts: &ScanOptions) -> Result<Report, String> {
         waived,
         opts.max_waivers,
     ))
+}
+
+/// Writes the S6 baseline file from this run's hot-allocation counts
+/// (sorted keys — the file diffs cleanly).
+fn write_s6_baseline(
+    path: &Path,
+    counts: &BTreeMap<String, leime_sema::flow::HotAlloc>,
+) -> Result<(), String> {
+    let mut fns = serde_json::Map::new();
+    for (key, ha) in counts {
+        fns.insert(
+            key.clone(),
+            serde_json::json!({ "line": ha.line, "count": ha.count }),
+        );
+    }
+    let mut root = serde_json::Map::new();
+    root.insert(
+        "schema".to_string(),
+        serde_json::Value::String(S6_BASELINE_SCHEMA.to_string()),
+    );
+    root.insert("fns".to_string(), serde_json::Value::Object(fns));
+    let doc = serde_json::Value::Object(root);
+    let text = serde_json::to_string_pretty(&doc)
+        .map_err(|e| format!("cannot serialize S6 baseline: {e}"))?;
+    std::fs::write(path, text + "\n").map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Compares this run's hot-allocation counts against the pinned
+/// baseline: any function whose count rose (functions missing from the
+/// baseline count as 0) yields an S6 finding at its definition line.
+fn check_s6(
+    path: &Path,
+    counts: &BTreeMap<String, leime_sema::flow::HotAlloc>,
+) -> Result<Vec<Finding>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc: serde_json::Value = serde_json::from_str(&text)
+        .map_err(|e| format!("malformed S6 baseline {}: {e}", path.display()))?;
+    let fns = doc.get("fns").and_then(|v| v.as_object());
+    let mut out = Vec::new();
+    for (key, ha) in counts {
+        let base = fns
+            .and_then(|m| m.get(key))
+            .and_then(|e| e.get("count"))
+            .and_then(serde_json::Value::as_u64)
+            .unwrap_or(0) as usize;
+        if ha.count > base {
+            let name = key.rsplit("::").next().unwrap_or(key);
+            out.push(Finding {
+                rule: "S6".to_string(),
+                path: ha.path.clone(),
+                line: ha.line,
+                message: format!(
+                    "`fn {name}` hot-path allocation count rose to {} (baseline {base}) — \
+                     the S6 ratchet only goes down; hoist the allocation out of the hot \
+                     region or regenerate the baseline with `--write-baseline` and justify \
+                     the diff in review",
+                    ha.count
+                ),
+            });
+        }
+    }
+    Ok(out)
 }
 
 /// Grouping key for the per-crate semantic analysis: `crates/<name>`

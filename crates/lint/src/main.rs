@@ -13,7 +13,7 @@ use leime_lint::{parse_rule_filter, run, ScanOptions};
 use std::path::PathBuf;
 
 const USAGE: &str = "usage: leime-lint [--root DIR] [--json] [--deny-all] [--no-sema] \
-[--max-waivers N] [--rules L1,...,S4] [paths...]";
+[--max-waivers N] [--rules L1,...,S8] [--baseline FILE] [--write-baseline] [paths...]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,13 +31,15 @@ fn real_main(args: &[String]) -> i32 {
             "--json" => json = true,
             "--deny-all" => deny_all = true,
             "--no-sema" => opts.sema = false,
-            "--root" | "--max-waivers" | "--rules" => {
+            "--write-baseline" => opts.write_s6_baseline = true,
+            "--root" | "--max-waivers" | "--rules" | "--baseline" => {
                 let Some(value) = args.get(i + 1) else {
                     eprintln!("{} needs a value\n{USAGE}", args[i]);
                     return 1;
                 };
                 match args[i].as_str() {
                     "--root" => opts.root = PathBuf::from(value),
+                    "--baseline" => opts.s6_baseline = Some(PathBuf::from(value)),
                     "--max-waivers" => match value.parse::<usize>() {
                         Ok(n) => opts.max_waivers = n,
                         Err(_) => {

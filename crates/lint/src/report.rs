@@ -1,15 +1,19 @@
-//! Report rendering: human-readable text and the `leime-lint/2` JSON
+//! Report rendering: human-readable text and the `leime-lint/3` JSON
 //! schema (same versioned-schema idiom as `leime-telemetry/1`).
 //!
-//! `leime-lint/2` extends `/1` with the semantic S1–S4 rules and a
-//! `rule_set` field naming the rule universe the schema covers; all
-//! `/1` fields are unchanged, so `/1` consumers keep working.
+//! `leime-lint/2` extended `/1` with the semantic S1–S4 rules and a
+//! `rule_set` field naming the rule universe the schema covers;
+//! `leime-lint/3` extends the rule universe with the interprocedural
+//! flow rules S5–S8 (shard-capture races, the hot-path allocation
+//! ratchet, RNG-stream hygiene, shard-body blocking). All `/2` fields
+//! are unchanged, so `/2` consumers keep working; only `rule_set` and
+//! the possible `rule` values grow.
 
 use crate::rules::{Finding, Waived, RULE_IDS};
 use serde::Serialize;
 
 /// Version tag written into every JSON report.
-pub const SCHEMA_VERSION: &str = "leime-lint/2";
+pub const SCHEMA_VERSION: &str = "leime-lint/3";
 
 /// Per-rule violation count.
 #[derive(Debug, Clone, Serialize, PartialEq, Eq)]
@@ -23,9 +27,9 @@ pub struct RuleCount {
 /// The aggregated result of one lint run.
 #[derive(Debug, Clone, Serialize)]
 pub struct Report {
-    /// Schema tag (`leime-lint/2`).
+    /// Schema tag (`leime-lint/3`).
     pub schema: String,
-    /// The rule identifiers this schema covers (L1–L5, S1–S4).
+    /// The rule identifiers this schema covers (L1–L5, S1–S8).
     pub rule_set: Vec<String>,
     /// Number of files scanned.
     pub files_scanned: usize,
@@ -122,7 +126,7 @@ impl Report {
         out
     }
 
-    /// Renders the `leime-lint/2` JSON report.
+    /// Renders the `leime-lint/3` JSON report.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self)
             .unwrap_or_else(|e| format!("{{\"schema\":\"{SCHEMA_VERSION}\",\"error\":\"{e:?}\"}}"))

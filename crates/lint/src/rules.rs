@@ -30,8 +30,11 @@ use std::collections::HashSet;
 pub use leime_sema::Finding;
 
 /// All primary rule identifiers: the token-level L-rules plus the
-/// semantic S-rules from `leime-sema`.
-pub const RULE_IDS: &[&str] = &["L1", "L2", "L3", "L4", "L5", "S1", "S2", "S3", "S4"];
+/// semantic S-rules from `leime-sema` (S5–S8 are the interprocedural
+/// flow rules).
+pub const RULE_IDS: &[&str] = &[
+    "L1", "L2", "L3", "L4", "L5", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8",
+];
 
 /// A violation suppressed by an inline waiver.
 #[derive(Debug, Clone, Serialize, PartialEq, Eq)]
@@ -58,6 +61,11 @@ pub struct RuleConfig {
     pub hash_path_markers: Vec<String>,
     /// Path substrings marking unit-suffix-checked numeric files (S3).
     pub unit_path_markers: Vec<String>,
+    /// Path substrings marking hot-path files for the S6 allocation
+    /// ratchet.
+    pub hot_path_markers: Vec<String>,
+    /// Path substrings marking files whose RNG constructions S7 audits.
+    pub rng_path_markers: Vec<String>,
 }
 
 impl Default for RuleConfig {
@@ -100,6 +108,8 @@ impl Default for RuleConfig {
             wallclock_exempt_markers: vec!["crates/telemetry/".to_string()],
             hash_path_markers: leime_sema::SemaConfig::default().hash_path_markers,
             unit_path_markers: leime_sema::SemaConfig::default().unit_path_markers,
+            hot_path_markers: leime_sema::SemaConfig::default().hot_path_markers,
+            rng_path_markers: leime_sema::SemaConfig::default().rng_path_markers,
         }
     }
 }
@@ -113,7 +123,9 @@ impl RuleConfig {
     }
 
     /// The `leime-sema` view of this configuration: same enabled set and
-    /// guarded-function scoping, plus the S2/S3 path markers.
+    /// guarded-function scoping, plus the S2/S3 and flow (S6/S7) path
+    /// markers. Hot-region roots, `leime-par` entry points, and the S5
+    /// telemetry exemption keep their `leime-sema` defaults.
     pub fn sema_config(&self) -> leime_sema::SemaConfig {
         leime_sema::SemaConfig {
             enabled: self
@@ -124,6 +136,9 @@ impl RuleConfig {
             guarded_fn_names: self.guarded_fn_names.clone(),
             hash_path_markers: self.hash_path_markers.clone(),
             unit_path_markers: self.unit_path_markers.clone(),
+            hot_path_markers: self.hot_path_markers.clone(),
+            rng_path_markers: self.rng_path_markers.clone(),
+            ..leime_sema::SemaConfig::default()
         }
     }
 }

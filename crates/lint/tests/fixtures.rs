@@ -1,6 +1,6 @@
 //! Fixture tests: each seeded fixture file must produce exactly the
 //! expected `(rule, path, line)` tuples, in both the text and the
-//! `leime-lint/2` JSON renderings.
+//! `leime-lint/3` JSON renderings.
 
 use leime_lint::{parse_rule_filter, run, Report, RuleConfig, ScanOptions, SCHEMA_VERSION};
 use std::path::{Path, PathBuf};
@@ -366,6 +366,227 @@ fn s_rule_findings_carry_rule_file_line_in_text_and_json() {
     .map(|&(r, f, l)| (r.to_string(), format!("crates/lint/fixtures/{f}"), l))
     .collect();
     assert_eq!(got, want);
+}
+
+/// Config for the flow-rule fixtures (S5–S8): the requested rules only,
+/// with the S6/S7 path markers pointing at the fixtures directory
+/// (S5/S8 are unscoped — shard bodies are shard bodies anywhere).
+fn flow_rule_config(rules: &str) -> RuleConfig {
+    let mut config = RuleConfig::default();
+    if let Err(e) = parse_rule_filter(&mut config, rules) {
+        unreachable!("rule filter must parse: {e}");
+    }
+    let marker = "crates/lint/fixtures".to_string();
+    config.hot_path_markers.push(marker.clone());
+    config.rng_path_markers.push(marker);
+    config
+}
+
+#[test]
+fn s5_fixture_flags_mutable_and_interior_captures() {
+    let report = scan_fixture("s5.rs", flow_rule_config("S5"));
+    assert_eq!(triples(&report), expected("S5", "s5.rs", &[8, 17]));
+    assert!(
+        report.violations[0].message.contains("`total`")
+            && report.violations[0].message.contains("mutably captures"),
+        "{}",
+        report.violations[0].message
+    );
+    assert!(
+        report.violations[1].message.contains("`shared`")
+            && report.violations[1].message.contains(".lock()"),
+        "{}",
+        report.violations[1].message
+    );
+}
+
+#[test]
+fn s7_fixture_flags_literal_adhoc_and_entropy_seeds() {
+    let report = scan_fixture("s7.rs", flow_rule_config("S7"));
+    assert_eq!(triples(&report), expected("S7", "s7.rs", &[5, 9, 13]));
+    assert!(
+        report.violations[0].message.contains("literal seed"),
+        "{}",
+        report.violations[0].message
+    );
+    assert!(
+        report.violations[1].message.contains("ad-hoc seed"),
+        "{}",
+        report.violations[1].message
+    );
+    assert!(
+        report.violations[2].message.contains("ambient entropy"),
+        "{}",
+        report.violations[2].message
+    );
+}
+
+#[test]
+fn s8_fixture_flags_direct_and_transitive_blocking() {
+    let report = scan_fixture("s8.rs", flow_rule_config("S8"));
+    assert_eq!(triples(&report), expected("S8", "s8.rs", &[6, 12]));
+    assert!(
+        report.violations[0].message.contains("thread::sleep"),
+        "{}",
+        report.violations[0].message
+    );
+    assert!(
+        report.violations[1].message.contains("`fn slow_helper`")
+            && report.violations[1].message.contains("reachable"),
+        "{}",
+        report.violations[1].message
+    );
+}
+
+#[test]
+fn flow_ws_fixture_crosses_files() {
+    // The shard body lives in driver.rs; its helper's blocking receive
+    // lives in worker.rs — the flow graph must connect them.
+    let report = scan_fixture("flow_ws", flow_rule_config("S5,S7,S8"));
+    assert_eq!(
+        triples(&report),
+        vec![
+            (
+                "S5".to_string(),
+                "crates/lint/fixtures/flow_ws/driver.rs".to_string(),
+                8
+            ),
+            (
+                "S8".to_string(),
+                "crates/lint/fixtures/flow_ws/worker.rs".to_string(),
+                4
+            ),
+        ]
+    );
+    assert!(report.violations[0].message.contains("`hits`"));
+    assert!(report.violations[1].message.contains("`fn shard_step`"));
+}
+
+#[test]
+fn s6_fixture_trips_the_ratchet_against_the_pinned_baseline() {
+    let mut opts = ScanOptions::new(workspace_root());
+    opts.paths = vec![PathBuf::from("crates/lint/fixtures/s6.rs")];
+    opts.config = flow_rule_config("S6");
+    opts.s6_baseline = Some(workspace_root().join("crates/lint/fixtures/s6_baseline.json"));
+    let report = match run(&opts) {
+        Ok(r) => r,
+        Err(e) => unreachable!("fixture scan must succeed: {e}"),
+    };
+    // `run` (root) and `helper` (callee) each allocate once against a
+    // baseline of zero; `cold` allocates too but is not hot.
+    assert_eq!(triples(&report), expected("S6", "s6.rs", &[6, 12]));
+    assert!(
+        report.violations[0]
+            .message
+            .contains("rose to 1 (baseline 0)"),
+        "{}",
+        report.violations[0].message
+    );
+}
+
+#[test]
+fn s6_write_baseline_round_trips_to_a_clean_run() {
+    let path = std::env::temp_dir().join(format!("leime_s6_baseline_{}.json", std::process::id()));
+    let mut opts = ScanOptions::new(workspace_root());
+    opts.paths = vec![PathBuf::from("crates/lint/fixtures/s6.rs")];
+    opts.config = flow_rule_config("S6");
+    opts.s6_baseline = Some(path.clone());
+    opts.write_s6_baseline = true;
+    let report = match run(&opts) {
+        Ok(r) => r,
+        Err(e) => unreachable!("baseline write must succeed: {e}"),
+    };
+    assert!(report.is_clean(), "{:?}", report.violations);
+    // A second run against the freshly written baseline is clean.
+    opts.write_s6_baseline = false;
+    let report = match run(&opts) {
+        Ok(r) => r,
+        Err(e) => unreachable!("fixture scan must succeed: {e}"),
+    };
+    let _ = std::fs::remove_file(&path);
+    assert!(report.is_clean(), "{:?}", report.violations);
+}
+
+#[test]
+fn flow_rule_findings_carry_rule_file_line_in_text_and_json() {
+    let mut opts = ScanOptions::new(workspace_root());
+    opts.paths = ["s5.rs", "s7.rs", "s8.rs"]
+        .iter()
+        .map(|f| PathBuf::from(format!("crates/lint/fixtures/{f}")))
+        .collect();
+    opts.config = flow_rule_config("S5,S7,S8");
+    let report = match run(&opts) {
+        Ok(r) => r,
+        Err(e) => unreachable!("fixture scan must succeed: {e}"),
+    };
+
+    let text = report.render_text();
+    for line in [
+        "crates/lint/fixtures/s5.rs:8: [S5]",
+        "crates/lint/fixtures/s7.rs:5: [S7]",
+        "crates/lint/fixtures/s8.rs:6: [S8]",
+    ] {
+        assert!(text.contains(line), "missing `{line}` in:\n{text}");
+    }
+
+    let v: serde_json::Value = match serde_json::from_str(&report.to_json()) {
+        Ok(v) => v,
+        Err(e) => unreachable!("JSON report must parse: {e:?}"),
+    };
+    assert_eq!(v["schema"].as_str(), Some("leime-lint/3"));
+    assert_eq!(v["schema"].as_str(), Some(SCHEMA_VERSION));
+    let rule_set: Vec<&str> = v["rule_set"]
+        .as_array()
+        .map(|a| a.iter().filter_map(|r| r.as_str()).collect())
+        .unwrap_or_default();
+    for rule in ["S5", "S6", "S7", "S8"] {
+        assert!(rule_set.contains(&rule), "{rule} missing from {rule_set:?}");
+    }
+    let got: Vec<(String, String, u64)> = v["violations"]
+        .as_array()
+        .map(|list| {
+            list.iter()
+                .map(|f| {
+                    (
+                        f["rule"].as_str().unwrap_or("").to_string(),
+                        f["path"].as_str().unwrap_or("").to_string(),
+                        f["line"].as_u64().unwrap_or(0),
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    // The `.lock()` at s5.rs:17 is doubly wrong: a shared-mutation S5
+    // *and* a blocking S8 inside the shard body.
+    let want: Vec<(String, String, u64)> = [
+        ("S5", "s5.rs", 8u64),
+        ("S5", "s5.rs", 17),
+        ("S8", "s5.rs", 17),
+        ("S7", "s7.rs", 5),
+        ("S7", "s7.rs", 9),
+        ("S7", "s7.rs", 13),
+        ("S8", "s8.rs", 6),
+        ("S8", "s8.rs", 12),
+    ]
+    .iter()
+    .map(|&(r, f, l)| (r.to_string(), format!("crates/lint/fixtures/{f}"), l))
+    .collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn s2_hash_markers_pin_the_serving_crate() {
+    // The serving slot loop and admission path are determinism-sensitive;
+    // S2's default scope must keep covering them.
+    let config = RuleConfig::default();
+    assert!(
+        config
+            .hash_path_markers
+            .iter()
+            .any(|m| m == "crates/serving/src"),
+        "crates/serving/src missing from S2 hash_path_markers: {:?}",
+        config.hash_path_markers
+    );
 }
 
 #[test]

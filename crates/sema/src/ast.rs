@@ -214,10 +214,17 @@ pub enum Expr {
         /// Arm value expressions.
         arms: Vec<Expr>,
     },
-    /// A closure; only its body is modeled.
+    /// A closure: `|params…| body` / `move |params…| body`.
     Closure {
+        /// Bound parameter identifiers (best effort: idents in pattern
+        /// position, including inside tuple/struct patterns).
+        params: Vec<String>,
+        /// Whether the closure takes ownership (`move |…| …`).
+        is_move: bool,
         /// Closure body.
         body: Box<Expr>,
+        /// 1-based line of the opening `|`.
+        line: u32,
     },
     /// A block used as an expression (incl. `unsafe`/`async` blocks).
     BlockExpr(Block),
@@ -264,7 +271,8 @@ impl Expr {
             | Expr::Binary { line, .. }
             | Expr::For { line, .. }
             | Expr::StructLit { line, .. }
-            | Expr::MacroCall { line, .. } => Some(*line),
+            | Expr::MacroCall { line, .. }
+            | Expr::Closure { line, .. } => Some(*line),
             Expr::Index { recv, .. } | Expr::Cast { expr: recv, .. } => recv.line(),
             Expr::Unary { expr, .. } => expr.line(),
             _ => None,
@@ -305,7 +313,7 @@ pub fn walk_exprs(expr: &Expr, f: &mut impl FnMut(&Expr)) {
             walk_exprs(lhs, f);
             walk_exprs(rhs, f);
         }
-        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::Closure { body: expr } => {
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::Closure { body: expr, .. } => {
             walk_exprs(expr, f)
         }
         Expr::For { iter, body, .. } => {

@@ -21,12 +21,14 @@
 
 pub mod ast;
 pub mod callgraph;
+pub mod flow;
 pub mod layering;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
 pub mod symbols;
 
+pub use flow::analyze_workspace;
 pub use layering::check_layering;
 pub use rules::analyze_crate;
 
@@ -34,14 +36,14 @@ use serde::Serialize;
 use std::collections::BTreeSet;
 
 /// The semantic rule identifiers.
-pub const SEMA_RULE_IDS: &[&str] = &["S1", "S2", "S3", "S4"];
+pub const SEMA_RULE_IDS: &[&str] = &["S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8"];
 
 /// One rule violation. This is the finding type for the whole lint
 /// stack: `leime-lint` re-exports it and wraps it in waiver/report
 /// machinery.
 #[derive(Debug, Clone, Serialize, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule identifier (`L1`–`L5`, `S1`–`S4`, or `W1`–`W3`).
+    /// Rule identifier (`L1`–`L5`, `S1`–`S8`, or `W1`–`W3`).
     pub rule: String,
     /// Path of the offending file, relative to the scan root.
     pub path: String,
@@ -65,6 +67,20 @@ pub struct SemaConfig {
     pub hash_path_markers: Vec<String>,
     /// Path substrings marking unit-suffix-checked numeric files (S3).
     pub unit_path_markers: Vec<String>,
+    /// Path substrings marking hot-path files for the S6 allocation
+    /// ratchet (counts compare against the pinned baseline only here).
+    pub hot_path_markers: Vec<String>,
+    /// Path substrings marking files whose RNG constructions S7 audits.
+    pub rng_path_markers: Vec<String>,
+    /// Hot-region roots: fn names whose transitive callees form the S6
+    /// hot set (`SlottedSystem::run*`, `ServingSystem::run`, sweeps, …).
+    pub hot_root_fns: Vec<String>,
+    /// `leime-par` entry points as `(fn name, worker-closure arg
+    /// index)` — the closure at that argument is a shard body (S5/S8).
+    pub par_entry_args: Vec<(String, usize)>,
+    /// Captured-name substrings exempt from S5's interior-mutability
+    /// branch (the sanctioned driver-drained telemetry sinks).
+    pub s5_exempt_names: Vec<String>,
 }
 
 impl Default for SemaConfig {
@@ -116,6 +132,38 @@ impl Default for SemaConfig {
                 "crates/offload/src".to_string(),
                 "crates/simnet/src".to_string(),
             ],
+            hot_path_markers: vec![
+                "crates/core/src".to_string(),
+                "crates/par/src".to_string(),
+                "crates/serving/src".to_string(),
+                "crates/exitcfg/src".to_string(),
+            ],
+            rng_path_markers: vec![
+                "crates/par/src".to_string(),
+                "crates/core/src".to_string(),
+                "crates/serving/src".to_string(),
+            ],
+            hot_root_fns: [
+                "run",
+                "run_with_workers",
+                "run_live",
+                "run_live_with_registry",
+                "run_slotted",
+                "run_slotted_workers",
+                "run_slotted_with_registry",
+                "run_des",
+                "run_des_with_registry",
+                "par_sweep",
+                "seq_sweep",
+            ]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect(),
+            par_entry_args: vec![
+                ("par_map_shards".to_string(), 2),
+                ("run_rounds".to_string(), 3),
+            ],
+            s5_exempt_names: vec!["telemetry".to_string()],
         }
     }
 }

@@ -914,9 +914,13 @@ impl<'a> Parser<'a> {
     fn parse_unary(&mut self, allow_struct: bool) -> Expr {
         if let Some(t) = self.peek() {
             if t.kind == TokKind::Punct && matches!(t.text.as_str(), "-" | "!" | "*" | "&") {
-                let op = t.text.clone();
+                let mut op = t.text.clone();
                 self.pos += 1;
-                self.eat_ident("mut");
+                // Preserve `&mut` (the capture analysis needs it); other
+                // `mut`-after-op forms are still silently eaten.
+                if self.eat_ident("mut") && op == "&" {
+                    op.push_str("mut");
+                }
                 if !self.can_start_expr() {
                     return Expr::Opaque;
                 }
@@ -1061,6 +1065,56 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Parses closure parameters, assuming the cursor is just past the
+    /// opening `|`. Collects the bound identifiers best-effort —
+    /// including those inside tuple/struct patterns, skipping
+    /// `mut`/`ref`/`_` — and stops after the closing `|` at depth 0.
+    /// Type-annotation text after a `:` is skimmed, not collected (a
+    /// type name must not masquerade as a binding).
+    fn parse_closure_params(&mut self) -> Vec<String> {
+        let mut params = Vec::new();
+        let mut depth = 0usize; // (), [], {} nesting inside patterns
+        let mut in_type = false; // between `:` and the next `,` at depth 0
+        while let Some(t) = self.peek() {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "|" if depth == 0 => {
+                        self.pos += 1;
+                        return params;
+                    }
+                    "(" | "[" | "{" => {
+                        if in_type {
+                            self.skim_group_or_token();
+                            continue;
+                        }
+                        depth += 1;
+                    }
+                    ")" | "]" | "}" => {
+                        if depth == 0 {
+                            return params; // runaway: an enclosing closer
+                        }
+                        depth -= 1;
+                    }
+                    ";" if depth == 0 => return params, // runaway
+                    ":" if depth == 0 => in_type = true,
+                    "," if depth == 0 => in_type = false,
+                    "<" if in_type => {
+                        self.skip_generics();
+                        continue;
+                    }
+                    _ => {}
+                }
+            } else if t.kind == TokKind::Ident
+                && !in_type
+                && !matches!(t.text.as_str(), "mut" | "ref" | "_" | "move")
+            {
+                params.push(t.text.clone());
+            }
+            self.pos += 1;
+        }
+        params
+    }
+
     /// Best-effort type consumption after `as` (stops at any token that
     /// cannot continue a type).
     fn consume_cast_type(&mut self) -> String {
@@ -1173,32 +1227,12 @@ impl<'a> Parser<'a> {
                 }
                 "|" | "||" => {
                     // Closure args.
+                    let mut params = Vec::new();
                     if t.text == "||" {
                         self.pos += 1;
                     } else {
                         self.pos += 1;
-                        // Skip parameters to the closing `|` at depth 0.
-                        while let Some(t) = self.peek() {
-                            if t.kind == TokKind::Punct {
-                                match t.text.as_str() {
-                                    "|" => {
-                                        self.pos += 1;
-                                        break;
-                                    }
-                                    "(" | "[" | "{" => {
-                                        self.skim_group_or_token();
-                                        continue;
-                                    }
-                                    "<" => {
-                                        self.skip_generics();
-                                        continue;
-                                    }
-                                    ";" | ")" | "}" => break, // runaway
-                                    _ => {}
-                                }
-                            }
-                            self.pos += 1;
-                        }
+                        params = self.parse_closure_params();
                     }
                     // Optional `-> Type` before a braced body.
                     if self.eat_punct("->") {
@@ -1206,7 +1240,10 @@ impl<'a> Parser<'a> {
                     }
                     let body = self.parse_expr(true);
                     Expr::Closure {
+                        params,
+                        is_move: false,
                         body: Box::new(body),
+                        line,
                     }
                 }
                 ".." | "..=" => {
@@ -1300,7 +1337,11 @@ impl<'a> Parser<'a> {
                 }
                 "move" => {
                     self.pos += 1;
-                    self.parse_primary(allow_struct)
+                    let mut expr = self.parse_primary(allow_struct);
+                    if let Expr::Closure { is_move, .. } = &mut expr {
+                        *is_move = true;
+                    }
+                    expr
                 }
                 "return" | "break" => {
                     self.pos += 1;

@@ -55,7 +55,7 @@ pub fn analyze_crate(files: &[(String, String)], cfg: &SemaConfig) -> Vec<Findin
 
 /// Calls `f` on every non-test `fn` item, skipping `#[cfg(test)]`
 /// subtrees entirely.
-fn nontest_fns<'a>(items: &'a [Item], f: &mut impl FnMut(&'a Item)) {
+pub(crate) fn for_each_nontest_fn<'a>(items: &'a [Item], f: &mut impl FnMut(&'a Item)) {
     for item in items {
         if item.cfg_test {
             continue;
@@ -63,11 +63,11 @@ fn nontest_fns<'a>(items: &'a [Item], f: &mut impl FnMut(&'a Item)) {
         if item.kind == ItemKind::Fn {
             f(item);
         }
-        nontest_fns(&item.children, f);
+        for_each_nontest_fn(&item.children, f);
         if let Some(b) = &item.body {
             for stmt in &b.stmts {
                 if let Stmt::Item(inner) = stmt {
-                    nontest_fns(std::slice::from_ref(inner), f);
+                    for_each_nontest_fn(std::slice::from_ref(inner), f);
                 }
             }
         }
@@ -83,7 +83,7 @@ fn scan_s1(
     guarded: &[String],
     out: &mut Vec<Finding>,
 ) {
-    nontest_fns(&file.items, &mut |f| {
+    for_each_nontest_fn(&file.items, &mut |f| {
         if f.body.is_none() || !guarded.iter().any(|g| g == &f.name) {
             return;
         }
@@ -117,7 +117,7 @@ const ITER_METHODS: &[&str] = &[
 
 fn scan_s2(path: &str, file: &crate::ast::File, out: &mut Vec<Finding>) {
     let table = symbols::build(file);
-    nontest_fns(&file.items, &mut |f| {
+    for_each_nontest_fn(&file.items, &mut |f| {
         let Some(body) = &f.body else { return };
 
         // Pass 1: names with a hash-container type — parameters, then
@@ -212,10 +212,10 @@ fn recv_name(e: &Expr) -> Option<&str> {
     }
 }
 
-/// Strips `&`/`*` and `as` layers off an expression.
+/// Strips `&`/`&mut`/`*` and `as` layers off an expression.
 fn e_root(e: &Expr) -> &Expr {
     match e {
-        Expr::Unary { op, expr } if op == "&" || op == "*" => e_root(expr),
+        Expr::Unary { op, expr } if op == "&" || op == "&mut" || op == "*" => e_root(expr),
         Expr::Cast { expr, .. } => e_root(expr),
         _ => e,
     }
@@ -323,7 +323,7 @@ fn operand_unit(e: &Expr) -> Option<(String, Unit)> {
 }
 
 fn scan_s3(path: &str, file: &crate::ast::File, out: &mut Vec<Finding>) {
-    nontest_fns(&file.items, &mut |f| {
+    for_each_nontest_fn(&file.items, &mut |f| {
         let Some(body) = &f.body else { return };
         walk_block(body, &mut |e| {
             let Expr::Binary { op, lhs, rhs, line } = e else {

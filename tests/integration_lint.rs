@@ -1,5 +1,5 @@
 //! Tier-2 gate: the workspace's own library sources must pass the full
-//! leime-lint rule set — token L1–L5 *and* semantic S1–S4, zero
+//! leime-lint rule set — token L1–L5 *and* semantic S1–S8, zero
 //! violations, waivers within budget. This is the same scan
 //! `cargo run -p leime-lint -- --deny-all` performs in CI, run here so
 //! a plain `cargo test` catches regressions too.
@@ -37,11 +37,14 @@ fn workspace_library_sources_are_lint_clean() {
 
 #[test]
 fn semantic_rules_are_part_of_the_workspace_gate() {
-    // The default scan runs sema (S1–S4) and reports the `leime-lint/2`
-    // schema; the clean result above is therefore a *semantic* clean —
-    // every guarded solver transitively reaches `invariant::`, no hash
-    // iteration or unit mixing in the marked paths, and the crate DAG
-    // flows strictly downward.
+    // The default scan runs sema (S1–S4 plus the interprocedural flow
+    // rules S5–S8) and reports the `leime-lint/3` schema; the clean
+    // result above is therefore a *semantic* clean — every guarded
+    // solver transitively reaches `invariant::`, no hash iteration or
+    // unit mixing in the marked paths, the crate DAG flows strictly
+    // downward, shard bodies capture nothing mutable and never block,
+    // hot-path allocation counts hold at the pinned baseline, and every
+    // RNG stream derives via `stream_seed`.
     let opts = ScanOptions::new(workspace_root());
     assert!(opts.sema, "sema must be on by default");
     let report = match run(&opts) {
@@ -49,8 +52,10 @@ fn semantic_rules_are_part_of_the_workspace_gate() {
         Err(e) => unreachable!("workspace lint scan must succeed: {e}"),
     };
     assert_eq!(report.schema, SCHEMA_VERSION);
-    assert_eq!(SCHEMA_VERSION, "leime-lint/2");
-    for rule in ["L1", "L2", "L3", "L4", "L5", "S1", "S2", "S3", "S4"] {
+    assert_eq!(SCHEMA_VERSION, "leime-lint/3");
+    for rule in [
+        "L1", "L2", "L3", "L4", "L5", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8",
+    ] {
         assert!(
             report.rule_set.iter().any(|r| r == rule),
             "{rule} missing from rule_set {:?}",
@@ -73,7 +78,9 @@ fn semantic_rules_are_part_of_the_workspace_gate() {
 #[test]
 fn waiver_budget_is_tight() {
     // The acceptance bar is at most 5 justified waivers across the tree;
-    // today there is exactly one (inside the invariant crate itself).
+    // today there are three: the sanctioned panic site inside the
+    // invariant crate, and the driver-drained telemetry mutex (two S8
+    // findings on one line in `telemetry/src/sync.rs`).
     let opts = ScanOptions::new(workspace_root());
     let report = match run(&opts) {
         Ok(r) => r,
