@@ -1,0 +1,189 @@
+//! Microbenchmarks for the slotted hot path's three inner kernels
+//! (DESIGN.md §14): the Eq. 10–11 queue update, the per-device-slot
+//! offloading decision (scalar and lane-batched solver), and the
+//! batched telemetry flush. Reports ns/op and writes the results to
+//! `BENCH_kernels.json` (schema `leime-bench/1`) so kernel-level drift
+//! is visible between commits without running the full `perf_baseline`
+//! scenario.
+//!
+//! ```text
+//! cargo run --release -p leime-bench --bin hot_kernels
+//! ```
+//!
+//! Flags: `--json <path>` (default `BENCH_kernels.json`).
+//!
+//! Each kernel runs long enough to dominate timer noise (tens of
+//! milliseconds) and folds its outputs into a sink the optimiser cannot
+//! remove. Numbers are single-core and machine-specific: compare runs
+//! from the same box, not across boxes.
+
+use std::hint::black_box;
+use std::path::PathBuf;
+
+use leime_bench::{header, render_table};
+use leime_offload::{
+    ControllerTelemetry, DecisionBatch, DeviceParams, LyapunovController, OffloadController,
+    QueuePair, SharedParams, SlotObservation,
+};
+use leime_telemetry::{Clock, Registry, VirtualClock, WallClock};
+
+/// A fleet-sized batch: matches the reference scenario's device count so
+/// the lane-batched decision kernel sees realistic occupancy.
+const BATCH: usize = 64;
+
+struct KernelResult {
+    name: &'static str,
+    ops: u64,
+    ns_per_op: f64,
+}
+
+/// Times `op` over `ops` iterations (the closure must consume its index
+/// and return a value folded into the sink).
+fn time_kernel(name: &'static str, ops: u64, mut op: impl FnMut(u64) -> f64) -> KernelResult {
+    // One untimed pass warms caches and the branch predictor.
+    black_box(op(0));
+    let clock = WallClock::new();
+    let mut sink = 0.0;
+    for i in 0..ops {
+        sink += op(i);
+    }
+    let elapsed = clock.now();
+    black_box(sink);
+    KernelResult {
+        name,
+        ops,
+        ns_per_op: elapsed * 1e9 / ops as f64,
+    }
+}
+
+/// Reference-scenario-shaped parameters (an InceptionV3-like partition
+/// on a Raspberry-Pi-class device; values only need to be plausible and
+/// fixed, not calibrated — the benchmark tracks drift, not truth).
+fn params() -> (SharedParams, DeviceParams) {
+    let shared = SharedParams {
+        slot_len_s: 1.0,
+        v: 1.0e4,
+        mu1: 8.0e8,
+        mu2: 1.2e9,
+        sigma1: 0.6,
+        d0_bytes: 268_203.0,
+        d1_bytes: 1.0e5,
+        edge_flops: 1.0e11,
+    };
+    let dev = DeviceParams::raspberry_pi(5.0);
+    shared.validate().expect("benchmark shared params");
+    dev.validate().expect("benchmark device params");
+    (shared, dev)
+}
+
+/// A deterministic spread of queue states (drained through loaded) so
+/// the decision kernels cannot ride a single memoised solve.
+fn obs_for(i: u64) -> SlotObservation {
+    SlotObservation {
+        q: (i % 17) as f64 * 0.7,
+        h: (i % 11) as f64 * 0.4,
+        p_share: 1.0 / BATCH as f64,
+    }
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn json_path() -> PathBuf {
+    leime_bench::json_out_path().unwrap_or_else(|| PathBuf::from("BENCH_kernels.json"))
+}
+
+fn main() {
+    let (shared, dev) = params();
+    let ctrl = LyapunovController::new();
+    let mut results = Vec::new();
+
+    // Kernel 1: the Eq. 10–11 queue update (QueuePair::step).
+    let mut queue = QueuePair::new();
+    results.push(time_kernel("queue_update", 2_000_000, |i| {
+        let a = (i % 7) as f64 * 0.5;
+        queue.step(a, a * 0.3, 2.0, 1.5);
+        queue.q() + queue.h()
+    }));
+
+    // Kernel 2: one scalar offloading decision (golden-section solve).
+    results.push(time_kernel("decision_scalar", 20_000, |i| {
+        ctrl.decide(shared, dev, obs_for(i))
+    }));
+
+    // Kernel 3: the lane-batched decision path (`decide_batch` over a
+    // fleet-sized slice) — ns per *decision*, directly comparable to
+    // `decision_scalar`.
+    let shareds = vec![shared; BATCH];
+    let devs = vec![dev; BATCH];
+    let mut obs = vec![obs_for(0); BATCH];
+    let mut xs = vec![0.0f64; BATCH];
+    let batch_ops = 20_000u64;
+    let mut batched = time_kernel("decision_batched", batch_ops / BATCH as u64, |r| {
+        for (j, o) in obs.iter_mut().enumerate() {
+            *o = obs_for(r * BATCH as u64 + j as u64);
+        }
+        ctrl.decide_batch(&shareds, &devs, &obs, &mut xs);
+        xs.iter().sum()
+    });
+    batched.ns_per_op /= BATCH as f64;
+    batched.ops *= BATCH as u64;
+    results.push(batched);
+
+    // Kernel 4: telemetry replay — buffer a fleet's decisions in a
+    // `DecisionBatch` and flush once, as the slotted driver does per
+    // slot; ns per recorded decision.
+    let registry = Registry::new();
+    let tel = ControllerTelemetry::attach(&registry, "bench", VirtualClock::new());
+    let mut batch = DecisionBatch::new();
+    let mut flush = time_kernel("telemetry_flush", 10_000, |r| {
+        for j in 0..BATCH as u64 {
+            let o = obs_for(r * BATCH as u64 + j);
+            batch.record_decision(r as f64, &o, 0.5, 1.0);
+        }
+        tel.flush_batch(&mut batch);
+        r as f64
+    });
+    flush.ns_per_op /= BATCH as f64;
+    flush.ops *= BATCH as u64;
+    results.push(flush);
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                format!("{:.1}", r.ns_per_op),
+                r.ops.to_string(),
+            ]
+        })
+        .collect();
+    println!("== hot_kernels: slotted inner-loop ns/op ==\n");
+    println!("{}", render_table(&header(&["kernel", "ns/op", "ops"]), &rows));
+
+    let doc = serde_json::json!({
+        "schema": "leime-bench/1",
+        "bench": "hot_kernels",
+        "git_rev": git_rev(),
+        "kernels": results.iter().map(|r| serde_json::json!({
+            "name": r.name,
+            "ns_per_op": r.ns_per_op,
+            "ops": r.ops,
+        })).collect::<Vec<_>>(),
+    });
+    let path = json_path();
+    let pretty = serde_json::to_string_pretty(&doc).expect("results serialize");
+    if let Err(e) = std::fs::write(&path, pretty + "\n") {
+        eprintln!("write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("kernel timings written to {}", path.display());
+}

@@ -25,17 +25,20 @@
 //! artifact still lands and the regression shows up in the history.
 //!
 //! `--gate` turns the *history* into a hard check: the run's best
-//! slots/s is compared against the best comparable prior record (same
-//! device and slot counts, keyed by git revision), and a drop of more
-//! than [`GATE_REGRESSION_PCT`]% exits non-zero — after appending the
-//! run, so the regression is archived either way. With no comparable
-//! history the gate skips with a notice instead of failing, so fresh
-//! clones and parameter changes don't wedge CI.
+//! slots/s is compared against the **rolling median** of the last
+//! [`perf::GATE_WINDOW`] comparable prior records (same device and slot
+//! counts — see `leime_bench::perf`), and a drop of more than
+//! [`GATE_REGRESSION_PCT`]% exits non-zero — after appending the run,
+//! so the regression is archived either way. A median baseline means a
+//! single lucky run cannot ratchet the floor up permanently. With no
+//! comparable history the gate skips with a notice instead of failing,
+//! so fresh clones and parameter changes don't wedge CI.
 
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
 
 use leime::{ControllerKind, ExitStrategy, ModelKind, RunReport, Scenario};
+use leime_bench::perf::{self, history_doc, load_history, rolling_median_baseline};
 use leime_bench::{fmt_speedup, fmt_time, header, render_table};
 use leime_telemetry::{Clock, WallClock};
 
@@ -44,7 +47,7 @@ const SEED: u64 = 7;
 /// (soft: logged, not enforced — CI runners vary).
 const SOFT_SPEEDUP_FLOOR: f64 = 1.5;
 /// `--gate` tolerance: fail when best slots/s drops more than this far
-/// below the best comparable history entry.
+/// below the rolling-median baseline of the comparable history.
 const GATE_REGRESSION_PCT: f64 = 10.0;
 
 struct Args {
@@ -213,10 +216,10 @@ fn main() {
     }
 
     let mut history = load_history(&args.json);
-    // Snapshot the strongest comparable prior record before this run
-    // joins the history; the gate verdict comes after the write so the
-    // regression is archived either way.
-    let prior_best = best_comparable(&history, args.devices, args.slots);
+    // Snapshot the rolling-median baseline before this run joins the
+    // history; the gate verdict comes after the write so the regression
+    // is archived either way.
+    let baseline = rolling_median_baseline(&history, args.devices, args.slots);
     let current_best = (args.slots as f64 / seq_s).max(
         runs.iter()
             .filter_map(|r| r["slots_per_sec"].as_f64())
@@ -237,11 +240,7 @@ fn main() {
         "soft_speedup_floor": SOFT_SPEEDUP_FLOOR,
     });
     history.push(record);
-    let doc = serde_json::json!({
-        "schema": "leime-bench/1",
-        "bench": "perf_baseline",
-        "runs": history,
-    });
+    let doc = history_doc(history);
     let pretty = serde_json::to_string_pretty(&doc).expect("record serializes");
     if let Err(e) = std::fs::write(&args.json, pretty + "\n") {
         eprintln!("write {}: {e}", args.json.display());
@@ -254,93 +253,29 @@ fn main() {
     );
 
     if args.gate {
-        match prior_best {
+        match baseline {
             None => println!(
                 "gate: skipped — no comparable history for {} devices / {} slots",
                 args.devices, args.slots
             ),
-            Some((rev, best)) => {
-                let floor = best * (1.0 - GATE_REGRESSION_PCT / 100.0);
+            Some((revs, median)) => {
+                let floor = median * (1.0 - GATE_REGRESSION_PCT / 100.0);
                 if current_best < floor {
                     eprintln!(
                         "gate: FAIL — best {current_best:.1} slots/s is more than \
-                         {GATE_REGRESSION_PCT}% below the history best {best:.1} \
-                         (git {rev}); the run is archived in {} for triage",
+                         {GATE_REGRESSION_PCT}% below the rolling median {median:.1} \
+                         of the last {} comparable run(s) (git {revs}); the run is \
+                         archived in {} for triage",
+                        perf::GATE_WINDOW,
                         args.json.display()
                     );
                     std::process::exit(1);
                 }
                 println!(
-                    "gate: ok — best {current_best:.1} slots/s vs history best {best:.1} \
-                     (git {rev}, floor {floor:.1})"
+                    "gate: ok — best {current_best:.1} slots/s vs rolling median \
+                     {median:.1} (git {revs}, floor {floor:.1})"
                 );
             }
         }
     }
-}
-
-/// The best slots/s among prior runs with the same device and slot
-/// counts, with the git revision that set it. Sequential and parallel
-/// figures both count — the gate tracks peak throughput, whichever mode
-/// produced it.
-fn best_comparable(
-    history: &[serde_json::Value],
-    devices: usize,
-    slots: usize,
-) -> Option<(String, f64)> {
-    let mut best: Option<(String, f64)> = None;
-    for run in history {
-        if run["devices"].as_u64() != Some(devices as u64)
-            || run["slots"].as_u64() != Some(slots as u64)
-        {
-            continue;
-        }
-        let rev = run["git_rev"].as_str().unwrap_or("unknown");
-        let candidates = std::iter::once(run["sequential"]["slots_per_sec"].as_f64()).chain(
-            run["parallel"]
-                .as_array()
-                .into_iter()
-                .flatten()
-                .map(|p| p["slots_per_sec"].as_f64()),
-        );
-        for sps in candidates.flatten() {
-            if best.as_ref().is_none_or(|(_, b)| sps > *b) {
-                best = Some((rev.to_string(), sps));
-            }
-        }
-    }
-    best
-}
-
-/// Prior runs from `path`: the current `runs` history if present, a
-/// migrated pre-history single record, or empty for a missing /
-/// unreadable file (the artifact is regenerable, so a corrupt history
-/// warns and restarts rather than blocking the run).
-fn load_history(path: &std::path::Path) -> Vec<serde_json::Value> {
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return Vec::new();
-    };
-    let Ok(serde_json::Value::Object(mut doc)) = serde_json::from_str::<serde_json::Value>(&text)
-    else {
-        eprintln!(
-            "WARN: {} is not a JSON object — starting a fresh history",
-            path.display()
-        );
-        return Vec::new();
-    };
-    if let Some(serde_json::Value::Array(runs)) = doc.remove("runs") {
-        return runs;
-    }
-    // Pre-history layout: the whole file was one run record.
-    if doc.get("sequential").is_some() {
-        doc.remove("schema");
-        doc.remove("bench");
-        doc.insert("run".to_string(), serde_json::json!(1));
-        return vec![serde_json::Value::Object(doc)];
-    }
-    eprintln!(
-        "WARN: {} has an unrecognized layout — starting a fresh history",
-        path.display()
-    );
-    Vec::new()
 }

@@ -10,6 +10,8 @@
 
 use std::path::PathBuf;
 
+pub mod perf;
+
 use leime::{ModelKind, Scenario};
 use leime_offload::DeviceParams;
 use leime_telemetry::Registry;

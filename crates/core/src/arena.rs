@@ -1,0 +1,136 @@
+//! Slot-scoped scratch arenas: reuse per-slot buffer capacity so
+//! steady-state slots allocate nothing.
+//!
+//! The slotted runners ([`crate::SlottedSystem`], `leime-serving`) need a
+//! handful of short-lived vectors every slot — arrival means, KKT
+//! shares, per-request outcomes. Allocating them per slot puts the
+//! allocator on the hot path (the S6 ratchet counts exactly these
+//! sites); retaining one long-lived buffer per use site scatters
+//! `clear()` bookkeeping through the loop. A [`SlotArena`] centralises
+//! the reuse: the slot body `take`s vectors, fills them, and `put`s them
+//! back at slot end, where they are cleared **but keep their capacity**.
+//! After the first slot warms the pool, every later `take` is served
+//! from the free list and the slot performs no heap allocation for its
+//! scratch (asserted by unit tests and pinned by the S6 baseline, since
+//! pool reuse replaces `Vec::with_capacity`/`collect` in the loop).
+//!
+//! The arena is deliberately *not* an untyped bump allocator: every
+//! consumer in this workspace needs growable `Vec<T>` scratch, and
+//! handing the `Vec` itself out keeps borrow scopes ordinary (no
+//! lifetimes tied to the arena, no `unsafe`). Determinism is unaffected:
+//! a pooled vector's *contents* are always written before being read
+//! (it is handed out empty), so reuse can never leak one slot's data
+//! into the next.
+
+/// A pool of reusable `Vec<T>` scratch buffers for a slot loop.
+///
+/// `take` hands out an empty vector (recycled capacity when available),
+/// `put` returns it cleared-not-freed. The pool tracks how many takes
+/// missed the free list ([`SlotArena::cold_takes`]) so tests can assert
+/// the steady state stays allocation-free.
+#[derive(Debug, Default)]
+pub struct SlotArena<T> {
+    free: Vec<Vec<T>>,
+    cold_takes: u64,
+}
+
+impl<T> SlotArena<T> {
+    /// An empty arena. The first slot's takes are cold (they start with
+    /// zero capacity and grow on first use); every later slot reuses
+    /// that capacity.
+    pub fn new() -> Self {
+        SlotArena {
+            free: Vec::new(),
+            cold_takes: 0,
+        }
+    }
+
+    /// Hands out an empty scratch vector, reusing pooled capacity when
+    /// any is available. A miss returns `Vec::new()` — itself
+    /// allocation-free until first push — and counts as a cold take.
+    pub fn take(&mut self) -> Vec<T> {
+        match self.free.pop() {
+            Some(buf) => buf,
+            None => {
+                self.cold_takes += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a scratch vector to the pool: cleared (elements dropped)
+    /// with capacity kept for the next slot's `take`.
+    pub fn put(&mut self, mut buf: Vec<T>) {
+        buf.clear();
+        self.free.push(buf);
+    }
+
+    /// Number of `take`s that found the free list empty. Constant across
+    /// slots once the pool is warm — the reset-between-slots invariant
+    /// the unit tests pin.
+    pub fn cold_takes(&self) -> u64 {
+        self.cold_takes
+    }
+
+    /// Buffers currently pooled (diagnostics).
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_slots_take_warm_buffers() {
+        let mut arena: SlotArena<f64> = SlotArena::new();
+        let mut capacities = Vec::new();
+        for slot in 0..50 {
+            let mut a = arena.take();
+            let mut b = arena.take();
+            for i in 0..32 {
+                a.push(i as f64);
+                b.push(slot as f64 + i as f64);
+            }
+            if slot > 0 {
+                // Reset-between-slots invariant: after the warm-up slot,
+                // every take is served from the pool (no cold takes) and
+                // the handed-out buffers carry the previous slot's
+                // capacity — the slot body never touches the allocator.
+                assert_eq!(arena.cold_takes(), 2, "cold take in slot {slot}");
+                assert!(a.capacity() >= 32 && b.capacity() >= 32);
+                assert_eq!((a.capacity(), b.capacity()), capacities[0]);
+            }
+            capacities.clear();
+            capacities.push((a.capacity(), b.capacity()));
+            arena.put(a);
+            arena.put(b);
+        }
+        assert_eq!(arena.pooled(), 2);
+    }
+
+    #[test]
+    fn put_clears_but_keeps_capacity() {
+        let mut arena: SlotArena<u32> = SlotArena::new();
+        let mut buf = arena.take();
+        buf.extend(0..100);
+        let cap = buf.capacity();
+        arena.put(buf);
+        let buf = arena.take();
+        assert!(buf.is_empty(), "pooled buffer leaked previous contents");
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(arena.cold_takes(), 1);
+    }
+
+    #[test]
+    fn externally_built_vectors_can_join_the_pool() {
+        // The KKT allocator returns a fresh Vec; putting it back lets the
+        // next slot's take reuse that capacity instead of reallocating.
+        let mut arena: SlotArena<f64> = SlotArena::new();
+        arena.put(vec![1.0; 64]);
+        let buf = arena.take();
+        assert!(buf.is_empty() && buf.capacity() >= 64);
+        assert_eq!(arena.cold_takes(), 0);
+    }
+}

@@ -86,6 +86,15 @@ impl RunReport {
         self.series.push(t, tct_s);
     }
 
+    /// Records one slot cohort's shared per-task completion time for all
+    /// `n` tasks at once — the final report state is exactly what `n`
+    /// [`RunReport::record_tct`] calls would build (`push_n` is
+    /// bit-identical to repeated `push`), without `n` bucket searches.
+    pub(crate) fn record_tct_n(&mut self, t: leime_simnet::SimTime, tct_s: f64, n: u64) {
+        self.tct.push_n(tct_s, n);
+        self.series.push_n(t, tct_s, n);
+    }
+
     /// Records an exit-tier observation (0, 1 or 2).
     pub(crate) fn record_tier(&mut self, tier: usize) {
         match tier {
@@ -93,6 +102,15 @@ impl RunReport {
             1 => self.tiers.second += 1,
             _ => self.tiers.third += 1,
         }
+    }
+
+    /// Folds one device-slot's exit-tier tallies (first/second/third) in:
+    /// tier counts are additive, so this equals per-task
+    /// [`RunReport::record_tier`] calls in any order.
+    pub(crate) fn record_tier_counts(&mut self, counts: [u32; 3]) {
+        self.tiers.first += u64::from(counts[0]);
+        self.tiers.second += u64::from(counts[1]);
+        self.tiers.third += u64::from(counts[2]);
     }
 
     /// Records one device-slot's chosen offloading ratio.

@@ -1,10 +1,12 @@
 use std::num::NonZeroUsize;
+use std::ops::Range;
 use std::sync::Arc;
 
 use leime_chaos::{EdgeHealth, FaultSchedule, LinkHealth};
 use leime_offload::{
-    kkt_allocation_with_floor, ControllerTelemetry, DegradeMode, DegradeOutcome, DegradeState,
-    DeviceParams, OffloadController, QueuePair, SharedParams, SlotCost, SlotObservation,
+    kkt_allocation_with_floor, ControllerTelemetry, DecisionBatch, DegradeMode, DegradeOutcome,
+    DegradeState, DeviceParams, OffloadController, QueuePair, SharedParams, SlotCost,
+    SlotObservation,
 };
 use leime_par::RoundsError;
 use leime_simnet::SimTime;
@@ -21,6 +23,17 @@ use crate::{Deployment, LeimeError, Result, RunReport, Scenario, WorkloadKind};
 /// this system (`leime-serving`) allocate shares identically.
 pub const SHARE_FLOOR: f64 = 1e-3;
 
+/// Slots per shard round under [`SlottedSystem::run_with_workers`]
+/// (DESIGN.md §14): each pool barrier covers one epoch of this many
+/// slots, so barrier frequency drops 16× without changing a single
+/// output byte (slot order, RNG draw order and replay order are all
+/// epoch-independent — enforced by the `integration_par` differential
+/// suite across epoch lengths).
+pub const DEFAULT_EPOCH_LEN: NonZeroUsize = match NonZeroUsize::new(16) {
+    Some(len) => len,
+    None => unreachable!(),
+};
+
 /// The paper's slotted queueing system (§III-D): per-slot arrivals, an
 /// offloading decision per device, queue recursions (Eq. 10–11), and the
 /// per-slot cost model (Eq. 12–14) extended with the deterministic
@@ -30,15 +43,19 @@ pub const SHARE_FLOOR: f64 = 1e-3;
 /// (Figs. 2, 3, 10, 11); the task-level DES ([`crate::TaskSim`])
 /// cross-validates it.
 ///
-/// ## Determinism and parallelism (DESIGN.md §11)
+/// ## Determinism and parallelism (DESIGN.md §11, §14)
 ///
 /// The solver is decentralized (each device solves Eq. 20 independently
 /// per slot), so the per-slot device loop shards across workers via
 /// [`SlottedSystem::run_with_workers`]. Every device owns an RNG stream
 /// derived as `leime_par::stream_seed(seed, device_index)` — never a
 /// shared generator — and all report/telemetry recording is replayed on
-/// the driving thread in device order. The result: for any seed and any
-/// worker count, the run's [`RunReport`] and telemetry snapshot are
+/// the driving thread in device order. Per-device state lives in
+/// struct-of-arrays shards ([`ShardState`]), workers process whole
+/// *epochs* of slots between barriers, and the driver's replay batches
+/// telemetry per slot ([`DecisionBatch`]) instead of locking per
+/// decision. The result: for any seed, any worker count and any epoch
+/// length, the run's [`RunReport`] and telemetry snapshot are
 /// byte-identical to the sequential run (enforced by the tier-2
 /// `integration_par` differential suite).
 #[derive(Debug)]
@@ -67,23 +84,85 @@ struct SlotTelemetry {
     ctrl: ControllerTelemetry,
 }
 
-/// Mutable per-device simulation state. One stream of randomness per
-/// device (`stream_seed(seed, i)`), so shard layout never touches the
-/// draw sequence.
-#[derive(Debug)]
-struct DeviceState {
-    queue: QueuePair,
-    degrade: DegradeState,
-    mmpp: Option<Mmpp>,
-    rng: StdRng,
-}
-
-/// One worker's slice of the fleet: the devices in
-/// `[start, start + devices.len())`, in index order.
-#[derive(Debug)]
+/// One worker's slice of the fleet in struct-of-arrays layout: field `k`
+/// of every array belongs to device `start + k`. The slot loop walks
+/// each array sequentially (queue recursions, degradation ladders, RNG
+/// draws), so splitting the state by field keeps each pass on a dense
+/// homogeneous allocation instead of striding over one large struct per
+/// device. One stream of randomness per device
+/// (`stream_seed(seed, i)`), so shard layout never touches the draw
+/// sequence.
+#[derive(Debug, PartialEq)]
 struct ShardState {
     start: usize,
-    devices: Vec<DeviceState>,
+    queues: Vec<QueuePair>,
+    degrades: Vec<DegradeState>,
+    /// Empty unless the workload is `Bursty` (then one entry per device).
+    mmpp: Vec<Mmpp>,
+    rngs: Vec<StdRng>,
+    memo: DecideMemo,
+    scratch: SlotScratch,
+}
+
+impl ShardState {
+    fn len(&self) -> usize {
+        self.queues.len()
+    }
+}
+
+/// Struct-of-arrays scratch for the batched decision path
+/// ([`shard_slot_batched`]): one entry per shard device, cleared —
+/// capacity kept — every slot, so steady-state slots never touch the
+/// allocator (S6).
+#[derive(Debug, Default, PartialEq)]
+struct SlotScratch {
+    shared: Vec<SharedParams>,
+    devs: Vec<DeviceParams>,
+    obs: Vec<SlotObservation>,
+    x: Vec<f64>,
+}
+
+/// Single-entry memo over the per-slot decision solve.
+///
+/// `OffloadController::decide` is required to be a pure function of
+/// `(shared, device, obs)` — the same contract that lets the driver
+/// replay decision telemetry. Purity means byte-identical inputs produce
+/// byte-identical outputs, so when consecutive solves present the same
+/// input bits (a homogeneous fleet whose queues drain every slot — the
+/// paper's Pi-cluster experiments — presents them device after device
+/// and slot after slot), the solver can be skipped outright. The key
+/// covers every bit `decide` reads, compared via `to_bits` (so `-0.0`
+/// and `0.0`, which could steer a solver differently, never alias). A
+/// miss costs one 15-word compare; the memo changes no output at any
+/// worker count or epoch length.
+#[derive(Debug, Default, PartialEq)]
+struct DecideMemo {
+    key: Option<[u64; 15]>,
+    x_opt: f64,
+    /// Drift-plus-penalty at `x_opt` (same purity argument; only read
+    /// when `want_dpp`, which is constant per run).
+    dpp: f64,
+}
+
+/// Every input bit of the decision solve, in declaration order.
+fn decide_key(s: &SharedParams, d: &DeviceParams, obs: &SlotObservation) -> [u64; 15] {
+    [
+        s.slot_len_s.to_bits(),
+        s.v.to_bits(),
+        s.mu1.to_bits(),
+        s.mu2.to_bits(),
+        s.sigma1.to_bits(),
+        s.d0_bytes.to_bits(),
+        s.d1_bytes.to_bits(),
+        s.edge_flops.to_bits(),
+        d.flops.to_bits(),
+        d.bandwidth_bps.to_bits(),
+        d.latency_s.to_bits(),
+        d.arrival_mean.to_bits(),
+        obs.q.to_bits(),
+        obs.h.to_bits(),
+        obs.p_share.to_bits(),
+    ]
 }
 
 /// Immutable per-run inputs shared (by reference) with every worker.
@@ -98,18 +177,35 @@ struct RunCtx<'a> {
     want_dpp: bool,
 }
 
-/// The per-slot broadcast: fleet-level quantities the driving thread
-/// computes once per slot (KKT shares are a global coupling — Eq. 27).
-struct SlotCtx {
-    slot_start: SimTime,
-    /// Slot index, as the degradation ladder's timeout clock counts it.
-    t_slot: u64,
+/// Fleet-level per-slot quantities the driving thread computes and
+/// broadcasts (KKT shares are a global coupling — Eq. 27).
+struct SlotQuants {
     means: Vec<f64>,
     shares: Vec<f64>,
 }
 
+/// The per-epoch broadcast: which slots this round covers and their
+/// fleet-level quantities. For workloads whose arrival means are
+/// constant across slots (everything except `RateTrace`), `per_slot`
+/// stays empty and every slot reads the run-constant `base` — the KKT
+/// solve is a pure function of the means, so computing it once is
+/// bit-identical to recomputing it per slot.
+struct EpochCtx<'a> {
+    slots: Range<usize>,
+    per_slot: Vec<SlotQuants>,
+    base: &'a SlotQuants,
+}
+
+impl EpochCtx<'_> {
+    fn quants(&self, rel_slot: usize) -> &SlotQuants {
+        self.per_slot.get(rel_slot).unwrap_or(self.base)
+    }
+}
+
 /// Everything one device-slot produces, replayed into the report and
-/// telemetry in device order by the driving thread.
+/// telemetry in device order by the driving thread. Plain-old-data on
+/// purpose: a worker's whole epoch of outputs lives in one flat vector
+/// with no per-device-slot heap allocation (S6).
 #[derive(Debug)]
 enum DeviceSlotOut {
     /// Churned out: absent this slot, frozen queues.
@@ -133,8 +229,11 @@ struct ActiveOut {
     per_task: f64,
     /// Fleet-cost contribution (`per_task * arrivals`).
     total: f64,
-    /// Exit tier of each task, in draw order.
-    tiers: Vec<usize>,
+    /// Tasks per exit tier (first/second/third). Tier tallies are
+    /// additive, so counts replay to the exact state the historical
+    /// per-task draw-order recording produced — without a `Vec` per
+    /// device-slot.
+    tier_counts: [u32; 3],
     /// Work drained from the device+edge queues this slot.
     served: f64,
 }
@@ -220,29 +319,52 @@ impl SlottedSystem {
     }
 
     /// Runs `slots` time slots with the per-slot device loop sharded
-    /// across up to `workers` threads (capped at the fleet size).
-    ///
-    /// Per-slot fleet quantities (arrival means, KKT shares — Eq. 27)
-    /// are computed once per slot on the driving thread and broadcast;
-    /// each worker then solves its devices' per-slot problems (Eq. 20
-    /// balance + cost evaluation) against its own per-device state, and
-    /// the driver replays every shard's recordings in device order. The
-    /// produced [`RunReport`] (and any attached telemetry) is
-    /// byte-identical to the sequential run at the same seed.
+    /// across up to `workers` threads (capped at the fleet size), in
+    /// epochs of [`DEFAULT_EPOCH_LEN`] slots per barrier.
     ///
     /// # Errors
     ///
-    /// Returns [`crate::LeimeError::Config`] for inconsistent tier
-    /// sampling and [`crate::LeimeError::Parallel`] if a worker shard
-    /// fails (a caught panic surfaces as a typed error, never a hang).
+    /// Same as [`SlottedSystem::run_with_workers_epochs`].
     pub fn run_with_workers(
         &mut self,
         slots: usize,
         seed: u64,
         workers: NonZeroUsize,
     ) -> Result<RunReport> {
+        self.run_with_workers_epochs(slots, seed, workers, DEFAULT_EPOCH_LEN)
+    }
+
+    /// Runs `slots` time slots with the per-slot device loop sharded
+    /// across up to `workers` threads, synchronising once per
+    /// `epoch_len` slots.
+    ///
+    /// Per-slot fleet quantities (arrival means, KKT shares — Eq. 27)
+    /// are computed on the driving thread and broadcast per epoch; each
+    /// worker then solves its devices' per-slot problems (Eq. 20
+    /// balance + cost evaluation) for the whole epoch against its own
+    /// per-device state, and the driver replays every shard's
+    /// recordings in slot then device order, flushing telemetry once
+    /// per slot. The produced [`RunReport`] (and any attached
+    /// telemetry) is byte-identical to the sequential run at the same
+    /// seed, for every `workers` × `epoch_len` combination: fleet
+    /// quantities depend only on the slot index (never on device
+    /// state), so processing a device through an epoch of slots without
+    /// interleaving other devices reproduces the sequential per-device
+    /// state trajectory exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::LeimeError::Config`] for inconsistent tier
+    /// sampling and [`crate::LeimeError::Parallel`] if a worker shard
+    /// fails (a caught panic surfaces as a typed error, never a hang).
+    pub fn run_with_workers_epochs(
+        &mut self,
+        slots: usize,
+        seed: u64,
+        workers: NonZeroUsize,
+        epoch_len: NonZeroUsize,
+    ) -> Result<RunReport> {
         let mut report = RunReport::new();
-        let shared = self.shared();
         let n = self.scenario.devices.len();
         let telemetry = self.telemetry.clone();
         let horizon = SimTime::from_secs(slots as f64 * self.scenario.slot_len_s);
@@ -250,37 +372,13 @@ impl SlottedSystem {
             self.scenario.chaos.as_ref().map(|c| c.compile(n, horizon));
         let replay_decisions = self.controller.records_decisions();
 
+        let flops = device_flops(&self.scenario);
         // What the controller knows from "historical statistics": the
         // stationary mean for bursty workloads, the configured mean
         // otherwise (rate traces override per slot, below).
-        let base_means: Vec<f64> = self
-            .scenario
-            .devices
-            .iter()
-            .enumerate()
-            .map(|(i, d)| match &self.scenario.workload {
-                WorkloadKind::Bursty { .. } => self.mmpp[i].stationary_mean(),
-                _ => d.arrival_mean,
-            })
-            .collect();
-        let flops: Vec<f64> = self.scenario.devices.iter().map(|d| d.flops).collect();
-
-        // Per-device state under worker-count-independent RNG streams.
-        let mut states: Vec<DeviceState> = (0..n)
-            .map(|i| DeviceState {
-                queue: self.queues[i],
-                degrade: DegradeState::new(),
-                mmpp: self.mmpp.get(i).cloned(),
-                rng: StdRng::seed_from_u64(leime_par::stream_seed(seed, i as u64)),
-            })
-            .collect();
-        let mut shards = Vec::new();
-        for range in leime_par::partition(n, workers.get()) {
-            shards.push(ShardState {
-                start: range.start,
-                devices: states.drain(..range.len()).collect(),
-            });
-        }
+        let base_quants = base_slot_quants(&self.scenario, &self.mmpp, &flops);
+        let shards = build_shards(&self.queues, &self.mmpp, seed, workers.get());
+        let epochs = leime_par::epoch_ranges(slots, epoch_len.get());
 
         // Decisions run on a telemetry-free controller so workers never
         // race on the registry; the driver replays decision telemetry
@@ -292,80 +390,136 @@ impl SlottedSystem {
             deployment: &self.deployment,
             schedule: schedule.as_ref(),
             decider: decider.as_ref(),
-            shared,
+            shared: self.shared(),
             want_dpp: replay_decisions && telemetry.is_some(),
         };
 
         let slot_len_s = self.scenario.slot_len_s;
-        let make_ctx = |slot: usize| {
-            let slot_start = SimTime::from_secs(slot as f64 * slot_len_s);
-            if let Some(tel) = &telemetry {
-                tel.clock.advance_to(slot_start.as_secs());
-            }
-            let means: Vec<f64> = match &run_ctx.scenario.workload {
-                WorkloadKind::RateTrace { trace, .. } => {
-                    vec![trace.value_at(slot_start); n]
-                }
-                _ => base_means.clone(),
+        let make_ctx = |round: usize| {
+            let slots = epochs[round].clone();
+            let per_slot: Vec<SlotQuants> = match &run_ctx.scenario.workload {
+                WorkloadKind::RateTrace { trace, .. } => slots
+                    .clone()
+                    .map(|slot| {
+                        let slot_start = SimTime::from_secs(slot as f64 * slot_len_s);
+                        let means = vec![trace.value_at(slot_start); n];
+                        let shares = kkt_allocation_with_floor(
+                            &flops,
+                            &means,
+                            run_ctx.scenario.edge_flops,
+                            SHARE_FLOOR,
+                        );
+                        SlotQuants { means, shares }
+                    })
+                    .collect(),
+                _ => Vec::new(),
             };
-            let shares =
-                kkt_allocation_with_floor(&flops, &means, run_ctx.scenario.edge_flops, SHARE_FLOOR);
-            SlotCtx {
-                slot_start,
-                t_slot: slot as u64,
-                means,
-                shares,
+            EpochCtx {
+                slots,
+                per_slot,
+                base: &base_quants,
             }
         };
 
-        let work = |_shard: usize, _slot: usize, ctx: &SlotCtx, sh: &mut ShardState| {
-            let mut outs = Vec::with_capacity(sh.devices.len());
-            for (k, st) in sh.devices.iter_mut().enumerate() {
-                outs.push(device_slot(&run_ctx, ctx, sh.start + k, st)?);
+        let work = |_shard: usize, _round: usize, ctx: &EpochCtx<'_>, sh: &mut ShardState| {
+            let mut outs = Vec::with_capacity(ctx.slots.len() * sh.len());
+            for (rel, slot) in ctx.slots.clone().enumerate() {
+                let quants = ctx.quants(rel);
+                let slot_start = SimTime::from_secs(slot as f64 * slot_len_s);
+                if run_ctx.schedule.is_some() {
+                    // Chaos path: per-device health lookups and churn
+                    // make the decision inputs irregular; solve scalar.
+                    for k in 0..sh.len() {
+                        outs.push(device_slot(
+                            &run_ctx,
+                            quants,
+                            slot_start,
+                            slot as u64,
+                            sh.start + k,
+                            &mut sh.queues[k],
+                            &mut sh.degrades[k],
+                            sh.mmpp.get_mut(k),
+                            &mut sh.rngs[k],
+                            &mut sh.memo,
+                        )?);
+                    }
+                } else {
+                    shard_slot_batched(
+                        &run_ctx,
+                        quants,
+                        slot_start,
+                        slot as u64,
+                        sh,
+                        &mut outs,
+                    )?;
+                }
             }
             Ok(outs)
         };
 
-        let apply = |slot: usize, shard_outs: Vec<Result<Vec<DeviceSlotOut>>>| {
-            let slot_start = SimTime::from_secs(slot as f64 * slot_len_s);
-            let mut acc = SlotAccumulator::default();
+        // Driver-side replay buffer, reused across slots so steady-state
+        // flushing allocates nothing.
+        let mut batch = DecisionBatch::new();
+        let apply = |round: usize, shard_outs: Vec<Result<Vec<DeviceSlotOut>>>| {
+            let mut per_shard = Vec::with_capacity(shard_outs.len());
             for outs in shard_outs {
-                for out in outs? {
-                    apply_out(
-                        &mut report,
-                        telemetry.as_ref(),
-                        replay_decisions,
-                        slot_start,
-                        &mut acc,
-                        &out,
-                    );
-                }
+                per_shard.push(outs?);
             }
-            if let Some(tel) = &telemetry {
+            let epoch = epochs[round].clone();
+            let epoch_slots = epoch.len();
+            for (rel, slot) in epoch.enumerate() {
+                let slot_start = SimTime::from_secs(slot as f64 * slot_len_s);
                 let t = slot_start.as_secs();
-                if acc.tasks > 0 {
-                    tel.tct_mean.push(t, acc.tct_sum / acc.tasks as f64);
+                if let Some(tel) = &telemetry {
+                    tel.clock.advance_to(t);
                 }
-                tel.queue_q.push(t, acc.q_sum / n as f64);
-                tel.queue_h.push(t, acc.h_sum / n as f64);
-                tel.offload_x.push(t, acc.x_sum / n as f64);
+                let mut acc = SlotAccumulator::default();
+                for outs in &per_shard {
+                    let shard_len = outs.len() / epoch_slots;
+                    for out in &outs[rel * shard_len..(rel + 1) * shard_len] {
+                        apply_out(
+                            &mut report,
+                            telemetry.as_ref(),
+                            replay_decisions,
+                            slot_start,
+                            &mut acc,
+                            &mut batch,
+                            out,
+                        );
+                    }
+                }
+                if let Some(tel) = &telemetry {
+                    tel.ctrl.flush_batch(&mut batch);
+                    if acc.tasks > 0 {
+                        tel.tct_mean.push(t, acc.tct_sum / acc.tasks as f64);
+                    }
+                    tel.queue_q.push(t, acc.q_sum / n as f64);
+                    tel.queue_h.push(t, acc.h_sum / n as f64);
+                    tel.offload_x.push(t, acc.x_sum / n as f64);
+                }
             }
             Ok(())
         };
 
-        let finals =
-            leime_par::run_rounds(shards, slots, make_ctx, work, apply).map_err(|e| match e {
+        let finals = leime_par::run_rounds(shards, epochs.len(), make_ctx, work, apply).map_err(
+            |e| match e {
                 RoundsError::Par(p) => LeimeError::from(p),
                 RoundsError::Apply(e) => e,
-            })?;
+            },
+        )?;
 
         // Hand the advanced per-device state back so repeated runs and
         // post-run diagnostics ([`SlottedSystem::queues`]) behave exactly
         // as the sequential implementation always did.
-        for (i, st) in finals.into_iter().flat_map(|s| s.devices).enumerate() {
-            self.queues[i] = st.queue;
-            if let (Some(slot), Some(m)) = (self.mmpp.get_mut(i), st.mmpp) {
-                *slot = m;
+        for sh in finals {
+            for (k, q) in sh.queues.iter().enumerate() {
+                self.queues[sh.start + k] = *q;
+            }
+            let start = sh.start;
+            for (k, m) in sh.mmpp.into_iter().enumerate() {
+                if let Some(slot) = self.mmpp.get_mut(start + k) {
+                    *slot = m;
+                }
             }
         }
         Ok(report)
@@ -395,6 +549,56 @@ fn build_mmpp(scenario: &Scenario) -> Vec<Mmpp> {
             .collect(),
         _ => Vec::new(),
     }
+}
+
+/// Per-device compute capacities, in fleet order (input to Eq. 27).
+fn device_flops(scenario: &Scenario) -> Vec<f64> {
+    scenario.devices.iter().map(|d| d.flops).collect()
+}
+
+/// The run-constant fleet quantities: per-device arrival means as the
+/// controller's historical statistics know them, and the KKT shares they
+/// induce. For every workload except `RateTrace` these are the per-slot
+/// quantities of *every* slot (`kkt_allocation_with_floor` is a pure
+/// function of its inputs, so one solve is bit-identical to one per
+/// slot).
+fn base_slot_quants(scenario: &Scenario, mmpp: &[Mmpp], flops: &[f64]) -> SlotQuants {
+    let means: Vec<f64> = scenario
+        .devices
+        .iter()
+        .enumerate()
+        .map(|(i, d)| match &scenario.workload {
+            WorkloadKind::Bursty { .. } => mmpp[i].stationary_mean(),
+            _ => d.arrival_mean,
+        })
+        .collect();
+    let shares = kkt_allocation_with_floor(flops, &means, scenario.edge_flops, SHARE_FLOOR);
+    SlotQuants { means, shares }
+}
+
+/// Splits the fleet's per-device state into struct-of-arrays shards
+/// under worker-count-independent RNG streams.
+fn build_shards(queues: &[QueuePair], mmpp: &[Mmpp], seed: u64, workers: usize) -> Vec<ShardState> {
+    let ranges = leime_par::partition(queues.len(), workers);
+    let mut shards = Vec::with_capacity(ranges.len());
+    for range in ranges {
+        shards.push(ShardState {
+            start: range.start,
+            queues: queues[range.clone()].to_vec(),
+            degrades: vec![DegradeState::new(); range.len()],
+            mmpp: if mmpp.is_empty() {
+                Vec::new()
+            } else {
+                mmpp[range.clone()].to_vec()
+            },
+            rngs: range
+                .map(|i| StdRng::seed_from_u64(leime_par::stream_seed(seed, i as u64)))
+                .collect(),
+            memo: DecideMemo::default(),
+            scratch: SlotScratch::default(),
+        });
+    }
+    shards
 }
 
 /// Draws one device's slot arrivals from its own stream.
@@ -444,34 +648,22 @@ fn tail_cost(run: &RunCtx<'_>, s: SharedParams, cost: &SlotCost, x: f64, tasks: 
     tail
 }
 
-/// Simulates one device-slot: the decentralized per-device solve plus
-/// queue recursion, touching nothing but this device's state. Safe to
-/// run concurrently across devices; all recording is deferred to
-/// [`apply_out`] on the driving thread.
-fn device_slot(
+/// Builds device `i`'s decision inputs for one slot under the given
+/// link/edge health. Shared by the scalar ([`device_slot`]) and batched
+/// ([`shard_slot_batched`]) paths, so both present the controller with
+/// identical bits by construction.
+fn decision_inputs(
     run: &RunCtx<'_>,
-    slot: &SlotCtx,
+    quants: &SlotQuants,
+    slot_start: SimTime,
     i: usize,
-    st: &mut DeviceState,
-) -> Result<DeviceSlotOut> {
-    let (link, edge, alive) = match run.schedule {
-        Some(s) => (
-            s.link_health(i, slot.slot_start),
-            s.edge_health(slot.slot_start),
-            s.device_alive(i, slot.slot_start),
-        ),
-        None => (LinkHealth::NOMINAL, EdgeHealth::NOMINAL, true),
-    };
-    if !alive {
-        // Churned out: the device is absent this slot — no arrivals, no
-        // service, frozen queues (Eq. 10–11 with all rates zero).
-        return Ok(DeviceSlotOut::Churned);
-    }
-    let fault = !link.is_nominal() || !edge.is_nominal();
-
+    queue: &QueuePair,
+    link: &LinkHealth,
+    edge: &EdgeHealth,
+) -> (SharedParams, DeviceParams, SlotObservation) {
     let dev = DeviceParams {
-        arrival_mean: slot.means[i],
-        bandwidth_bps: run.scenario.bandwidth_at(i, slot.slot_start) * link.bandwidth_factor,
+        arrival_mean: quants.means[i],
+        bandwidth_bps: run.scenario.bandwidth_at(i, slot_start) * link.bandwidth_factor,
         latency_s: run.scenario.devices[i].latency_s + link.extra_latency_s,
         ..run.scenario.devices[i]
     };
@@ -481,39 +673,266 @@ fn device_slot(
         ..run.shared
     };
     let obs = SlotObservation {
-        q: st.queue.q(),
-        h: st.queue.h(),
-        p_share: slot.shares[i].clamp(0.0, 1.0),
+        q: queue.q(),
+        h: queue.h(),
+        p_share: quants.shares[i].clamp(0.0, 1.0),
     };
-    let x_opt = run.decider.decide(shared_i, dev, obs);
-    let dpp = if run.want_dpp {
-        SlotCost::new(shared_i, dev, obs.q, obs.h, obs.p_share).drift_plus_penalty(x_opt)
+    (shared_i, dev, obs)
+}
+
+/// One device's solved decision plus the inputs it came from — what
+/// [`device_slot_finish`] needs to complete the slot.
+struct DeviceDecision {
+    shared: SharedParams,
+    dev: DeviceParams,
+    obs: SlotObservation,
+    x_opt: f64,
+    dpp: f64,
+    fault: bool,
+    /// `link.up && edge.up` — what the degradation ladder observes.
+    reachable: bool,
+    /// A downed edge serves nothing (zero H-quota in Eq. 11).
+    edge_up: bool,
+}
+
+/// Simulates one device-slot: the decentralized per-device solve plus
+/// queue recursion, touching nothing but this device's state (passed as
+/// the shard's struct-of-arrays elements). Allocation-free (S6) and safe
+/// to run concurrently across devices; all recording is deferred to
+/// [`apply_out`] on the driving thread.
+#[allow(clippy::too_many_arguments)]
+fn device_slot(
+    run: &RunCtx<'_>,
+    quants: &SlotQuants,
+    slot_start: SimTime,
+    t_slot: u64,
+    i: usize,
+    queue: &mut QueuePair,
+    degrade: &mut DegradeState,
+    mmpp: Option<&mut Mmpp>,
+    rng: &mut StdRng,
+    memo: &mut DecideMemo,
+) -> Result<DeviceSlotOut> {
+    let (link, edge, alive) = match run.schedule {
+        Some(s) => (
+            s.link_health(i, slot_start),
+            s.edge_health(slot_start),
+            s.device_alive(i, slot_start),
+        ),
+        None => (LinkHealth::NOMINAL, EdgeHealth::NOMINAL, true),
+    };
+    if !alive {
+        // Churned out: the device is absent this slot — no arrivals, no
+        // service, frozen queues (Eq. 10–11 with all rates zero).
+        return Ok(DeviceSlotOut::Churned);
+    }
+    let fault = !link.is_nominal() || !edge.is_nominal();
+    let (shared_i, dev, obs) = decision_inputs(run, quants, slot_start, i, queue, &link, &edge);
+    let key = decide_key(&shared_i, &dev, &obs);
+    let (x_opt, dpp) = if memo.key == Some(key) {
+        (memo.x_opt, memo.dpp)
     } else {
-        0.0
+        let x_opt = run.decider.decide(shared_i, dev, obs);
+        let dpp = if run.want_dpp {
+            SlotCost::new(shared_i, dev, obs.q, obs.h, obs.p_share)
+                .eval()
+                .drift_plus_penalty(x_opt)
+        } else {
+            0.0
+        };
+        *memo = DecideMemo {
+            key: Some(key),
+            x_opt,
+            dpp,
+        };
+        (x_opt, dpp)
     };
-    let reachable = link.up && edge.up;
-    let outcome = st
-        .degrade
-        .degraded_decide(&run.scenario.degrade, slot.t_slot, reachable, x_opt);
+    device_slot_finish(
+        run,
+        t_slot,
+        queue,
+        degrade,
+        mmpp,
+        rng,
+        DeviceDecision {
+            shared: shared_i,
+            dev,
+            obs,
+            x_opt,
+            dpp,
+            fault,
+            reachable: link.up && edge.up,
+            edge_up: edge.up,
+        },
+    )
+}
+
+/// One slot for a whole shard on the fault-free fast path (no chaos
+/// schedule): gathers every device's decision inputs into the shard's
+/// SoA scratch, solves them as one batch — or broadcasts the memo hit
+/// when every device presents the same input bits — then finishes each
+/// device in order. Bit-identical to looping [`device_slot`]: the
+/// inputs come from the shared [`decision_inputs`], the batched solver
+/// is bit-identical per element (`decide_batch`'s contract), and the
+/// tail is the shared [`device_slot_finish`].
+fn shard_slot_batched(
+    run: &RunCtx<'_>,
+    quants: &SlotQuants,
+    slot_start: SimTime,
+    t_slot: u64,
+    sh: &mut ShardState,
+    outs: &mut Vec<DeviceSlotOut>,
+) -> Result<()> {
+    let ShardState {
+        start,
+        queues,
+        degrades,
+        mmpp,
+        rngs,
+        memo,
+        scratch,
+    } = sh;
+    scratch.shared.clear();
+    scratch.devs.clear();
+    scratch.obs.clear();
+    // Gather (everyone is alive and nominal without a schedule).
+    let mut uniform: Option<[u64; 15]> = None;
+    let mut all_same = true;
+    for (k, queue) in queues.iter().enumerate() {
+        let (shared_i, dev, obs) = decision_inputs(
+            run,
+            quants,
+            slot_start,
+            *start + k,
+            queue,
+            &LinkHealth::NOMINAL,
+            &EdgeHealth::NOMINAL,
+        );
+        let key = decide_key(&shared_i, &dev, &obs);
+        match uniform {
+            None => uniform = Some(key),
+            Some(first) if first == key => {}
+            Some(_) => all_same = false,
+        }
+        scratch.shared.push(shared_i);
+        scratch.devs.push(dev);
+        scratch.obs.push(obs);
+    }
+    // Solve. A fleet presenting identical input bits on every device
+    // (homogeneous params, drained queues) needs exactly one solve:
+    // `decide` is pure, so broadcasting it is bit-identical.
+    let n = scratch.devs.len();
+    scratch.x.clear();
+    if let (true, Some(key)) = (all_same, uniform) {
+        if memo.key != Some(key) {
+            let x_opt = run.decider.decide(scratch.shared[0], scratch.devs[0], scratch.obs[0]);
+            let dpp = if run.want_dpp {
+                SlotCost::new(
+                    scratch.shared[0],
+                    scratch.devs[0],
+                    scratch.obs[0].q,
+                    scratch.obs[0].h,
+                    scratch.obs[0].p_share,
+                )
+                .eval()
+                .drift_plus_penalty(x_opt)
+            } else {
+                0.0
+            };
+            *memo = DecideMemo {
+                key: Some(key),
+                x_opt,
+                dpp,
+            };
+        }
+        scratch.x.resize(n, memo.x_opt);
+    } else {
+        scratch.x.resize(n, 0.0);
+        run.decider
+            .decide_batch(&scratch.shared, &scratch.devs, &scratch.obs, &mut scratch.x);
+    }
+    // Finish each device in order — the same tail, on the same
+    // per-device state, as the scalar path.
+    for k in 0..n {
+        let dpp = if all_same {
+            // Identical inputs ⟹ identical objective value (purity).
+            memo.dpp
+        } else if run.want_dpp {
+            SlotCost::new(
+                scratch.shared[k],
+                scratch.devs[k],
+                scratch.obs[k].q,
+                scratch.obs[k].h,
+                scratch.obs[k].p_share,
+            )
+            .eval()
+            .drift_plus_penalty(scratch.x[k])
+        } else {
+            0.0
+        };
+        outs.push(device_slot_finish(
+            run,
+            t_slot,
+            &mut queues[k],
+            &mut degrades[k],
+            mmpp.get_mut(k),
+            &mut rngs[k],
+            DeviceDecision {
+                shared: scratch.shared[k],
+                dev: scratch.devs[k],
+                obs: scratch.obs[k],
+                x_opt: scratch.x[k],
+                dpp,
+                fault: false,
+                reachable: true,
+                edge_up: true,
+            },
+        )?);
+    }
+    Ok(())
+}
+
+/// Completes one device-slot after its decision: the degradation
+/// ladder, the arrival draw, the realized slot cost and the queue
+/// recursion. Common tail of [`device_slot`] and
+/// [`shard_slot_batched`].
+fn device_slot_finish(
+    run: &RunCtx<'_>,
+    t_slot: u64,
+    queue: &mut QueuePair,
+    degrade: &mut DegradeState,
+    mmpp: Option<&mut Mmpp>,
+    rng: &mut StdRng,
+    decision: DeviceDecision,
+) -> Result<DeviceSlotOut> {
+    let DeviceDecision {
+        shared: shared_i,
+        dev,
+        obs,
+        x_opt,
+        dpp,
+        fault,
+        reachable,
+        edge_up,
+    } = decision;
+    let outcome = degrade.degraded_decide(&run.scenario.degrade, t_slot, reachable, x_opt);
     let x = outcome.x;
     // Any non-Normal mode forces x = 0: the slot's tasks run fully
     // locally and take the First-exit on device.
-    let degraded_local = st.degrade.mode() != DegradeMode::Normal;
-    let arrivals = draw_arrivals(
-        &run.scenario.workload,
-        st.mmpp.as_mut(),
-        slot.means[i],
-        &mut st.rng,
-    );
+    let degraded_local = degrade.mode() != DegradeMode::Normal;
+    let arrivals = draw_arrivals(&run.scenario.workload, mmpp, dev.arrival_mean, rng);
 
-    // Realized per-slot cost with the actual arrival count.
+    // Realized per-slot cost with the actual arrival count. The
+    // precomputed evaluator returns the same bits as the SlotCost
+    // methods (asserted in leime-offload) at a fraction of the work.
     let realized = DeviceParams {
         arrival_mean: arrivals as f64,
         ..dev
     };
     let cost = SlotCost::new(shared_i, realized, obs.q, obs.h, obs.p_share);
-    let (per_task, total, tiers) = if arrivals > 0 {
-        let first_block = cost.y(x);
+    let ev = cost.eval();
+    let (per_task, total, tier_counts) = if arrivals > 0 {
+        let first_block = ev.y(x);
         let tail = if degraded_local {
             0.0
         } else {
@@ -521,27 +940,27 @@ fn device_slot(
         };
         let total = first_block + tail;
         let per_task = total / arrivals as f64;
-        let mut tiers = Vec::with_capacity(arrivals as usize);
+        let mut tier_counts = [0u32; 3];
         for _ in 0..arrivals {
             let tier = if degraded_local {
                 0
             } else {
-                run.deployment.tier_for_draw(st.rng.gen_range(0.0..1.0))?
+                run.deployment.tier_for_draw(rng.gen_range(0.0..1.0))?
             };
-            tiers.push(tier);
+            tier_counts[tier.min(2)] += 1;
         }
-        (per_task, total, tiers)
+        (per_task, total, tier_counts)
     } else {
-        (0.0, 0.0, Vec::new())
+        (0.0, 0.0, [0u32; 3])
     };
 
     // Queue recursions (Eq. 10–11). A downed edge serves nothing (zero
     // H-quota); its backlog waits out the fault.
     let a = (1.0 - x) * arrivals as f64;
     let d_off = x * arrivals as f64;
-    let edge_quota = if edge.up { cost.edge_quota(x) } else { 0.0 };
-    st.queue.step(a, d_off, cost.device_quota(), edge_quota);
-    let served = (obs.q + a - st.queue.q()) + (obs.h + d_off - st.queue.h());
+    let edge_quota = if edge_up { ev.edge_quota(x) } else { 0.0 };
+    queue.step(a, d_off, ev.device_quota(), edge_quota);
+    let served = (obs.q + a - queue.q()) + (obs.h + d_off - queue.h());
 
     Ok(DeviceSlotOut::Active(ActiveOut {
         fault,
@@ -552,19 +971,24 @@ fn device_slot(
         arrivals,
         per_task,
         total,
-        tiers,
+        tier_counts,
         served,
     }))
 }
 
-/// Replays one device-slot's recordings, in exactly the order the
-/// historical sequential loop produced them.
+/// Replays one device-slot's recordings, producing exactly the state the
+/// historical per-task sequential loop produced: completion times replay
+/// through the bit-identical `record_n`/`push_n` batch paths, tier
+/// tallies are additive, and controller decision points buffer into
+/// `batch` (flushed once per slot by the caller) with the timestamps the
+/// per-decision clock reads would have carried.
 fn apply_out(
     report: &mut RunReport,
     telemetry: Option<&SlotTelemetry>,
     replay_decisions: bool,
     slot_start: SimTime,
     acc: &mut SlotAccumulator,
+    batch: &mut DecisionBatch,
     out: &DeviceSlotOut,
 ) {
     let a = match out {
@@ -576,29 +1000,23 @@ fn apply_out(
     };
     if a.fault {
         report.record_fault_slot();
-        if let Some(tel) = telemetry {
-            tel.ctrl.record_fault_slot();
+        if telemetry.is_some() {
+            batch.record_fault_slot();
         }
     }
-    if replay_decisions {
-        if let Some(tel) = telemetry {
-            tel.ctrl.record_decision(&a.obs, a.x_opt, a.dpp);
-        }
+    if replay_decisions && telemetry.is_some() {
+        batch.record_decision(slot_start.as_secs(), &a.obs, a.x_opt, a.dpp);
     }
     let x = a.outcome.x;
     report.record_degrade(&a.outcome);
-    if let Some(tel) = telemetry {
-        tel.ctrl.record_degrade(&a.outcome);
+    if telemetry.is_some() {
+        batch.record_degrade(&a.outcome);
     }
     if a.arrivals > 0 {
-        for &tier in &a.tiers {
-            report.record_tct(slot_start, a.per_task);
-            report.record_tier(tier);
-        }
+        report.record_tct_n(slot_start, a.per_task, a.arrivals);
+        report.record_tier_counts(a.tier_counts);
         if let Some(tel) = telemetry {
-            for _ in 0..a.arrivals {
-                tel.tct.record(a.per_task);
-            }
+            tel.tct.record_n(a.per_task, a.arrivals);
         }
         acc.tct_sum += a.total;
         acc.tasks += a.arrivals;
@@ -678,6 +1096,101 @@ mod tests {
                 assert_eq!(a.q().to_bits(), b.q().to_bits());
                 assert_eq!(a.h().to_bits(), b.h().to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn epoch_length_never_changes_output_bytes() {
+        // The barrier schedule is a pure scheduling choice: every epoch
+        // length must reproduce the single-slot-epoch run byte for byte,
+        // with and without extra workers.
+        let s = Scenario::chaos_testbed(ModelKind::SqueezeNet, 5, 42, 60.0);
+        let dep = s.deploy(ExitStrategy::Leime).unwrap();
+        let run_at = |workers: usize, epoch_len: usize| {
+            let registry = Registry::new();
+            let mut sys = SlottedSystem::new(s.clone(), dep.clone()).unwrap();
+            sys.attach_registry(&registry, "epoch");
+            let report = sys
+                .run_with_workers_epochs(
+                    90,
+                    7,
+                    NonZeroUsize::new(workers).unwrap(),
+                    NonZeroUsize::new(epoch_len).unwrap(),
+                )
+                .unwrap();
+            (
+                serde_json::to_string(&report).unwrap(),
+                serde_json::to_string(&registry.snapshot()).unwrap(),
+            )
+        };
+        let (base_report, base_tel) = run_at(1, 1);
+        for (workers, epoch_len) in [(1, 16), (2, 4), (4, 16), (3, 90), (2, 128)] {
+            let (r, t) = run_at(workers, epoch_len);
+            assert_eq!(base_report, r, "report diverged at {workers}x{epoch_len}");
+            assert_eq!(base_tel, t, "telemetry diverged at {workers}x{epoch_len}");
+        }
+    }
+
+    #[test]
+    fn soa_shards_round_trip_per_device_state() {
+        // The struct-of-arrays shard layout must hold exactly the state
+        // the historical array-of-structs construction held: same queues,
+        // fresh degrade ladders, the same per-device MMPPs and the same
+        // worker-count-independent RNG streams, reassembling to the fleet
+        // in device order at any worker count.
+        let queues: Vec<QueuePair> = (0..7)
+            .map(|i| {
+                let mut q = QueuePair::new();
+                q.step(i as f64, 0.5 * i as f64, 1.0, 0.25);
+                q
+            })
+            .collect();
+        let mmpp: Vec<Mmpp> = (0..7)
+            .map(|i| Mmpp::new(1.0 + i as f64, 8.0, 0.1, 0.3, 50))
+            .collect();
+        for workers in [1usize, 2, 3, 7, 16] {
+            let shards = build_shards(&queues, &mmpp, 99, workers);
+            let mut device = 0usize;
+            for sh in &shards {
+                assert_eq!(sh.start, device, "shard start out of order");
+                assert_eq!(sh.degrades, vec![DegradeState::new(); sh.len()]);
+                for k in 0..sh.len() {
+                    assert_eq!(sh.queues[k], queues[device]);
+                    assert_eq!(sh.mmpp[k], mmpp[device]);
+                    assert_eq!(
+                        sh.rngs[k],
+                        StdRng::seed_from_u64(leime_par::stream_seed(99, device as u64)),
+                        "rng stream depends on shard layout"
+                    );
+                    device += 1;
+                }
+            }
+            assert_eq!(device, queues.len(), "shards dropped devices");
+        }
+        // Workloads without MMPP state shard to empty arrays, not panics.
+        assert!(build_shards(&queues, &[], 1, 3).iter().all(|s| s.mmpp.is_empty()));
+    }
+
+    #[test]
+    fn hot_loop_fns_are_allocation_free_in_s6_baseline() {
+        // The steady-state inner loop — one call per device per slot —
+        // must stay at zero static allocation sites. The S6 ratchet
+        // (leime-lint) counts them; this pins the baseline so a
+        // regression fails here even before the lint gate runs.
+        let baseline = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../lint/hot_alloc_baseline.json"
+        ))
+        .expect("S6 baseline missing");
+        let json: serde_json::Value = serde_json::from_str(&baseline).unwrap();
+        let fns = json["fns"].as_object().unwrap();
+        for name in ["device_slot", "apply_out", "draw_arrivals", "tail_cost"] {
+            let key = format!("crates/core/src/slotted.rs::{name}");
+            let count = fns
+                .get(&key)
+                .unwrap_or_else(|| panic!("{key} missing from S6 baseline"))["count"]
+                .as_u64();
+            assert_eq!(count, Some(0), "{key} gained allocation sites: {count:?}");
         }
     }
 

@@ -1,6 +1,8 @@
 //! Per-slot offloading policies.
 
-use crate::solver::{balance_solve, feasible_interval, golden_section_solve};
+use crate::solver::{
+    balance_solve, feasible_interval, golden_section_solve, golden_section_solve_batch,
+};
 use crate::telemetry::ControllerTelemetry;
 use crate::{DeviceParams, SharedParams, SlotCost};
 use leime_invariant as invariant;
@@ -45,6 +47,30 @@ pub trait OffloadController: Send + Sync + std::fmt::Debug {
     /// order, to stay byte-identical with the sequential path.
     fn records_decisions(&self) -> bool {
         false
+    }
+
+    /// Decides one slot's ratios for a batch of independent devices,
+    /// writing `out[i] = decide(shared[i], devices[i], obs[i])`.
+    ///
+    /// The default loops [`OffloadController::decide`]; implementations
+    /// whose solve is expensive may interleave the independent searches
+    /// for throughput, but every element must carry exactly the bits the
+    /// scalar call returns — drivers rely on this to keep batched and
+    /// per-device paths interchangeable (DESIGN.md §11).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the slice lengths differ.
+    fn decide_batch(
+        &self,
+        shared: &[SharedParams],
+        devices: &[DeviceParams],
+        obs: &[SlotObservation],
+        out: &mut [f64],
+    ) {
+        for (i, x) in out.iter_mut().enumerate() {
+            *x = self.decide(shared[i], devices[i], obs[i]);
+        }
     }
 }
 
@@ -93,6 +119,36 @@ impl OffloadController for LyapunovController {
 
     fn records_decisions(&self) -> bool {
         self.telemetry.is_some()
+    }
+
+    /// Interleaves the per-device golden-section searches so their
+    /// division chains overlap ([`golden_section_solve_batch`]); each
+    /// element returns the bits [`LyapunovController::decide`] would.
+    /// Telemetry attachment or the `V = ∞` balance path fall back to the
+    /// scalar loop (recording and bisection are per-device anyway).
+    fn decide_batch(
+        &self,
+        shared: &[SharedParams],
+        devices: &[DeviceParams],
+        obs: &[SlotObservation],
+        out: &mut [f64],
+    ) {
+        assert!(
+            shared.len() == out.len() && devices.len() == out.len() && obs.len() == out.len(),
+            "decide_batch slice lengths differ"
+        );
+        if self.telemetry.is_some() || shared.iter().any(|s| s.v.is_infinite()) {
+            for (i, x) in out.iter_mut().enumerate() {
+                *x = self.decide(shared[i], devices[i], obs[i]);
+            }
+            return;
+        }
+        let costs = (0..out.len())
+            .map(|i| SlotCost::new(shared[i], devices[i], obs[i].q, obs[i].h, obs[i].p_share));
+        golden_section_solve_batch(costs, out);
+        for x in out.iter() {
+            invariant::check_unit_interval("offload.leime.decide", *x);
+        }
     }
 }
 
@@ -274,5 +330,50 @@ mod tests {
     #[should_panic(expected = "outside [0, 1]")]
     fn fixed_ratio_validates() {
         FixedRatio::new(1.5);
+    }
+
+    /// `decide_batch` must be bitwise interchangeable with per-device
+    /// `decide` — for the Lyapunov fast path (finite V), its balance
+    /// fallback (V = ∞), and the default-method controllers.
+    #[test]
+    fn decide_batch_matches_scalar_decide_bitwise() {
+        let controllers: Vec<Box<dyn OffloadController>> = vec![
+            Box::new(LyapunovController::new()),
+            Box::new(DeviceOnly),
+            Box::new(EdgeOnly),
+            Box::new(CapabilityBased),
+            Box::new(FixedRatio::new(0.3)),
+        ];
+        for v in [1e4, f64::INFINITY] {
+            let mut sh = Vec::new();
+            let mut devs = Vec::new();
+            let mut observations = Vec::new();
+            for (i, k) in [0.0, 2.0, 5.0, 8.0, 11.0, 14.0, 17.0, 20.0, 23.0, 26.0]
+                .iter()
+                .enumerate()
+            {
+                sh.push(shared(v));
+                devs.push(DeviceParams::raspberry_pi(*k));
+                observations.push(SlotObservation {
+                    q: i as f64 * 1.7,
+                    h: (10 - i) as f64 * 0.9,
+                    p_share: 0.1,
+                });
+            }
+            for ctrl in &controllers {
+                let mut out = vec![f64::NAN; sh.len()];
+                ctrl.decide_batch(&sh, &devs, &observations, &mut out);
+                for i in 0..sh.len() {
+                    let scalar = ctrl.decide(sh[i], devs[i], observations[i]);
+                    assert_eq!(
+                        out[i].to_bits(),
+                        scalar.to_bits(),
+                        "{} lane {i} (v={v}): {} != {scalar}",
+                        ctrl.name(),
+                        out[i]
+                    );
+                }
+            }
+        }
     }
 }

@@ -51,8 +51,8 @@ pub use controller::{
     CapabilityBased, DeviceOnly, EdgeOnly, FixedRatio, LyapunovController, OffloadController,
     SlotObservation,
 };
-pub use cost::SlotCost;
+pub use cost::{CostEval, SlotCost};
 pub use degrade::{DegradeMode, DegradeOutcome, DegradePolicy, DegradeState};
 pub use params::{DeviceParams, SharedParams};
 pub use queues::QueuePair;
-pub use telemetry::ControllerTelemetry;
+pub use telemetry::{ControllerTelemetry, DecisionBatch};

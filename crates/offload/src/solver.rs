@@ -65,7 +65,10 @@ pub fn balance_solve(cost: &SlotCost) -> f64 {
     if hi - lo < f64::EPSILON {
         return invariant::check_unit_interval("offload.balance_solve", lo);
     }
-    let g = |x: f64| cost.t_device(x) - cost.t_edge(x);
+    // The precomputed evaluator returns the same bits as SlotCost for
+    // every method (asserted in cost.rs) at a fraction of the work.
+    let ev = cost.eval();
+    let g = |x: f64| ev.t_device(x) - ev.t_edge(x);
     // If even full offloading leaves the device side dearer, offload all.
     if g(hi) >= 0.0 {
         return invariant::check_unit_interval("offload.balance_solve", hi);
@@ -78,16 +81,23 @@ pub fn balance_solve(cost: &SlotCost) -> f64 {
     let (mut a, mut b) = (lo, hi);
     for _ in 0..60 {
         let mid = 0.5 * (a + b);
+        let (prev_a, prev_b) = (a, b);
         if g(mid) >= 0.0 {
             a = mid;
         } else {
             b = mid;
         }
+        // Once an iteration leaves the interval bitwise unchanged, every
+        // remaining iteration recomputes this exact state (g is pure), so
+        // exiting produces identical bits to running out the count.
+        if a.to_bits() == prev_a.to_bits() && b.to_bits() == prev_b.to_bits() {
+            break;
+        }
     }
     let x = 0.5 * (a + b);
     // A device without edge capacity sees an infinite edge cost for any
     // x > 0; fall back to keeping everything local.
-    let x = if cost.t_edge(x).is_finite() { x } else { lo };
+    let x = if ev.t_edge(x).is_finite() { x } else { lo };
     invariant::check_unit_interval("offload.balance_solve", x)
 }
 
@@ -108,7 +118,10 @@ pub fn golden_section_solve(cost: &SlotCost) -> f64 {
     if hi - lo < f64::EPSILON {
         return invariant::check_unit_interval("offload.golden_section_solve", lo);
     }
-    let f = |x: f64| cost.drift_plus_penalty(x);
+    // The precomputed evaluator returns the same bits as SlotCost for
+    // every method (asserted in cost.rs) at a fraction of the work.
+    let ev = cost.eval();
+    let f = |x: f64| ev.drift_plus_penalty(x);
     let inv_phi = (5.0f64.sqrt() - 1.0) / 2.0;
     let (mut a, mut b) = (lo, hi);
     let mut c = b - inv_phi * (b - a);
@@ -131,14 +144,296 @@ pub fn golden_section_solve(cost: &SlotCost) -> f64 {
     }
     let interior = 0.5 * (a + b);
     // `total_cmp` keeps the argmin well-defined even if the objective
-    // ever produced a NaN (it would order last, never win).
+    // ever produced a NaN (it would order last, never win). f is pure, so
+    // caching the incumbent's value compares the same bits as
+    // re-evaluating it per candidate.
     let mut best = lo;
+    let mut f_best = f(best);
     for x in [interior, hi] {
-        if f(x).total_cmp(&f(best)).is_lt() {
+        let f_x = f(x);
+        if f_x.total_cmp(&f_best).is_lt() {
             best = x;
+            f_best = f_x;
         }
     }
     invariant::check_unit_interval("offload.golden_section_solve", best)
+}
+
+/// Lane count of the batched golden-section kernel. Eight independent
+/// searches give the FP divider enough in-flight divisions to run at
+/// throughput instead of latency, and the lane-transposed state
+/// (22 x 8 doubles) stays L1-resident.
+const GS_LANES: usize = 16;
+
+/// Bitwise select: the exact bits of `a` when `mask` is all-ones, of `b`
+/// when all-zeros. Compiles to AND/OR — no branch, no rounding.
+#[inline(always)]
+fn sel(mask: u64, a: f64, b: f64) -> f64 {
+    f64::from_bits((a.to_bits() & mask) | (b.to_bits() & !mask))
+}
+
+/// All-ones when `a > b`, all-zeros otherwise (for [`sel`]).
+#[inline(always)]
+fn gt(a: f64, b: f64) -> u64 {
+    ((a > b) as u64).wrapping_neg()
+}
+
+/// Lane-transposed (struct-of-arrays) state for up to [`GS_LANES`]
+/// concurrent golden-section searches: each [`crate::CostEval`] field
+/// and each contraction variable becomes one array indexed by lane, so
+/// the per-iteration pass is a fixed-trip elementwise loop the compiler
+/// can vectorise — and even unvectorised, the eight independent
+/// division chains overlap in the divider instead of serialising.
+#[derive(Debug, Default)]
+struct GsSoa {
+    // CostEval fields, transposed.
+    k: [f64; GS_LANES],
+    q: [f64; GS_LANES],
+    h: [f64; GS_LANES],
+    v: [f64; GS_LANES],
+    per_task_dev: [f64; GS_LANES],
+    one_minus_sigma1: [f64; GS_LANES],
+    tx1: [f64; GS_LANES],
+    tx0: [f64; GS_LANES],
+    mu1: [f64; GS_LANES],
+    p_share: [f64; GS_LANES],
+    edge_flops: [f64; GS_LANES],
+    edge2: [f64; GS_LANES],
+    slot_len_s: [f64; GS_LANES],
+    device_quota: [f64; GS_LANES],
+    // Contraction state.
+    a: [f64; GS_LANES],
+    b: [f64; GS_LANES],
+    c: [f64; GS_LANES],
+    d: [f64; GS_LANES],
+    fc: [f64; GS_LANES],
+    fd: [f64; GS_LANES],
+    lo: [f64; GS_LANES],
+    hi: [f64; GS_LANES],
+    /// Output-slice index per lane.
+    idx: [usize; GS_LANES],
+    /// Filled lanes (the rest are padding).
+    n: usize,
+}
+
+impl GsSoa {
+    fn push(&mut self, cost: &SlotCost, lo: f64, hi: f64, inv_phi: f64, idx: usize) {
+        let ev = cost.eval();
+        let i = self.n;
+        self.k[i] = ev.k;
+        self.q[i] = ev.q;
+        self.h[i] = ev.h;
+        self.v[i] = ev.v;
+        self.per_task_dev[i] = ev.per_task_dev;
+        self.one_minus_sigma1[i] = ev.one_minus_sigma1;
+        self.tx1[i] = ev.tx1;
+        self.tx0[i] = ev.tx0;
+        self.mu1[i] = ev.mu1;
+        self.p_share[i] = ev.p_share;
+        self.edge_flops[i] = ev.edge_flops;
+        self.edge2[i] = ev.edge2;
+        self.slot_len_s[i] = ev.slot_len_s;
+        self.device_quota[i] = ev.device_quota;
+        let (a, b) = (lo, hi);
+        self.a[i] = a;
+        self.b[i] = b;
+        self.c[i] = b - inv_phi * (b - a);
+        self.d[i] = a + inv_phi * (b - a);
+        self.fc[i] = self.dpp(i, self.c[i]);
+        self.fd[i] = self.dpp(i, self.d[i]);
+        self.lo[i] = lo;
+        self.hi[i] = hi;
+        self.idx[i] = idx;
+        self.n += 1;
+    }
+
+    /// Drift-plus-penalty for lane `i` at `x` — the exact formulas of
+    /// [`crate::CostEval`] with their early returns turned into bitwise
+    /// selects: both sides compute, the loser's bits are discarded, so
+    /// the kept value matches the scalar method bit-for-bit (a discarded
+    /// side may produce `inf`/NaN garbage, which the select drops).
+    /// `batch_solver_is_bit_identical_to_scalar` pins the equivalence.
+    #[inline(always)]
+    fn dpp(&self, i: usize, x: f64) -> f64 {
+        // edge_first_block_flops: `denom <= 0` → 0.
+        let denom = x * self.mu1[i] + self.edge2[i];
+        let f_e1 = sel(
+            gt(denom, 0.0),
+            x * self.mu1[i] * self.p_share[i] * self.edge_flops[i] / denom,
+            0.0,
+        );
+        // t_device: `a <= 0` → 0.
+        let a = (1.0 - x) * self.k[i];
+        let c1 = a * self.q[i] * self.per_task_dev[i];
+        let c2 =
+            a * self.per_task_dev[i] + (a * (a - 1.0) / 2.0).max(0.0) * self.per_task_dev[i];
+        let c3 = self.one_minus_sigma1[i] * a * self.tx1[i];
+        let td = sel(gt(a, 0.0), c1 + c2 + c3, 0.0);
+        // t_edge_from: `dd <= 0` → 0, else `f_e1 <= 0` → ∞.
+        let dd = x * self.k[i];
+        let per_task = self.mu1[i] / f_e1;
+        let e1 = dd * self.tx0[i];
+        let e2 = dd * self.h[i] * per_task;
+        let e3 = dd * per_task + (dd * (dd - 1.0) / 2.0).max(0.0) * per_task;
+        let te = sel(
+            gt(dd, 0.0),
+            sel(gt(f_e1, 0.0), e1 + e2 + e3, f64::INFINITY),
+            0.0,
+        );
+        // edge_quota_from (no branch in the scalar form either).
+        let eq = f_e1 * self.slot_len_s[i] / self.mu1[i];
+        self.v[i] * (td + te) + self.q[i] * (a - self.device_quota[i]) + self.h[i] * (dd - eq)
+    }
+
+    /// Runs the filled lanes to completion, writes their results, and
+    /// empties the batch. Unfilled lanes are padded with copies of lane
+    /// 0 so the contraction loop has a fixed trip count (padding results
+    /// are never written out).
+    fn solve_lanes(&mut self, inv_phi: f64, out: &mut [f64]) {
+        if self.n == 0 {
+            return;
+        }
+        for i in self.n..GS_LANES {
+            self.copy_lane(0, i);
+        }
+        self.contract(inv_phi);
+        for i in 0..self.n {
+            let interior = 0.5 * (self.a[i] + self.b[i]);
+            let mut best = self.lo[i];
+            let mut f_best = self.dpp(i, best);
+            for x in [interior, self.hi[i]] {
+                let f_x = self.dpp(i, x);
+                if f_x.total_cmp(&f_best).is_lt() {
+                    best = x;
+                    f_best = f_x;
+                }
+            }
+            out[self.idx[i]] =
+                invariant::check_unit_interval("offload.golden_section_solve", best);
+        }
+        self.n = 0;
+    }
+
+    /// Dispatches the contraction to the widest SIMD build the CPU
+    /// supports. Every variant compiles [`GsSoa::contract_rounds`]
+    /// unchanged — wider vectors only let more lanes' correctly-rounded
+    /// IEEE divisions issue together, they never change a lane's bits —
+    /// so the dispatch is invisible to results (pinned by
+    /// `batch_solver_is_bit_identical_to_scalar` on whatever path the
+    /// test machine takes).
+    fn contract(&mut self, inv_phi: f64) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                // SAFETY: guarded by the runtime feature check above.
+                return unsafe { self.contract_avx512(inv_phi) };
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: guarded by the runtime feature check above.
+                return unsafe { self.contract_avx2(inv_phi) };
+            }
+        }
+        self.contract_rounds(inv_phi);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f,avx512vl,avx512dq")]
+    unsafe fn contract_avx512(&mut self, inv_phi: f64) {
+        self.contract_rounds(inv_phi);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn contract_avx2(&mut self, inv_phi: f64) {
+        self.contract_rounds(inv_phi);
+    }
+
+    /// The 80 golden-section rounds, all lanes in lockstep. Each round
+    /// is a fixed-trip elementwise pass, so the loop vectorises; the
+    /// comparison is a bitmask select ([`sel`]) rather than a branch
+    /// (the outcome is a near-coin-flip — a mispredict per
+    /// lane-iteration would cost more than the divisions it hides).
+    /// Both candidate probe points are computed and the loser's bits
+    /// discarded, so the kept state matches the scalar loop's
+    /// corresponding branch bit-for-bit.
+    #[inline(always)]
+    fn contract_rounds(&mut self, inv_phi: f64) {
+        for _ in 0..80 {
+            for i in 0..GS_LANES {
+                let m = gt(self.fd[i], self.fc[i]); // fc < fd
+                let a = sel(m, self.a[i], self.c[i]);
+                let b = sel(m, self.d[i], self.b[i]);
+                let width = inv_phi * (b - a);
+                let p = sel(m, b - width, a + width);
+                let fp = self.dpp(i, p);
+                let c = sel(m, p, self.d[i]);
+                let d = sel(m, self.c[i], p);
+                let fc = sel(m, fp, self.fd[i]);
+                let fd = sel(m, self.fc[i], fp);
+                self.a[i] = a;
+                self.b[i] = b;
+                self.c[i] = c;
+                self.d[i] = d;
+                self.fc[i] = fc;
+                self.fd[i] = fd;
+            }
+        }
+    }
+
+    fn copy_lane(&mut self, src: usize, dst: usize) {
+        self.k[dst] = self.k[src];
+        self.q[dst] = self.q[src];
+        self.h[dst] = self.h[src];
+        self.v[dst] = self.v[src];
+        self.per_task_dev[dst] = self.per_task_dev[src];
+        self.one_minus_sigma1[dst] = self.one_minus_sigma1[src];
+        self.tx1[dst] = self.tx1[src];
+        self.tx0[dst] = self.tx0[src];
+        self.mu1[dst] = self.mu1[src];
+        self.p_share[dst] = self.p_share[src];
+        self.edge_flops[dst] = self.edge_flops[src];
+        self.edge2[dst] = self.edge2[src];
+        self.slot_len_s[dst] = self.slot_len_s[src];
+        self.device_quota[dst] = self.device_quota[src];
+        self.a[dst] = self.a[src];
+        self.b[dst] = self.b[src];
+        self.c[dst] = self.c[src];
+        self.d[dst] = self.d[src];
+        self.fc[dst] = self.fc[src];
+        self.fd[dst] = self.fd[src];
+        self.lo[dst] = self.lo[src];
+        self.hi[dst] = self.hi[src];
+    }
+}
+
+/// Batched [`golden_section_solve`]: runs up to [`GS_LANES`] independent
+/// searches with their iterations advanced in lockstep, so the
+/// per-iteration division chains (the objective is division-bound and
+/// each probe point depends on the previous comparison) overlap in the
+/// FP pipeline instead of serialising. Per element this performs exactly
+/// the scalar solver's operation sequence, so every output is
+/// bit-identical to `golden_section_solve` on the same input (asserted
+/// by `batch_solver_is_bit_identical_to_scalar`). Allocation-free: lane
+/// state lives on the stack and `out` is caller-provided.
+///
+/// # Panics
+///
+/// Panics if `out` is shorter than `costs` yields elements.
+pub fn golden_section_solve_batch(costs: impl Iterator<Item = SlotCost>, out: &mut [f64]) {
+    let inv_phi = (5.0f64.sqrt() - 1.0) / 2.0;
+    let mut soa = GsSoa::default();
+    for (idx, cost) in costs.enumerate() {
+        let (lo, hi) = feasible_interval(&cost);
+        if hi - lo < f64::EPSILON {
+            out[idx] = invariant::check_unit_interval("offload.golden_section_solve", lo);
+            continue;
+        }
+        soa.push(&cost, lo, hi, inv_phi, idx);
+        if soa.n == GS_LANES {
+            soa.solve_lanes(inv_phi, out);
+        }
+    }
+    soa.solve_lanes(inv_phi, out);
 }
 
 #[cfg(test)]
@@ -256,5 +551,45 @@ mod tests {
     fn zero_arrivals_leave_full_interval() {
         let c = cost_with(0.0, 0.0, 0.0);
         assert_eq!(feasible_interval(&c), (0.0, 1.0));
+    }
+
+    /// The interleaved batch solver must return, per element, exactly the
+    /// bits the scalar solver returns — at every batch size (partial
+    /// lanes, full chunks, several chunks) and with degenerate intervals
+    /// mixed between live ones.
+    #[test]
+    fn batch_solver_is_bit_identical_to_scalar() {
+        let mut costs = Vec::new();
+        for k in [0.5, 5.0, 12.0] {
+            for q in [0.0, 2.0, 37.5] {
+                for h in [0.0, 1.2, 50.0] {
+                    costs.push(cost_with(k, q, h));
+                }
+            }
+        }
+        // Degenerate feasible intervals (starved link) sprinkled in.
+        let mut s = shared();
+        s.d1_bytes = 2_000.0;
+        let mut dev = DeviceParams::raspberry_pi(10.0);
+        dev.bandwidth_bps = 1.0; // can't carry anything: interval collapses
+        costs.insert(3, SlotCost::new(s, dev, 4.0, 1.0, 0.25));
+        costs.insert(11, SlotCost::new(s, dev, 0.0, 9.0, 0.25));
+        // Zero arrivals (full interval, flat objective on the device side).
+        costs.push(cost_with(0.0, 3.0, 3.0));
+
+        for n in 1..costs.len() {
+            let batch = &costs[..n];
+            let mut out = vec![f64::NAN; n];
+            golden_section_solve_batch(batch.iter().copied(), &mut out);
+            for (i, c) in batch.iter().enumerate() {
+                let scalar = golden_section_solve(c);
+                assert_eq!(
+                    out[i].to_bits(),
+                    scalar.to_bits(),
+                    "lane {i} of {n}: batch {} != scalar {scalar}",
+                    out[i]
+                );
+            }
+        }
     }
 }

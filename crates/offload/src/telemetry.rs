@@ -91,6 +91,108 @@ impl ControllerTelemetry {
             self.recoveries.incr();
         }
     }
+
+    /// Flushes a [`DecisionBatch`] accumulated by a driving simulator:
+    /// each series takes its lock once per flush instead of once per
+    /// decision, and each counter is bumped once with the batch tally.
+    /// Point and count values are exactly those the equivalent sequence
+    /// of [`ControllerTelemetry::record_decision`] /
+    /// [`ControllerTelemetry::record_fault_slot`] /
+    /// [`ControllerTelemetry::record_degrade`] calls would have produced
+    /// (the batch stores caller-stamped times). The batch is left empty
+    /// and ready for reuse.
+    pub fn flush_batch(&self, batch: &mut DecisionBatch) {
+        self.queue_q.push_batch(&batch.queue_q);
+        self.queue_h.push_batch(&batch.queue_h);
+        self.offload_x.push_batch(&batch.offload_x);
+        self.drift_plus_penalty.push_batch(&batch.drift_plus_penalty);
+        if batch.fault_slots > 0 {
+            self.fault_slots.add(batch.fault_slots);
+        }
+        if batch.timeouts > 0 {
+            self.timeouts.add(batch.timeouts);
+        }
+        if batch.retries > 0 {
+            self.retries.add(batch.retries);
+        }
+        if batch.fallbacks > 0 {
+            self.fallbacks.add(batch.fallbacks);
+        }
+        if batch.recoveries > 0 {
+            self.recoveries.add(batch.recoveries);
+        }
+        batch.clear();
+    }
+}
+
+/// A plain accumulation buffer for controller telemetry, filled by a
+/// driving simulator in decision order and handed to
+/// [`ControllerTelemetry::flush_batch`] once per slot (or epoch). Reuse
+/// one batch across slots — [`DecisionBatch::clear`] keeps the
+/// capacity, so steady-state slots allocate nothing.
+#[derive(Debug, Default)]
+pub struct DecisionBatch {
+    queue_q: Vec<(f64, f64)>,
+    queue_h: Vec<(f64, f64)>,
+    offload_x: Vec<(f64, f64)>,
+    drift_plus_penalty: Vec<(f64, f64)>,
+    fault_slots: u64,
+    timeouts: u64,
+    retries: u64,
+    fallbacks: u64,
+    recoveries: u64,
+}
+
+impl DecisionBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        DecisionBatch::default()
+    }
+
+    /// Buffers one device-slot decision stamped at time `t` (the caller
+    /// supplies the slot-start time its clock would have reported).
+    pub fn record_decision(&mut self, t: f64, obs: &SlotObservation, x: f64, dpp: f64) {
+        self.queue_q.push((t, obs.q));
+        self.queue_h.push((t, obs.h));
+        self.offload_x.push((t, x));
+        self.drift_plus_penalty.push((t, dpp));
+    }
+
+    /// Buffers one faulted device-slot.
+    pub fn record_fault_slot(&mut self) {
+        self.fault_slots += 1;
+    }
+
+    /// Buffers the transitions a [`DegradeOutcome`] reports.
+    pub fn record_degrade(&mut self, outcome: &DegradeOutcome) {
+        self.timeouts += u64::from(outcome.timed_out);
+        self.retries += u64::from(outcome.retried);
+        self.fallbacks += u64::from(outcome.fell_back);
+        self.recoveries += u64::from(outcome.recovered);
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.queue_q.is_empty()
+            && self.fault_slots == 0
+            && self.timeouts == 0
+            && self.retries == 0
+            && self.fallbacks == 0
+            && self.recoveries == 0
+    }
+
+    /// Empties the batch, keeping buffer capacity for the next slot.
+    pub fn clear(&mut self) {
+        self.queue_q.clear();
+        self.queue_h.clear();
+        self.offload_x.clear();
+        self.drift_plus_penalty.clear();
+        self.fault_slots = 0;
+        self.timeouts = 0;
+        self.retries = 0;
+        self.fallbacks = 0;
+        self.recoveries = 0;
+    }
 }
 
 #[cfg(test)]
@@ -127,6 +229,55 @@ mod tests {
                 .unwrap()
                 .points,
             vec![(2.0, 12.5)]
+        );
+    }
+
+    #[test]
+    fn batched_flush_matches_sequential_recording() {
+        // Two registries, same decisions: one recorded per-decision, one
+        // buffered and flushed per-slot. The serialized snapshots must be
+        // identical — this is what lets the slotted runner batch its
+        // driver-side replay without breaking DESIGN.md §11.
+        let seq_reg = Registry::new();
+        let bat_reg = Registry::new();
+        let clock = VirtualClock::new();
+        let seq = ControllerTelemetry::attach(&seq_reg, "sys.ctrl", clock.clone());
+        let bat = ControllerTelemetry::attach(&bat_reg, "sys.ctrl", clock.clone());
+        let mut batch = DecisionBatch::new();
+        assert!(batch.is_empty());
+        for slot in 0..3u64 {
+            let t = slot as f64;
+            clock.advance_to(t);
+            for dev in 0..4u64 {
+                use leime_telemetry::Clock;
+                let obs = SlotObservation {
+                    q: dev as f64,
+                    h: 0.5 * dev as f64,
+                    p_share: 0.25,
+                };
+                let x = 0.1 * (slot + dev) as f64;
+                seq.record_decision(&obs, x, x + 1.0);
+                batch.record_decision(clock.now(), &obs, x, x + 1.0);
+                if dev == 0 {
+                    seq.record_fault_slot();
+                    batch.record_fault_slot();
+                }
+                let outcome = DegradeOutcome {
+                    x,
+                    timed_out: dev == 1,
+                    retried: dev == 1,
+                    fell_back: dev == 2,
+                    recovered: dev == 3,
+                };
+                seq.record_degrade(&outcome);
+                batch.record_degrade(&outcome);
+            }
+            bat.flush_batch(&mut batch);
+            assert!(batch.is_empty());
+        }
+        assert_eq!(
+            serde_json::to_string(&seq_reg.snapshot()).unwrap(),
+            serde_json::to_string(&bat_reg.snapshot()).unwrap()
         );
     }
 

@@ -37,7 +37,7 @@ pub mod shard;
 pub use pool::{par_map_shards, run_rounds};
 pub use reduce::{concat_shards, merge_btree_maps};
 pub use rng::{split_mix64, stream_seed};
-pub use shard::{owner_of, partition};
+pub use shard::{epoch_ranges, owner_of, partition};
 
 /// A failure inside the parallel layer itself.
 #[derive(Debug, Clone, PartialEq, Eq)]

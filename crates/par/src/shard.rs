@@ -33,6 +33,27 @@ pub fn partition(n_items: usize, workers: usize) -> Vec<Range<usize>> {
     shards
 }
 
+/// Splits `0..total` into consecutive epochs of `len` items (the last
+/// epoch may be shorter), in ascending order.
+///
+/// This is the slot→round schedule for epoch-batched `run_rounds`
+/// drivers: each round processes one epoch of slots, so barrier
+/// frequency drops by a factor of `len` while slot order (and thus every
+/// per-device RNG draw order) is unchanged. `len == 0` is treated as 1
+/// rather than panicking — callers pass user-facing knobs straight
+/// through. An empty vector is returned for zero items.
+pub fn epoch_ranges(total: usize, len: usize) -> Vec<Range<usize>> {
+    let len = len.max(1);
+    let mut epochs = Vec::with_capacity(total.div_ceil(len));
+    let mut start = 0usize;
+    while start < total {
+        let end = (start + len).min(total);
+        epochs.push(start..end);
+        start = end;
+    }
+    epochs
+}
+
 /// The shard index that owns `item` under `partition(n_items, workers)`.
 ///
 /// Returns `None` when `item >= n_items`. Mirrors [`partition`] exactly;
@@ -102,6 +123,36 @@ mod tests {
     fn zero_workers_behaves_like_one() {
         assert_eq!(partition(5, 0), partition(5, 1));
         assert_eq!(partition(5, 1), vec![0..5]);
+    }
+
+    #[test]
+    fn epoch_ranges_cover_in_order() {
+        assert_eq!(epoch_ranges(10, 4), vec![0..4, 4..8, 8..10]);
+        assert_eq!(epoch_ranges(8, 4), vec![0..4, 4..8]);
+        assert_eq!(epoch_ranges(3, 16), vec![0..3]);
+        assert_eq!(epoch_ranges(5, 1).len(), 5);
+        assert!(epoch_ranges(0, 4).is_empty());
+        // A zero epoch length degrades to 1 instead of looping forever.
+        assert_eq!(epoch_ranges(3, 0), epoch_ranges(3, 1));
+    }
+
+    proptest! {
+        #[test]
+        fn epoch_ranges_are_total(total in 0usize..500, len in 0usize..40) {
+            let epochs = epoch_ranges(total, len);
+            let mut next = 0usize;
+            for e in &epochs {
+                prop_assert!(!e.is_empty());
+                prop_assert_eq!(e.start, next);
+                prop_assert!(e.len() <= len.max(1));
+                next = e.end;
+            }
+            prop_assert_eq!(next, total);
+            // Every epoch but the last is full-length.
+            for e in epochs.iter().rev().skip(1) {
+                prop_assert_eq!(e.len(), len.max(1));
+            }
+        }
     }
 
     proptest! {

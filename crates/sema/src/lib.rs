@@ -146,6 +146,7 @@ impl Default for SemaConfig {
             hot_root_fns: [
                 "run",
                 "run_with_workers",
+                "run_with_workers_epochs",
                 "run_live",
                 "run_live_with_registry",
                 "run_slotted",

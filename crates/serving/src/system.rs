@@ -40,7 +40,7 @@ use leime_workload::SlotArrivals;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use leime::{LeimeError, ModelKind, Scenario, SHARE_FLOOR};
+use leime::{LeimeError, ModelKind, Scenario, SlotArena, SHARE_FLOOR};
 
 use crate::{
     admit, steer_exits, AdmissionPolicy, ClassPlan, ClassStats, Request, ServingReport, SlaClass,
@@ -218,6 +218,18 @@ impl ServingSystem {
         let mut offload_slots = 0u64;
         let mut next_id = 0u64;
 
+        // Slot scratch (DESIGN.md §14): the offered means are rebuilt in
+        // place each slot and the per-device request cohort cycles
+        // through a [`SlotArena`], so steady-state slots allocate
+        // nothing on this path. Per-class counter deltas accumulate
+        // here and flush to the registry once per slot.
+        let mut means: Vec<f64> = Vec::with_capacity(n);
+        let mut req_arena: SlotArena<Request> = SlotArena::new();
+        let mut offered_slot = [0u64; 3];
+        let mut admitted_slot = [0u64; 3];
+        let mut shed_slot = [0u64; 3];
+        let mut hits_slot = [0u64; 3];
+
         for slot in 0..slots {
             let slot_start = SimTime::from_secs(slot as f64 * slot_len_s);
             let t_s = slot_start.as_secs();
@@ -228,11 +240,8 @@ impl ServingSystem {
             // Eq. 27 edge shares against the offered means.
             let rate = config.traffic.rate_factor(t_s, &mut traffic_rng);
             let hard_f = config.traffic.hard_fraction(t_s).clamp(0.0, 1.0);
-            let means: Vec<f64> = scenario
-                .devices
-                .iter()
-                .map(|d| d.arrival_mean * rate)
-                .collect();
+            means.clear();
+            means.extend(scenario.devices.iter().map(|d| d.arrival_mean * rate));
             let shares =
                 kkt_allocation_with_floor(&flops, &means, scenario.edge_flops, SHARE_FLOOR);
 
@@ -285,7 +294,7 @@ impl ServingSystem {
                     max: config.traffic.max_per_slot,
                 }
                 .draw(&mut st.rng);
-                let mut requests = Vec::with_capacity(offered_n as usize);
+                let mut requests = req_arena.take();
                 let mut offered = [0u64; 3];
                 for _ in 0..offered_n {
                     let class = config.sla.class_for_draw(st.rng.gen_range(0.0..1.0));
@@ -357,14 +366,10 @@ impl ServingSystem {
                 for req in &requests {
                     let ci = req.class.index();
                     stats[ci].offered += 1;
-                    if let Some(tel) = &self.telemetry {
-                        tel.offered[ci].incr();
-                    }
+                    offered_slot[ci] += 1;
                     if quota_left[ci] == 0 {
                         stats[ci].shed += 1;
-                        if let Some(tel) = &self.telemetry {
-                            tel.shed[ci].incr();
-                        }
+                        shed_slot[ci] += 1;
                         continue;
                     }
                     quota_left[ci] -= 1;
@@ -399,14 +404,17 @@ impl ServingSystem {
                     if hit {
                         stats[ci].deadline_hits += 1;
                     }
+                    admitted_slot[ci] += 1;
+                    if hit {
+                        hits_slot[ci] += 1;
+                    }
                     if let Some(tel) = &self.telemetry {
-                        tel.admitted[ci].incr();
+                        // Histograms need every sample; the counters
+                        // flush once per slot below.
                         tel.tct[ci].record(tct);
-                        if hit {
-                            tel.deadline_hits[ci].incr();
-                        }
                     }
                 }
+                req_arena.put(requests);
 
                 if fault || degraded_local {
                     fault_slots += 1;
@@ -421,7 +429,28 @@ impl ServingSystem {
                 tel.queue_q.push(t_s, q_sum / n as f64);
                 tel.queue_h.push(t_s, h_sum / n as f64);
                 tel.offload_x.push(t_s, x_sum / n as f64);
+                // One atomic add per counter per slot instead of one
+                // per request; totals match the per-request increments
+                // exactly.
+                for ci in 0..3 {
+                    if offered_slot[ci] > 0 {
+                        tel.offered[ci].add(offered_slot[ci]);
+                    }
+                    if admitted_slot[ci] > 0 {
+                        tel.admitted[ci].add(admitted_slot[ci]);
+                    }
+                    if shed_slot[ci] > 0 {
+                        tel.shed[ci].add(shed_slot[ci]);
+                    }
+                    if hits_slot[ci] > 0 {
+                        tel.deadline_hits[ci].add(hits_slot[ci]);
+                    }
+                }
             }
+            offered_slot = [0; 3];
+            admitted_slot = [0; 3];
+            shed_slot = [0; 3];
+            hits_slot = [0; 3];
         }
 
         let final_backlog = states.iter().map(|s| s.queue.q() + s.queue.h()).sum();

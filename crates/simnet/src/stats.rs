@@ -91,6 +91,14 @@ impl Percentiles {
         self.hist.record(x);
     }
 
+    /// Adds the same sample `n` times — bit-identical to `n` successive
+    /// [`Percentiles::push`] calls (see `Buckets::record_n`) while
+    /// paying the bucket search once. The slotted runner records one
+    /// cohort's per-task TCT for all of a slot's arrivals this way.
+    pub fn push_n(&mut self, x: f64, n: u64) {
+        self.hist.record_n(x, n);
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.hist.count() as usize
@@ -154,6 +162,25 @@ impl TimeSeries {
         self.points.push((t, value));
     }
 
+    /// Appends the same observation `n` times, checking monotonicity
+    /// once. Equivalent to `n` successive [`TimeSeries::push`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the last recorded timestamp.
+    pub fn push_n(&mut self, t: SimTime, value: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t >= last, "time series must be non-decreasing");
+        }
+        self.points.reserve(n as usize);
+        for _ in 0..n {
+            self.points.push((t, value));
+        }
+    }
+
     /// The raw points.
     pub fn points(&self) -> &[(SimTime, f64)] {
         &self.points
@@ -203,6 +230,34 @@ impl TimeSeries {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn push_n_matches_repeated_push() {
+        let mut pn = Percentiles::new();
+        let mut pr = Percentiles::new();
+        let mut sn = TimeSeries::new();
+        let mut sr = TimeSeries::new();
+        for (i, n) in [(1u64, 3u64), (2, 1), (3, 0), (4, 7)] {
+            let t = SimTime::from_secs(i as f64);
+            let v = 0.25 * i as f64;
+            pn.push_n(v, n);
+            sn.push_n(t, v, n);
+            for _ in 0..n {
+                pr.push(v);
+                sr.push(t, v);
+            }
+        }
+        assert_eq!(pn, pr);
+        assert_eq!(sn.points(), sr.points());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn push_n_rejects_time_regression() {
+        let mut s = TimeSeries::new();
+        s.push(SimTime::from_secs(2.0), 1.0);
+        s.push_n(SimTime::from_secs(1.0), 1.0, 2);
+    }
 
     #[test]
     fn welford_matches_direct() {

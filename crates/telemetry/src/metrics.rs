@@ -89,6 +89,17 @@ impl Series {
         crate::sync::lock_unpoisoned(&self.points).push((t, value));
     }
 
+    /// Appends many samples under one lock acquisition — equivalent to
+    /// calling [`Series::push`] for each point in order, but the hot
+    /// slotted runner flushes a whole slot (or epoch) of points at once
+    /// instead of taking the mutex per decision.
+    pub fn push_batch(&self, points: &[(f64, f64)]) {
+        if points.is_empty() {
+            return;
+        }
+        crate::sync::lock_unpoisoned(&self.points).extend_from_slice(points);
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         crate::sync::lock_unpoisoned(&self.points).len()
@@ -134,6 +145,20 @@ mod tests {
         s.push(0.2, 3.0);
         assert_eq!(s.points(), vec![(0.0, 1.0), (0.1, 2.0), (0.2, 3.0)]);
         assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn push_batch_matches_sequential_pushes() {
+        let batched = Series::new();
+        let sequential = Series::new();
+        let points: Vec<(f64, f64)> = (0..37).map(|i| (i as f64 * 0.5, (i * i) as f64)).collect();
+        for &(t, v) in &points {
+            sequential.push(t, v);
+        }
+        batched.push_batch(&points[..10]);
+        batched.push_batch(&[]);
+        batched.push_batch(&points[10..]);
+        assert_eq!(batched.points(), sequential.points());
     }
 
     #[test]

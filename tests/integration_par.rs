@@ -29,6 +29,13 @@ const RUN_SEED: u64 = 29;
 /// sanity check that `run_with_workers(…, 1)` is the sequential path).
 const WORKER_COUNTS: [usize; 4] = [1, 2, 3, 8];
 
+/// The epoch-grid axes for the SoA/epoch differential property: every
+/// worker count × slots-per-barrier combination must reproduce the
+/// sequential bytes (DESIGN.md §14 — the barrier schedule is a pure
+/// scheduling choice).
+const EPOCH_WORKERS: [usize; 4] = [1, 2, 4, 8];
+const EPOCH_LENS: [usize; 3] = [1, 4, 16];
+
 fn w(n: usize) -> NonZeroUsize {
     NonZeroUsize::new(n).expect("worker counts are non-zero")
 }
@@ -177,6 +184,53 @@ fn assert_workers_byte_identical(scenario: &Scenario, slots: usize, seed: u64) {
     }
 }
 
+/// The §14 grid, asserted: `run_with_workers_epochs(…, N, E)` matches
+/// the sequential run's serialized RunReport and telemetry snapshot
+/// bytes for every worker count × epoch length.
+fn assert_epoch_grid_byte_identical(scenario: &Scenario, slots: usize, seed: u64) {
+    let dep = scenario.deploy(ExitStrategy::Leime).unwrap();
+    let run_at = |workers: usize, epoch_len: usize| {
+        let registry = Registry::new();
+        let mut sys = SlottedSystem::new(scenario.clone(), dep.clone()).unwrap();
+        sys.attach_registry(&registry, "epoch");
+        let report = sys
+            .run_with_workers_epochs(slots, seed, w(workers), w(epoch_len))
+            .unwrap();
+        (
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&registry.snapshot()).unwrap(),
+        )
+    };
+
+    let (seq_report, seq_tel) = {
+        let registry = Registry::new();
+        let mut sys = SlottedSystem::new(scenario.clone(), dep.clone()).unwrap();
+        sys.attach_registry(&registry, "epoch");
+        let report = sys.run(slots, seed).unwrap();
+        (
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&registry.snapshot()).unwrap(),
+        )
+    };
+
+    for workers in EPOCH_WORKERS {
+        for epoch_len in EPOCH_LENS {
+            let (report, tel) = run_at(workers, epoch_len);
+            assert_eq!(
+                seq_report,
+                report,
+                "RunReport diverged at {workers} workers × epoch {epoch_len} \
+                 ({} devices, {slots} slots)",
+                scenario.devices.len()
+            );
+            assert_eq!(
+                seq_tel, tel,
+                "telemetry snapshot diverged at {workers} workers × epoch {epoch_len}"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -204,6 +258,34 @@ proptest! {
             chaos: (with_chaos == 1).then_some((chaos_seed, mask, duty, mean_s)),
         };
         assert_workers_byte_identical(&build_scenario(&case), slots, RUN_SEED);
+    }
+
+    /// The SoA/epoch grid on big fleets: any fleet size up to 512
+    /// devices, any workload × controller × optional chaos, every
+    /// worker count × epoch length reproduces the sequential bytes.
+    /// (Slot counts stay small — the case cost is devices × slots ×
+    /// 13 runs; the pinned cases below cover long horizons.)
+    #[test]
+    fn epoch_grid_is_byte_identical_up_to_512_devices(
+        devices in 1usize..513,
+        slots in 1usize..25,
+        arrival in 1.0f64..10.0,
+        controller in 0u8..5,
+        workload in 0u8..3,
+        with_chaos in 0u8..2,
+        chaos_seed in 0u64..1_000_000,
+        mask in 1u8..16,
+        duty in 0.05f64..0.6,
+        mean_s in 0.5f64..15.0,
+    ) {
+        let case = Case {
+            devices,
+            arrival,
+            controller,
+            workload,
+            chaos: (with_chaos == 1).then_some((chaos_seed, mask, duty, mean_s)),
+        };
+        assert_epoch_grid_byte_identical(&build_scenario(&case), slots, RUN_SEED);
     }
 }
 
@@ -254,6 +336,55 @@ fn parallel_differential_pinned_regressions() {
             chaos: Some((7, 8, 0.5, 3.0)),
         }),
         150,
+        RUN_SEED,
+    );
+}
+
+/// Pinned cases for `epoch_grid_is_byte_identical_up_to_512_devices`,
+/// mirrored in `integration_par.proptest-regressions` (the vendored
+/// proptest shim does not replay that file); keep the two in sync.
+#[test]
+fn epoch_grid_pinned_regressions() {
+    // Full-width SoA path: 512 fault-free devices under the recording
+    // Lyapunov controller — the lane-batched solver runs at every
+    // partial-batch occupancy as shard sizes vary with worker count.
+    assert_epoch_grid_byte_identical(
+        &build_scenario(&Case {
+            devices: 512,
+            arrival: 6.0,
+            controller: 0,
+            workload: 0,
+            chaos: None,
+        }),
+        24,
+        RUN_SEED,
+    );
+    // Chaos forces the scalar per-device path: epoch batching must not
+    // disturb the fault/churn replay ordering (96 devices, compound
+    // schedule, bursty MMPP workload).
+    assert_epoch_grid_byte_identical(
+        &build_scenario(&Case {
+            devices: 96,
+            arrival: 4.0,
+            controller: 0,
+            workload: 2,
+            chaos: Some((553_211, 15, 0.45, 9.0)),
+        }),
+        40,
+        RUN_SEED,
+    );
+    // Long horizon on a tiny fleet: 200 slots is not a multiple of any
+    // epoch length > 1, so the trailing short epoch is exercised along
+    // with many barrier crossings.
+    assert_epoch_grid_byte_identical(
+        &build_scenario(&Case {
+            devices: 3,
+            arrival: 8.0,
+            controller: 2,
+            workload: 1,
+            chaos: None,
+        }),
+        200,
         RUN_SEED,
     );
 }
