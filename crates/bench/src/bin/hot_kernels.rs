@@ -1,10 +1,12 @@
 //! Microbenchmarks for the slotted hot path's three inner kernels
 //! (DESIGN.md §14): the Eq. 10–11 queue update, the per-device-slot
 //! offloading decision (scalar and lane-batched solver), and the
-//! batched telemetry flush. Reports ns/op and writes the results to
-//! `BENCH_kernels.json` (schema `leime-bench/1`) so kernel-level drift
-//! is visible between commits without running the full `perf_baseline`
-//! scenario.
+//! batched telemetry flush. Reports ns/op and *appends* a git-keyed run
+//! record to the `BENCH_kernels.json` history (schema `leime-bench/1`,
+//! same envelope as `BENCH_par.json`) so kernel-level drift stays
+//! visible between commits without running the full `perf_baseline`
+//! scenario. A pre-history single-record file migrates in place on the
+//! next write.
 //!
 //! ```text
 //! cargo run --release -p leime-bench --bin hot_kernels
@@ -20,6 +22,7 @@
 use std::hint::black_box;
 use std::path::PathBuf;
 
+use leime_bench::perf::{history_doc_for, load_history_for};
 use leime_bench::{header, render_table};
 use leime_offload::{
     ControllerTelemetry, DecisionBatch, DeviceParams, LyapunovController, OffloadController,
@@ -167,19 +170,23 @@ fn main() {
         })
         .collect();
     println!("== hot_kernels: slotted inner-loop ns/op ==\n");
-    println!("{}", render_table(&header(&["kernel", "ns/op", "ops"]), &rows));
+    println!(
+        "{}",
+        render_table(&header(&["kernel", "ns/op", "ops"]), &rows)
+    );
 
-    let doc = serde_json::json!({
-        "schema": "leime-bench/1",
-        "bench": "hot_kernels",
+    let path = json_path();
+    let mut history = load_history_for(&path, "kernels");
+    history.push(serde_json::json!({
+        "run": history.len() + 1,
         "git_rev": git_rev(),
         "kernels": results.iter().map(|r| serde_json::json!({
             "name": r.name,
             "ns_per_op": r.ns_per_op,
             "ops": r.ops,
         })).collect::<Vec<_>>(),
-    });
-    let path = json_path();
+    }));
+    let doc = history_doc_for("hot_kernels", history);
     let pretty = serde_json::to_string_pretty(&doc).expect("results serialize");
     if let Err(e) = std::fs::write(&path, pretty + "\n") {
         eprintln!("write {}: {e}", path.display());

@@ -254,18 +254,24 @@ fn main() {
 
     if args.gate {
         match baseline {
+            // Only a genuinely empty comparable history skips: a first
+            // run has nothing to regress against. One or two runs still
+            // gate — the available median stands in for the full
+            // GATE_WINDOW (pinned by `short_histories_still_gate`).
             None => println!(
-                "gate: skipped — no comparable history for {} devices / {} slots",
+                "gate: skipped — no comparable history for {} devices / {} slots \
+                 (the gate binds from the next run)",
                 args.devices, args.slots
             ),
             Some((revs, median)) => {
+                let window = revs.split(',').count();
                 let floor = median * (1.0 - GATE_REGRESSION_PCT / 100.0);
                 if current_best < floor {
                     eprintln!(
                         "gate: FAIL — best {current_best:.1} slots/s is more than \
                          {GATE_REGRESSION_PCT}% below the rolling median {median:.1} \
-                         of the last {} comparable run(s) (git {revs}); the run is \
-                         archived in {} for triage",
+                         of the last {window} of {} comparable run(s) (git {revs}); \
+                         the run is archived in {} for triage",
                         perf::GATE_WINDOW,
                         args.json.display()
                     );
@@ -273,7 +279,7 @@ fn main() {
                 }
                 println!(
                     "gate: ok — best {current_best:.1} slots/s vs rolling median \
-                     {median:.1} (git {revs}, floor {floor:.1})"
+                     {median:.1} over {window} run(s) (git {revs}, floor {floor:.1})"
                 );
             }
         }

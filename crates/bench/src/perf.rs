@@ -1,5 +1,5 @@
-//! History and gate logic for the `perf_baseline` artifact
-//! (`BENCH_par.json`, schema `leime-bench/1`).
+//! History and gate logic for the benchmark artifacts
+//! (`BENCH_par.json` and `BENCH_kernels.json`, schema `leime-bench/1`).
 //!
 //! The artifact is a *history*: `{"runs": [...]}` with one record per
 //! invocation, keyed by git revision and a monotonically increasing run
@@ -25,10 +25,18 @@ use serde_json::Value;
 /// Trailing window for the gate's rolling-median baseline.
 pub const GATE_WINDOW: usize = 3;
 
-/// Parses the history from file text. `Ok` is the runs list (empty for
-/// a fresh file); `Err` carries a warning for the caller to print — the
-/// history restarts either way.
+/// Parses the `perf_baseline` history from file text. `Ok` is the runs
+/// list (empty for a fresh file); `Err` carries a warning for the
+/// caller to print — the history restarts either way.
 pub fn history_from_text(text: &str) -> Result<Vec<Value>, String> {
+    history_from_text_for(text, "sequential")
+}
+
+/// Like [`history_from_text`], for any bench artifact: `record_key`
+/// names the field whose presence marks the pre-history layout where
+/// the whole document was one run record (`"sequential"` for
+/// `perf_baseline`, `"kernels"` for `hot_kernels`).
+pub fn history_from_text_for(text: &str, record_key: &str) -> Result<Vec<Value>, String> {
     let Ok(Value::Object(mut doc)) = serde_json::from_str::<Value>(text) else {
         return Err("not a JSON object — starting a fresh history".to_string());
     };
@@ -36,7 +44,7 @@ pub fn history_from_text(text: &str) -> Result<Vec<Value>, String> {
         return Ok(runs);
     }
     // Pre-history layout: the whole file was one run record.
-    if doc.get("sequential").is_some() {
+    if doc.get(record_key).is_some() {
         doc.remove("schema");
         doc.remove("bench");
         doc.insert("run".to_string(), serde_json::json!(1));
@@ -45,24 +53,37 @@ pub fn history_from_text(text: &str) -> Result<Vec<Value>, String> {
     Err("unrecognized layout — starting a fresh history".to_string())
 }
 
-/// Reads the history from `path`: the current `runs` list, a migrated
-/// pre-history single record, or empty for a missing file. A corrupt
-/// history warns on stderr and restarts rather than blocking the run.
+/// Reads the `perf_baseline` history from `path`. See
+/// [`load_history_for`].
 pub fn load_history(path: &std::path::Path) -> Vec<Value> {
+    load_history_for(path, "sequential")
+}
+
+/// Reads a bench history from `path`: the current `runs` list, a
+/// migrated pre-history single record, or empty for a missing file. A
+/// corrupt history warns on stderr and restarts rather than blocking
+/// the run.
+pub fn load_history_for(path: &std::path::Path, record_key: &str) -> Vec<Value> {
     let Ok(text) = std::fs::read_to_string(path) else {
         return Vec::new();
     };
-    history_from_text(&text).unwrap_or_else(|warning| {
+    history_from_text_for(&text, record_key).unwrap_or_else(|warning| {
         eprintln!("WARN: {}: {warning}", path.display());
         Vec::new()
     })
 }
 
-/// Wraps a history back into the archived document layout.
+/// Wraps a `perf_baseline` history back into the archived document
+/// layout.
 pub fn history_doc(runs: Vec<Value>) -> Value {
+    history_doc_for("perf_baseline", runs)
+}
+
+/// Wraps a bench history back into the archived document layout.
+pub fn history_doc_for(bench: &str, runs: Vec<Value>) -> Value {
     serde_json::json!({
         "schema": "leime-bench/1",
-        "bench": "perf_baseline",
+        "bench": bench,
         "runs": runs,
     })
 }
@@ -77,9 +98,9 @@ pub fn peak_slots_per_sec(run: &Value) -> Option<f64> {
             .flatten()
             .map(|p| p["slots_per_sec"].as_f64()),
     );
-    candidates
-        .flatten()
-        .fold(None, |best: Option<f64>, sps| Some(best.map_or(sps, |b| b.max(sps))))
+    candidates.flatten().fold(None, |best: Option<f64>, sps| {
+        Some(best.map_or(sps, |b| b.max(sps)))
+    })
 }
 
 /// The gate baseline: median peak slots/s over the last [`GATE_WINDOW`]
@@ -187,6 +208,38 @@ mod tests {
         assert!(history_from_text("not json").is_err());
     }
 
+    /// Golden: the committed single-record `BENCH_kernels.json` layout
+    /// (shipped by the PR that introduced the kernel bench) migrates to
+    /// a run-1 history exactly like the perf_baseline pre-history did.
+    #[test]
+    fn kernels_history_migration_golden() {
+        let pre = r#"{"schema":"leime-bench/1","bench":"hot_kernels",
+            "git_rev":"40c8d1b",
+            "kernels":[{"name":"queue_update","ns_per_op":10.5,"ops":2000000}]}"#;
+        let migrated = history_from_text_for(pre, "kernels").unwrap();
+        assert_eq!(migrated.len(), 1);
+        let expected = serde_json::json!({
+            "git_rev": "40c8d1b",
+            "kernels": [{"name": "queue_update", "ns_per_op": 10.5, "ops": 2000000}],
+            "run": 1,
+        });
+        assert_eq!(migrated[0], expected, "kernels migration drifted");
+
+        // Round-trips through the history envelope, keeping the bench
+        // tag, and appended runs extend the list.
+        let mut runs = migrated;
+        runs.push(serde_json::json!({"git_rev": "fff", "kernels": [], "run": 2}));
+        let doc = history_doc_for("hot_kernels", runs);
+        assert_eq!(doc["bench"].as_str(), Some("hot_kernels"));
+        let reread = history_from_text_for(&doc.to_string(), "kernels").unwrap();
+        assert_eq!(reread.len(), 2);
+        assert_eq!(reread[0], expected);
+        assert_eq!(reread[1]["run"].as_u64(), Some(2));
+
+        // A perf_baseline-shaped document is NOT a kernels record.
+        assert!(history_from_text_for(r#"{"sequential":{}}"#, "kernels").is_err());
+    }
+
     #[test]
     fn peak_covers_sequential_and_parallel() {
         let run = run_record(64, 200, "abc", 100.0, &[250.0, 180.0]);
@@ -226,5 +279,38 @@ mod tests {
 
         // No comparable runs at all → no gate.
         assert!(rolling_median_baseline(&history, 1, 1).is_none());
+    }
+
+    /// Histories shorter than [`GATE_WINDOW`] must still gate: the
+    /// median of whatever comparable runs exist stands in. Only a
+    /// zero-run history skips (a first run has nothing to regress
+    /// against).
+    #[test]
+    fn short_histories_still_gate() {
+        // 0 runs: skip.
+        assert!(rolling_median_baseline(&[], 64, 200).is_none());
+
+        // 1 run: that run IS the baseline.
+        let one = vec![run_record(64, 200, "r1", 9_000.0, &[])];
+        let (revs, median) = rolling_median_baseline(&one, 64, 200).unwrap();
+        assert_eq!(revs, "r1");
+        assert_eq!(median, 9_000.0);
+
+        // 2 runs: mean of the pair (peak of r2 is its parallel figure's
+        // better, 11_000 sequential here).
+        let two = vec![
+            run_record(64, 200, "r1", 9_000.0, &[]),
+            run_record(64, 200, "r2", 11_000.0, &[10_000.0]),
+        ];
+        let (revs, median) = rolling_median_baseline(&two, 64, 200).unwrap();
+        assert_eq!(revs, "r1,r2");
+        assert_eq!(median, 10_000.0);
+
+        // A lone comparable run whose record carries no parsable peak
+        // cannot gate either.
+        let unparsable = vec![serde_json::json!({
+            "run": 1, "git_rev": "rx", "devices": 64, "slots": 200,
+        })];
+        assert!(rolling_median_baseline(&unparsable, 64, 200).is_none());
     }
 }

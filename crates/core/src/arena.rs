@@ -133,4 +133,101 @@ mod tests {
         assert!(buf.is_empty() && buf.capacity() >= 64);
         assert_eq!(arena.cold_takes(), 0);
     }
+
+    #[test]
+    fn pool_survives_epoch_boundaries_with_growing_demand() {
+        // The slotted runner reuses one arena across *epochs* (shard
+        // re-planning points), and later epochs may need bigger scratch.
+        // Growth must come from resizing the pooled buffer in place —
+        // never from a fresh cold take — and capacity must ratchet up
+        // monotonically so a small epoch cannot shrink the pool.
+        let mut arena: SlotArena<u64> = SlotArena::new();
+        let mut last_cap = 0usize;
+        for (epoch, fill) in [16usize, 64, 8, 256, 32].into_iter().enumerate() {
+            for _slot in 0..10 {
+                let mut buf = arena.take();
+                buf.extend(0..fill as u64);
+                assert!(buf.capacity() >= last_cap, "epoch {epoch} shrank the pool");
+                last_cap = last_cap.max(buf.capacity());
+                arena.put(buf);
+            }
+            assert_eq!(arena.cold_takes(), 1, "cold take after epoch {epoch}");
+        }
+        assert!(last_cap >= 256);
+        assert_eq!(arena.pooled(), 1);
+    }
+
+    #[test]
+    fn panicking_slot_body_loses_its_buffer_but_not_the_arena() {
+        // A panicking slot body drops the buffers it took (they unwind
+        // with the stack), but the arena itself must stay coherent: the
+        // remaining pool is intact, the loss surfaces as exactly one
+        // further cold take, and steady state resumes afterwards.
+        let mut arena: SlotArena<f64> = SlotArena::new();
+        for _ in 0..2 {
+            let b = arena.take();
+            arena.put(b);
+        }
+        let warm = arena.take(); // served from the pool: still 1 cold take
+        arena.put(warm);
+        let cold_before = arena.cold_takes();
+        let pooled_before = arena.pooled();
+
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut buf = arena.take();
+            buf.push(1.0);
+            panic!("slot body fault");
+        }));
+        assert!(result.is_err());
+
+        // The taken buffer unwound; the pool is one short but coherent.
+        assert_eq!(arena.pooled(), pooled_before - 1);
+        assert_eq!(arena.cold_takes(), cold_before);
+        let replacement = arena.take();
+        assert!(replacement.is_empty());
+        assert_eq!(
+            arena.cold_takes(),
+            cold_before + 1,
+            "loss repaid by one cold take"
+        );
+        arena.put(replacement);
+        for _ in 0..20 {
+            let b = arena.take();
+            arena.put(b);
+        }
+        assert_eq!(arena.cold_takes(), cold_before + 1, "steady state resumed");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Any take/put schedule whose concurrent demand stays within a
+        /// warmed pool of `k` buffers performs zero cold takes — the
+        /// allocation-free steady state the S6 ratchet relies on.
+        #[test]
+        fn warm_pool_serves_any_bounded_schedule_without_cold_takes(
+            k in 1usize..5,
+            ops in proptest::collection::vec(0usize..2, 0..200),
+        ) {
+            let mut arena: SlotArena<f64> = SlotArena::new();
+            for _ in 0..k {
+                arena.put(Vec::with_capacity(8));
+            }
+            let mut held: Vec<Vec<f64>> = Vec::new();
+            for op in ops {
+                if op == 1 && held.len() < k {
+                    let mut buf = arena.take();
+                    buf.push(held.len() as f64);
+                    held.push(buf);
+                } else if let Some(buf) = held.pop() {
+                    arena.put(buf);
+                }
+            }
+            for buf in held.drain(..) {
+                arena.put(buf);
+            }
+            proptest::prop_assert_eq!(arena.cold_takes(), 0);
+            proptest::prop_assert_eq!(arena.pooled(), k);
+        }
+    }
 }

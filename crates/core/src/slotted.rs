@@ -444,14 +444,7 @@ impl SlottedSystem {
                         )?);
                     }
                 } else {
-                    shard_slot_batched(
-                        &run_ctx,
-                        quants,
-                        slot_start,
-                        slot as u64,
-                        sh,
-                        &mut outs,
-                    )?;
+                    shard_slot_batched(&run_ctx, quants, slot_start, slot as u64, sh, &mut outs)?;
                 }
             }
             Ok(outs)
@@ -825,7 +818,9 @@ fn shard_slot_batched(
     scratch.x.clear();
     if let (true, Some(key)) = (all_same, uniform) {
         if memo.key != Some(key) {
-            let x_opt = run.decider.decide(scratch.shared[0], scratch.devs[0], scratch.obs[0]);
+            let x_opt = run
+                .decider
+                .decide(scratch.shared[0], scratch.devs[0], scratch.obs[0]);
             let dpp = if run.want_dpp {
                 SlotCost::new(
                     scratch.shared[0],
@@ -1168,7 +1163,9 @@ mod tests {
             assert_eq!(device, queues.len(), "shards dropped devices");
         }
         // Workloads without MMPP state shard to empty arrays, not panics.
-        assert!(build_shards(&queues, &[], 1, 3).iter().all(|s| s.mmpp.is_empty()));
+        assert!(build_shards(&queues, &[], 1, 3)
+            .iter()
+            .all(|s| s.mmpp.is_empty()));
     }
 
     #[test]

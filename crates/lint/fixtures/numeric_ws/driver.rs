@@ -1,0 +1,12 @@
+//! Cross-file numeric workspace: the hot root and shard body live
+//! here; the float reduction and the lock cycle live in the other
+//! files.
+
+pub fn seq_sweep(xs: &[f64], workers: W) -> f64 {
+    let outs = par_map_shards(xs, workers, |_i, x| {
+        forward(*x);
+        backward(*x);
+        *x
+    });
+    accumulate(&outs)
+}

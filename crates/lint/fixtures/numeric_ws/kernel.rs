@@ -1,0 +1,9 @@
+//! The float reduction a shard-merged result flows through.
+
+pub fn accumulate(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += *x;
+    }
+    acc
+}

@@ -1,0 +1,11 @@
+//! Two helpers that acquire the same pair of locks in opposite order.
+
+pub fn forward(x: f64) {
+    let r = registry.read();
+    let s = stats.write();
+}
+
+pub fn backward(x: f64) {
+    let s = stats.read();
+    let r = registry.write();
+}

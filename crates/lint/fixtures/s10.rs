@@ -1,0 +1,19 @@
+//! S10 fixture: target_feature fns off the shared-round-body contract.
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn lanes_fma(x: f64) -> f64 {
+    round_body(x)
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn lanes_lone(x: f64) -> f64 {
+    x * 2.0
+}
+
+fn scalar(x: f64) -> f64 {
+    round_body(x)
+}
+
+fn round_body(x: f64) -> f64 {
+    x + 1.0
+}

@@ -1,0 +1,14 @@
+//! S11 fixture: unjustified unsafe sites next to a justified one.
+
+pub fn checked(p: *const u8) -> u8 {
+    // SAFETY: fixture pointer is always valid.
+    unsafe { *p }
+}
+
+pub fn unchecked(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub unsafe fn raw_read(p: *const u8) -> u8 {
+    *p
+}

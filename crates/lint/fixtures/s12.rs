@@ -1,0 +1,19 @@
+//! S12 fixture: lock-order cycle between two shard-reachable helpers.
+
+pub fn drive(items: &[u32], workers: W) {
+    let _ = par_map_shards(items, workers, |_i, x| {
+        fwd(*x);
+        bwd(*x);
+        *x
+    });
+}
+
+fn fwd(x: u32) {
+    let a = reg.read();
+    let b = stats.write();
+}
+
+fn bwd(x: u32) {
+    let b = stats.read();
+    let a = reg.write();
+}

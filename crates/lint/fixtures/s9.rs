@@ -1,0 +1,17 @@
+//! S9 fixture: float accumulations on byte-identical-contract paths.
+
+pub fn seq_sweep(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += *x;
+    }
+    acc + xs.iter().sum::<f64>()
+}
+
+fn cold(xs: &[f64]) -> f64 {
+    let mut a = 0.0;
+    for x in xs {
+        a += *x;
+    }
+    a
+}

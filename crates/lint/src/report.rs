@@ -1,19 +1,23 @@
-//! Report rendering: human-readable text and the `leime-lint/3` JSON
+//! Report rendering: human-readable text and the `leime-lint/4` JSON
 //! schema (same versioned-schema idiom as `leime-telemetry/1`).
 //!
 //! `leime-lint/2` extended `/1` with the semantic S1–S4 rules and a
 //! `rule_set` field naming the rule universe the schema covers;
-//! `leime-lint/3` extends the rule universe with the interprocedural
+//! `leime-lint/3` extended the rule universe with the interprocedural
 //! flow rules S5–S8 (shard-capture races, the hot-path allocation
-//! ratchet, RNG-stream hygiene, shard-body blocking). All `/2` fields
-//! are unchanged, so `/2` consumers keep working; only `rule_set` and
+//! ratchet, RNG-stream hygiene, shard-body blocking); `leime-lint/4`
+//! extends it again with the numeric-determinism and unsafe-audit
+//! rules S9–S12 (hot-path float reductions, `target_feature` round
+//! bodies and the SIMD differential-test registry, the `unsafe`
+//! ledger ratchet, shard lock-order cycles). All `/2`-era fields are
+//! unchanged, so older consumers keep working; only `rule_set` and
 //! the possible `rule` values grow.
 
 use crate::rules::{Finding, Waived, RULE_IDS};
 use serde::Serialize;
 
 /// Version tag written into every JSON report.
-pub const SCHEMA_VERSION: &str = "leime-lint/3";
+pub const SCHEMA_VERSION: &str = "leime-lint/4";
 
 /// Per-rule violation count.
 #[derive(Debug, Clone, Serialize, PartialEq, Eq)]
@@ -27,9 +31,9 @@ pub struct RuleCount {
 /// The aggregated result of one lint run.
 #[derive(Debug, Clone, Serialize)]
 pub struct Report {
-    /// Schema tag (`leime-lint/3`).
+    /// Schema tag (`leime-lint/4`).
     pub schema: String,
-    /// The rule identifiers this schema covers (L1–L5, S1–S8).
+    /// The rule identifiers this schema covers (L1–L5, S1–S12).
     pub rule_set: Vec<String>,
     /// Number of files scanned.
     pub files_scanned: usize,
@@ -126,7 +130,7 @@ impl Report {
         out
     }
 
-    /// Renders the `leime-lint/3` JSON report.
+    /// Renders the `leime-lint/4` JSON report.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self)
             .unwrap_or_else(|e| format!("{{\"schema\":\"{SCHEMA_VERSION}\",\"error\":\"{e:?}\"}}"))

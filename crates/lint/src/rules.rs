@@ -31,9 +31,10 @@ pub use leime_sema::Finding;
 
 /// All primary rule identifiers: the token-level L-rules plus the
 /// semantic S-rules from `leime-sema` (S5–S8 are the interprocedural
-/// flow rules).
+/// flow rules, S9–S12 the numeric-determinism and unsafe-audit rules).
 pub const RULE_IDS: &[&str] = &[
-    "L1", "L2", "L3", "L4", "L5", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8",
+    "L1", "L2", "L3", "L4", "L5", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8", "S9", "S10",
+    "S11", "S12",
 ];
 
 /// A violation suppressed by an inline waiver.
@@ -66,6 +67,11 @@ pub struct RuleConfig {
     pub hot_path_markers: Vec<String>,
     /// Path substrings marking files whose RNG constructions S7 audits.
     pub rng_path_markers: Vec<String>,
+    /// Function names allowed to hold float accumulations under S9
+    /// (ordered-reduction helpers and approved bit-exact kernels).
+    pub s9_approved_fns: Vec<String>,
+    /// Shared round bodies registered as FMA-free (S10).
+    pub fma_free_round_bodies: Vec<String>,
 }
 
 impl Default for RuleConfig {
@@ -110,6 +116,8 @@ impl Default for RuleConfig {
             unit_path_markers: leime_sema::SemaConfig::default().unit_path_markers,
             hot_path_markers: leime_sema::SemaConfig::default().hot_path_markers,
             rng_path_markers: leime_sema::SemaConfig::default().rng_path_markers,
+            s9_approved_fns: leime_sema::SemaConfig::default().s9_approved_fns,
+            fma_free_round_bodies: leime_sema::SemaConfig::default().fma_free_round_bodies,
         }
     }
 }
@@ -138,6 +146,8 @@ impl RuleConfig {
             unit_path_markers: self.unit_path_markers.clone(),
             hot_path_markers: self.hot_path_markers.clone(),
             rng_path_markers: self.rng_path_markers.clone(),
+            s9_approved_fns: self.s9_approved_fns.clone(),
+            fma_free_round_bodies: self.fma_free_round_bodies.clone(),
             ..leime_sema::SemaConfig::default()
         }
     }

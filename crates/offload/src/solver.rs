@@ -265,8 +265,7 @@ impl GsSoa {
         // t_device: `a <= 0` → 0.
         let a = (1.0 - x) * self.k[i];
         let c1 = a * self.q[i] * self.per_task_dev[i];
-        let c2 =
-            a * self.per_task_dev[i] + (a * (a - 1.0) / 2.0).max(0.0) * self.per_task_dev[i];
+        let c2 = a * self.per_task_dev[i] + (a * (a - 1.0) / 2.0).max(0.0) * self.per_task_dev[i];
         let c3 = self.one_minus_sigma1[i] * a * self.tx1[i];
         let td = sel(gt(a, 0.0), c1 + c2 + c3, 0.0);
         // t_edge_from: `dd <= 0` → 0, else `f_e1 <= 0` → ∞.
@@ -308,8 +307,7 @@ impl GsSoa {
                     f_best = f_x;
                 }
             }
-            out[self.idx[i]] =
-                invariant::check_unit_interval("offload.golden_section_solve", best);
+            out[self.idx[i]] = invariant::check_unit_interval("offload.golden_section_solve", best);
         }
         self.n = 0;
     }
@@ -336,14 +334,23 @@ impl GsSoa {
         self.contract_rounds(inv_phi);
     }
 
+    // safety: caller must verify avx512f via is_x86_feature_detected!
+    // (the `contract` dispatch does); the body is plain safe Rust.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx512f,avx512vl,avx512dq")]
     unsafe fn contract_avx512(&mut self, inv_phi: f64) {
         self.contract_rounds(inv_phi);
     }
 
+    // `fma` is deliberately NOT enabled: with it the compiler may
+    // contract `x * w + d` into one fused rounding, and the lanes
+    // would diverge from the scalar path's two-rounding result
+    // (pinned by `fma_contraction_would_diverge`). avx2 alone only
+    // widens correctly-rounded IEEE ops, which is bit-invisible.
+    // safety: caller must verify avx2 via is_x86_feature_detected!
+    // (the `contract` dispatch does); the body is plain safe Rust.
     #[cfg(target_arch = "x86_64")]
-    #[target_feature(enable = "avx2,fma")]
+    #[target_feature(enable = "avx2")]
     unsafe fn contract_avx2(&mut self, inv_phi: f64) {
         self.contract_rounds(inv_phi);
     }
@@ -591,5 +598,26 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Why `contract_avx2` enables `avx2` but not `fma` (S10): `dpp`
+    /// evaluates `x * mu1 + edge2`, exactly the shape an fma-enabled
+    /// build may contract into one fused rounding. These operands make
+    /// the fused result differ from the scalar path's two-rounding
+    /// result, so a contracted lane could not stay bit-identical to
+    /// `golden_section_solve`.
+    #[test]
+    fn fma_contraction_would_diverge() {
+        let x = 1.0 + f64::EPSILON; // 1 + 2⁻⁵²
+        let mu1 = 1.0 - f64::EPSILON / 2.0; // 1 − 2⁻⁵³
+        let edge2 = -1.0;
+        let two_roundings = x * mu1 + edge2; // product rounds to 1.0 first
+        let fused = x.mul_add(mu1, edge2); // keeps the 2⁻⁵³ tail
+        assert_eq!(two_roundings, 0.0);
+        assert_ne!(
+            fused.to_bits(),
+            two_roundings.to_bits(),
+            "fused {fused:e} vs two-rounding {two_roundings:e}"
+        );
     }
 }

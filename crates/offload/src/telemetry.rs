@@ -105,7 +105,8 @@ impl ControllerTelemetry {
         self.queue_q.push_batch(&batch.queue_q);
         self.queue_h.push_batch(&batch.queue_h);
         self.offload_x.push_batch(&batch.offload_x);
-        self.drift_plus_penalty.push_batch(&batch.drift_plus_penalty);
+        self.drift_plus_penalty
+            .push_batch(&batch.drift_plus_penalty);
         if batch.fault_slots > 0 {
             self.fault_slots.add(batch.fault_slots);
         }

@@ -52,6 +52,10 @@ pub struct Item {
     /// Whether the item carried a `#[cfg(test)]` / `#[test]` attribute;
     /// rules skip such items (and everything nested inside them).
     pub cfg_test: bool,
+    /// Flattened attribute text (`target_feature(enable = "avx2")`,
+    /// `inline(always)`, …) — the tokens between `#[` and `]`, one
+    /// string per attribute, in source order. S10 reads these.
+    pub attrs: Vec<String>,
 }
 
 impl Item {
@@ -66,6 +70,7 @@ impl Item {
             fields: Vec::new(),
             body: None,
             cfg_test: false,
+            attrs: Vec::new(),
         }
     }
 }
@@ -112,6 +117,9 @@ pub enum Expr {
     Lit {
         /// 1-based line.
         line: u32,
+        /// Whether this is a float literal (`0.0`, `1e-9`, `2f64`);
+        /// S9 uses this to classify accumulator initializers.
+        float: bool,
     },
     /// `callee(args…)`.
     Call {
@@ -264,7 +272,7 @@ impl Expr {
     pub fn line(&self) -> Option<u32> {
         match self {
             Expr::Path { line, .. }
-            | Expr::Lit { line }
+            | Expr::Lit { line, .. }
             | Expr::Call { line, .. }
             | Expr::MethodCall { line, .. }
             | Expr::Field { line, .. }

@@ -1,0 +1,255 @@
+//! Token-level `unsafe` and `#[target_feature]` extraction (S10/S11
+//! raw material).
+//!
+//! The [`crate::parser`] deliberately erases `unsafe` blocks to plain
+//! [`crate::ast::Expr::BlockExpr`]s and drops string-literal text from
+//! attributes, so both extractors here work one layer down:
+//!
+//! * [`unsafe_sites`] walks the raw token stream (test-masked regions
+//!   excluded) and pairs every `unsafe` block or `unsafe fn` with the
+//!   nearest `safety:`-prefixed comment — the justification S11
+//!   requires next to every site the ledger counts.
+//! * [`target_feature_fns`] walks the parsed items for functions whose
+//!   attributes carry `target_feature`, then recovers the quoted
+//!   feature list (`enable = "avx2,fma"`) from the raw source lines the
+//!   lexer dropped it from.
+//!
+//! Both are total over arbitrary input, like everything else in this
+//! crate: they only ever index within the token/line vectors they
+//! build and never panic on malformed source.
+
+use crate::ast::Item;
+use crate::lexer::{lex, test_mask, Comment, TokKind};
+use crate::parser::parse_source;
+
+/// How far above a site (in lines) a `safety:` comment may sit and
+/// still justify it — room for the attribute stack on a
+/// `#[target_feature]` `unsafe fn`.
+const SAFETY_COMMENT_WINDOW: u32 = 4;
+
+/// What kind of `unsafe` construct a site is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeKind {
+    /// An `unsafe { … }` block expression.
+    Block,
+    /// An `unsafe fn` definition (its body is one big unsafe scope).
+    Fn,
+}
+
+/// One `unsafe` site in non-test code.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// 1-based line of the `unsafe` keyword.
+    pub line: u32,
+    /// Block or fn.
+    pub kind: UnsafeKind,
+    /// Name of the `unsafe fn` (empty for blocks).
+    pub fn_name: String,
+    /// Whether a `// safety: …` (or `// SAFETY: …`, or doc-comment
+    /// `/// # Safety`) justification sits on the site's line or within
+    /// [`SAFETY_COMMENT_WINDOW`] lines above it.
+    pub justified: bool,
+}
+
+/// Whether a captured comment reads as a safety justification. Doc
+/// comments lex with a leading `/` in their text, so `/// # Safety`
+/// headings qualify alongside `// SAFETY: …` / `// safety: …`.
+fn is_safety_comment(c: &Comment) -> bool {
+    let t = c.text.trim_start_matches(['/', '!']).trim_start();
+    let lower = t.to_ascii_lowercase();
+    lower.starts_with("safety:") || lower.starts_with("# safety")
+}
+
+/// Extracts every `unsafe` block and `unsafe fn` in non-test code,
+/// with its justification status. `unsafe impl` / `unsafe trait`
+/// declarations are skipped: they carry no executable code of their
+/// own and their obligations live on the methods.
+pub fn unsafe_sites(src: &str) -> Vec<UnsafeSite> {
+    let lexed = lex(src);
+    let toks = &lexed.toks;
+    let mask = test_mask(toks);
+    let safety_lines: Vec<u32> = lexed
+        .comments
+        .iter()
+        .filter(|c| is_safety_comment(c))
+        .map(|c| c.line)
+        .collect();
+    let justified_at = |line: u32| {
+        safety_lines
+            .iter()
+            .any(|&cl| cl <= line && line - cl <= SAFETY_COMMENT_WINDOW)
+    };
+
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] || t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        // Look past modifiers (`extern "C"`, `async`, `const`) for the
+        // construct the `unsafe` introduces.
+        let mut j = i + 1;
+        while let Some(n) = toks.get(j) {
+            let is_modifier = (n.kind == TokKind::Ident
+                && matches!(n.text.as_str(), "extern" | "async" | "const"))
+                || n.kind == TokKind::Str;
+            if is_modifier {
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        match toks.get(j) {
+            Some(n) if n.kind == TokKind::Punct && n.text == "{" => out.push(UnsafeSite {
+                line: t.line,
+                kind: UnsafeKind::Block,
+                fn_name: String::new(),
+                justified: justified_at(t.line),
+            }),
+            Some(n) if n.kind == TokKind::Ident && n.text == "fn" => {
+                let name = toks
+                    .get(j + 1)
+                    .filter(|nt| nt.kind == TokKind::Ident)
+                    .map(|nt| nt.text.clone())
+                    .unwrap_or_default();
+                out.push(UnsafeSite {
+                    line: t.line,
+                    kind: UnsafeKind::Fn,
+                    fn_name: name,
+                    justified: justified_at(t.line),
+                });
+            }
+            _ => {} // `unsafe impl` / `unsafe trait` / stray keyword
+        }
+    }
+    out
+}
+
+/// One `#[target_feature(enable = "…")]` function in non-test code.
+#[derive(Debug, Clone)]
+pub struct TargetFeatureFn {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// The enabled features, split and trimmed (`["avx2", "fma"]`).
+    pub features: Vec<String>,
+}
+
+/// Extracts every non-test function carrying a `#[target_feature]`
+/// attribute, recovering the feature list from the raw source (the
+/// lexer drops string-literal text, so the parsed attribute alone
+/// cannot carry it).
+pub fn target_feature_fns(src: &str) -> Vec<TargetFeatureFn> {
+    let file = parse_source(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+    crate::rules::for_each_nontest_fn(&file.items, &mut |item: &Item| {
+        if !item.attrs.iter().any(|a| a.starts_with("target_feature")) {
+            return;
+        }
+        let mut features = Vec::new();
+        // The attribute sits on (or a few lines above) the `fn` line;
+        // take the *nearest* `target_feature` line walking upward, so a
+        // neighbouring fn's attribute never bleeds into this one.
+        let lo = item.line.saturating_sub(SAFETY_COMMENT_WINDOW + 2).max(1);
+        for line_no in (lo..=item.line).rev() {
+            let Some(text) = lines.get(line_no as usize - 1) else {
+                continue;
+            };
+            if !text.contains("target_feature") {
+                continue;
+            }
+            if let Some(open) = text.find('"') {
+                if let Some(len) = text[open + 1..].find('"') {
+                    for feat in text[open + 1..open + 1 + len].split(',') {
+                        let feat = feat.trim();
+                        if !feat.is_empty() && !features.iter().any(|f| f == feat) {
+                            features.push(feat.to_string());
+                        }
+                    }
+                }
+            }
+            break;
+        }
+        out.push(TargetFeatureFn {
+            name: item.name.clone(),
+            line: item.line,
+            features,
+        });
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsafe_block_with_and_without_justification() {
+        let src = "fn f() {\n    // SAFETY: bounds checked above.\n    unsafe { go() };\n}\n\
+                   \n\n\nfn g() {\n    unsafe { go() };\n}";
+        let sites = unsafe_sites(src);
+        assert_eq!(sites.len(), 2, "{sites:?}");
+        assert_eq!(sites[0].kind, UnsafeKind::Block);
+        assert!(sites[0].justified);
+        assert!(!sites[1].justified);
+    }
+
+    #[test]
+    fn unsafe_fn_behind_attributes_sees_comment_above_them() {
+        let src = "// safety: caller guarantees avx2 via runtime dispatch.\n\
+                   #[cfg(target_arch = \"x86_64\")]\n\
+                   #[target_feature(enable = \"avx2\")]\n\
+                   unsafe fn kernel(x: f64) -> f64 { x }\n";
+        let sites = unsafe_sites(src);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].kind, UnsafeKind::Fn);
+        assert_eq!(sites[0].fn_name, "kernel");
+        assert!(sites[0].justified, "{sites:?}");
+    }
+
+    #[test]
+    fn doc_safety_heading_justifies() {
+        let src = "/// # Safety\n/// `ptr` must be valid.\nunsafe fn raw(p: *const u8) {}\n";
+        let sites = unsafe_sites(src);
+        assert_eq!(sites.len(), 1);
+        assert!(sites[0].justified, "{sites:?}");
+    }
+
+    #[test]
+    fn unsafe_impl_and_test_code_are_skipped() {
+        let src = "unsafe impl Send for X {}\n\
+                   #[cfg(test)]\nmod tests { fn t() { unsafe { go() } } }";
+        assert!(unsafe_sites(src).is_empty());
+    }
+
+    #[test]
+    fn target_feature_fn_recovers_feature_list() {
+        let src = "#[cfg(target_arch = \"x86_64\")]\n\
+                   #[target_feature(enable = \"avx2,fma\")]\n\
+                   unsafe fn contract_avx2(&mut self) { self.rounds(); }\n\
+                   fn scalar(&mut self) { self.rounds(); }";
+        let tf = target_feature_fns(src);
+        assert_eq!(tf.len(), 1, "{tf:?}");
+        assert_eq!(tf[0].name, "contract_avx2");
+        assert_eq!(tf[0].features, vec!["avx2", "fma"]);
+    }
+
+    #[test]
+    fn adjacent_fns_do_not_bleed_feature_lists() {
+        let src = "#[target_feature(enable = \"avx2,fma\")]\n\
+                   unsafe fn first(x: f64) -> f64 { x }\n\
+                   #[target_feature(enable = \"avx2\")]\n\
+                   unsafe fn second(x: f64) -> f64 { x }";
+        let tf = target_feature_fns(src);
+        assert_eq!(tf.len(), 2, "{tf:?}");
+        assert_eq!(tf[0].features, vec!["avx2", "fma"]);
+        assert_eq!(tf[1].features, vec!["avx2"]);
+    }
+
+    #[test]
+    fn plain_fns_have_no_target_feature_entry() {
+        let tf = target_feature_fns("#[inline(always)]\nfn round(x: f64) -> f64 { x }");
+        assert!(tf.is_empty(), "{tf:?}");
+    }
+}

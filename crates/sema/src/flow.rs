@@ -1,7 +1,8 @@
 //! Interprocedural dataflow over the whole workspace: closure-capture
 //! extraction, a merged flow graph with per-function *effect facts*
-//! (allocation, blocking, RNG construction), hot-region reachability,
-//! and the S5–S8 rules built on top.
+//! (allocation, blocking, RNG construction, float accumulation, lock
+//! acquisition), hot-region reachability, and the S5–S12 rules built
+//! on top.
 //!
 //! | Rule | Enforces |
 //! | ---- | -------- |
@@ -9,6 +10,10 @@
 //! | `S6` | hot-path allocation ratchet — counts only go down vs. a pinned baseline |
 //! | `S7` | RNGs in `par`/`core`/`serving` derive via `leime_par::stream_seed` |
 //! | `S8` | no blocking calls (locks, channel recv, sleeps) inside shard worker bodies |
+//! | `S9` | float accumulations on byte-identical-contract paths go through approved ordered reductions |
+//! | `S10` | `target_feature` fns funnel through a shared round body, stay FMA-safe, and are differentially tested |
+//! | `S11` | every `unsafe` site is justified and ledgered (ratchet driven by `leime-lint`) |
+//! | `S12` | no lock acquisition cycles among `Mutex`/`RwLock` paths reachable from shard bodies |
 //!
 //! Like the [`crate::callgraph`], the graph is *name-keyed*: same-named
 //! functions merge into one node, so reachability over-approximates.
@@ -24,6 +29,7 @@
 //! dropped from the AST) therefore never produce false captures.
 
 use crate::ast::{walk_block, walk_exprs, Block, Expr, File, Item, Stmt};
+use crate::audit::{self, TargetFeatureFn};
 use crate::parser::parse_source;
 use crate::{path_matches, Finding, SemaConfig};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -108,6 +114,24 @@ const INTERIOR_MUT_METHODS: &[&str] = &[
     "send",
     "recv",
 ];
+
+/// Lock-acquisition methods (S12). `.lock()` covers `Mutex`;
+/// `.read()` / `.write()` cover `RwLock` — matched only with zero
+/// arguments so `io::Read` / `io::Write` calls stay out.
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// The dotted path a lock acquisition hangs off: `self.state.lock()`
+/// → `self.state`, `GLOBAL.read()` → `GLOBAL`. Lock identity for the
+/// S12 order graph.
+fn lock_path(e: &Expr) -> Option<String> {
+    match e {
+        Expr::Path { segs, .. } => Some(segs.join("::")),
+        Expr::Field { recv, name, .. } => Some(format!("{}.{name}", lock_path(recv)?)),
+        Expr::Index { recv, .. } => Some(format!("{}[..]", lock_path(recv)?)),
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => lock_path(expr),
+        _ => None,
+    }
+}
 
 /// Calls that block the calling thread (S8). Lock acquisition doubles
 /// as interior mutability above; here the concern is stalling a shard.
@@ -315,6 +339,14 @@ pub struct FnFacts {
     /// Names this function calls (paths by last segment, methods by
     /// name) — the flow-graph edges.
     pub calls: BTreeSet<String>,
+    /// Float-accumulation sites (S9): `(line, what)` for `fold`s with
+    /// float seeds, float-typed `sum`/`product`, and loop-carried
+    /// compound assignment onto float-typed names.
+    pub float_accums: Vec<(u32, String)>,
+    /// Lock-acquisition sites (S12): `(line, dotted lock path)` for
+    /// zero-argument `.lock()` / `.read()` / `.write()` calls, in
+    /// source order.
+    pub locks: Vec<(u32, String)>,
 }
 
 /// RNG constructor names (S7 scope).
@@ -380,6 +412,13 @@ fn collect_effects(e: &Expr, loop_depth: usize, facts: &mut FnFacts) {
             }
             if BLOCKING_METHODS.contains(&method.as_str()) {
                 facts.blocking.push((*line, format!(".{method}()")));
+            }
+            // Zero-argument acquisition only: `.read(&mut buf)` /
+            // `.write(buf)` are I/O, not `RwLock`.
+            if args.is_empty() && LOCK_METHODS.contains(&method.as_str()) {
+                if let Some(lock) = lock_path(recv) {
+                    facts.locks.push((*line, lock));
+                }
             }
             if RNG_CTORS.contains(&method.as_str()) {
                 facts.rng.push(rng_ctor(method, args, *line));
@@ -497,6 +536,204 @@ fn strip_layers(e: &Expr) -> &Expr {
     }
 }
 
+// ----- float-accumulation facts (S9) -----------------------------------
+
+fn is_float_ty(ty: &str) -> bool {
+    ty.contains("f32") || ty.contains("f64")
+}
+
+fn is_float_lit(e: &Expr) -> bool {
+    matches!(strip_layers(e), Expr::Lit { float: true, .. })
+}
+
+/// Names the item binds with a float type: `f32`/`f64`-annotated
+/// parameters and `let`s (at any block depth), plus `let`s initialized
+/// from a float literal. The S9 loop-carried-accumulation check only
+/// fires on these, so integer counters never surface.
+fn float_bound_names(item: &Item) -> BTreeSet<String> {
+    let mut out: BTreeSet<String> = item
+        .params
+        .iter()
+        .filter(|(_, ty)| is_float_ty(ty))
+        .map(|(n, _)| n.clone())
+        .collect();
+    if let Some(body) = &item.body {
+        collect_float_lets(body, &mut out);
+        walk_block(body, &mut |e| {
+            let blocks: Vec<&Block> = match e {
+                Expr::For { body, .. } | Expr::While { body, .. } | Expr::BlockExpr(body) => {
+                    vec![body]
+                }
+                Expr::If { then, els, .. } => {
+                    let mut v = vec![then];
+                    if let Some(b) = els {
+                        v.push(b);
+                    }
+                    v
+                }
+                _ => return,
+            };
+            for b in blocks {
+                collect_float_lets(b, &mut out);
+            }
+        });
+    }
+    out
+}
+
+fn collect_float_lets(block: &Block, out: &mut BTreeSet<String>) {
+    for stmt in &block.stmts {
+        if let Stmt::Let { name, ty, init, .. } = stmt {
+            if name.is_empty() {
+                continue;
+            }
+            let float_ty = ty.as_deref().is_some_and(is_float_ty);
+            let float_init = init.as_ref().is_some_and(is_float_lit);
+            if float_ty || float_init {
+                out.insert(name.clone());
+            }
+        }
+    }
+}
+
+/// Calls `f` on every expression with its enclosing loop depth.
+fn walk_loop_depth(e: &Expr, depth: usize, f: &mut impl FnMut(&Expr, usize)) {
+    f(e, depth);
+    match e {
+        Expr::For { iter, body, .. } => {
+            walk_loop_depth(iter, depth, f);
+            walk_block_loop_depth(body, depth + 1, f);
+        }
+        Expr::While { cond, body } => {
+            if let Some(c) = cond {
+                walk_loop_depth(c, depth, f);
+            }
+            walk_block_loop_depth(body, depth + 1, f);
+        }
+        Expr::If { cond, then, els } => {
+            walk_loop_depth(cond, depth, f);
+            walk_block_loop_depth(then, depth, f);
+            if let Some(b) = els {
+                walk_block_loop_depth(b, depth, f);
+            }
+        }
+        Expr::Match { scrutinee, arms } => {
+            walk_loop_depth(scrutinee, depth, f);
+            for a in arms {
+                walk_loop_depth(a, depth, f);
+            }
+        }
+        Expr::Call { callee, args, .. } => {
+            walk_loop_depth(callee, depth, f);
+            for a in args {
+                walk_loop_depth(a, depth, f);
+            }
+        }
+        Expr::MethodCall { recv, args, .. } => {
+            walk_loop_depth(recv, depth, f);
+            for a in args {
+                walk_loop_depth(a, depth, f);
+            }
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_loop_depth(lhs, depth, f);
+            walk_loop_depth(rhs, depth, f);
+        }
+        Expr::Field { recv, .. } => walk_loop_depth(recv, depth, f),
+        Expr::Index { recv, index } => {
+            walk_loop_depth(recv, depth, f);
+            walk_loop_depth(index, depth, f);
+        }
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::Closure { body: expr, .. } => {
+            walk_loop_depth(expr, depth, f)
+        }
+        Expr::BlockExpr(b) => walk_block_loop_depth(b, depth, f),
+        Expr::Tuple(xs) | Expr::Array(xs) => {
+            for x in xs {
+                walk_loop_depth(x, depth, f);
+            }
+        }
+        Expr::StructLit { fields, .. } => {
+            for x in fields {
+                walk_loop_depth(x, depth, f);
+            }
+        }
+        Expr::MacroCall { args, .. } => {
+            for x in args {
+                walk_loop_depth(x, depth, f);
+            }
+        }
+        Expr::Jump { expr: Some(e) } => walk_loop_depth(e, depth, f),
+        Expr::Path { .. } | Expr::Lit { .. } | Expr::Jump { expr: None } | Expr::Opaque => {}
+    }
+}
+
+fn walk_block_loop_depth(block: &Block, depth: usize, f: &mut impl FnMut(&Expr, usize)) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let { init, .. } => {
+                if let Some(e) = init {
+                    walk_loop_depth(e, depth, f);
+                }
+            }
+            Stmt::Expr(e) => walk_loop_depth(e, depth, f),
+            // Nested items are their own flow-graph nodes.
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+/// Collects the item's float-accumulation sites into `facts`:
+/// `.fold(seed, …)` with a float seed, `.sum::<f32|f64>()` /
+/// `.product::<…>()`, and loop-carried `+=`/`-=`/`*=`/`/=` onto
+/// float-bound names.
+fn collect_float_accums(item: &Item, facts: &mut FnFacts) {
+    let Some(body) = &item.body else { return };
+    let floats = float_bound_names(item);
+    let mut visit = |e: &Expr, depth: usize| match e {
+        Expr::MethodCall {
+            method,
+            turbofish,
+            args,
+            line,
+            ..
+        } => {
+            if method == "fold" {
+                let float_seed = args.first().is_some_and(|a| {
+                    is_float_lit(a) || chain_root(a).is_some_and(|r| floats.contains(r))
+                });
+                if float_seed {
+                    facts
+                        .float_accums
+                        .push((*line, "`.fold(…)` seeded with a float".to_string()));
+                }
+            }
+            if (method == "sum" || method == "product")
+                && turbofish.as_deref().is_some_and(is_float_ty)
+            {
+                facts
+                    .float_accums
+                    .push((*line, format!("float `.{method}()` reduction")));
+            }
+        }
+        Expr::Binary { op, lhs, line, .. }
+            if depth > 0 && matches!(op.as_str(), "+=" | "-=" | "*=" | "/=") =>
+        {
+            if let Some(root) = chain_root(lhs) {
+                if floats.contains(root) {
+                    facts
+                        .float_accums
+                        .push((*line, format!("loop-carried `{root} {op} …`")));
+                }
+            }
+        }
+        _ => {}
+    };
+    walk_block_loop_depth(body, 0, &mut visit);
+    facts.float_accums.sort();
+    facts.float_accums.dedup();
+}
+
 // ----- shard-body discovery --------------------------------------------
 
 /// A closure passed as the worker argument of a `leime-par` entry point.
@@ -506,6 +743,8 @@ struct ShardBody {
     path: String,
     /// Entry-point name (`par_map_shards` / `run_rounds`).
     entry: String,
+    /// Name of the enclosing fn (an S9 byte-identical-contract root).
+    encl_fn: String,
     /// What the closure captures from its enclosing fn.
     captures: Vec<Capture>,
     /// Interior-mutability uses of captured names inside the body:
@@ -513,7 +752,9 @@ struct ShardBody {
     interior_mut: Vec<(String, String, u32)>,
     /// Blocking sites directly inside the body: `(line, what)`.
     blocking: Vec<(u32, String)>,
-    /// Names the body calls — roots for the S8 reachability walk.
+    /// Lock acquisitions directly inside the body (S12 graph roots).
+    locks: Vec<(u32, String)>,
+    /// Names the body calls — roots for the S8/S12 reachability walks.
     calls: BTreeSet<String>,
 }
 
@@ -629,9 +870,11 @@ fn shard_bodies_of(path: &str, item: &Item, cfg: &SemaConfig, out: &mut Vec<Shar
         out.push(ShardBody {
             path: path.to_string(),
             entry,
+            encl_fn: item.name.clone(),
             captures,
             interior_mut,
             blocking: facts.blocking,
+            locks: facts.locks,
             calls: facts.calls,
         });
     }
@@ -648,6 +891,8 @@ pub struct FlowAnalysis {
     defs: BTreeMap<String, Vec<FnFacts>>,
     /// Shard-worker closures found at `leime-par` entry-point calls.
     shard_bodies: Vec<ShardBody>,
+    /// `#[target_feature]` fns per file: `(path, fact)` (S10).
+    tf_fns: Vec<(String, TargetFeatureFn)>,
 }
 
 impl FlowAnalysis {
@@ -669,11 +914,24 @@ impl FlowAnalysis {
                 if let Some(b) = &item.body {
                     collect_block_effects(b, 0, &mut facts);
                 }
+                collect_float_accums(item, &mut facts);
                 out.defs.entry(item.name.clone()).or_default().push(facts);
                 shard_bodies_of(path, item, cfg, &mut out.shard_bodies);
             });
+            if src.contains("target_feature") {
+                for tf in audit::target_feature_fns(src) {
+                    out.tf_fns.push((path.clone(), tf));
+                }
+            }
         }
         out
+    }
+
+    /// The `#[target_feature]` fns found during the build, as
+    /// `(path, fact)` pairs — `leime-lint` checks them against the
+    /// differential-test registry file.
+    pub fn target_feature_fns(&self) -> &[(String, TargetFeatureFn)] {
+        &self.tf_fns
     }
 
     /// Names transitively reachable from `roots` through call edges
@@ -739,9 +997,10 @@ impl FlowAnalysis {
         out
     }
 
-    /// Runs S5, S7 and S8 and returns their findings, sorted by path,
-    /// line and rule. (S6 is driven by `leime-lint`, which owns the
-    /// pinned baseline file this crate must not read.)
+    /// Runs S5, S7–S10 and S12 and returns their findings, sorted by
+    /// path, line and rule. (S6 and the S10 registry / S11 ledger
+    /// checks are driven by `leime-lint`, which owns the pinned files
+    /// this crate must not read.)
     pub fn findings(&self, cfg: &SemaConfig) -> Vec<Finding> {
         let mut out = Vec::new();
         if cfg.rule_on("S5") {
@@ -752,6 +1011,15 @@ impl FlowAnalysis {
         }
         if cfg.rule_on("S8") {
             self.scan_s8(&mut out);
+        }
+        if cfg.rule_on("S9") {
+            self.scan_s9(cfg, &mut out);
+        }
+        if cfg.rule_on("S10") {
+            self.scan_s10(cfg, &mut out);
+        }
+        if cfg.rule_on("S12") {
+            self.scan_s12(&mut out);
         }
         out.sort_by(|a, b| {
             (&a.path, a.line, &a.rule, &a.message).cmp(&(&b.path, b.line, &b.rule, &b.message))
@@ -872,6 +1140,236 @@ impl FlowAnalysis {
             }
         }
     }
+
+    // S9: float accumulations on byte-identical-contract paths.
+    fn scan_s9(&self, cfg: &SemaConfig, out: &mut Vec<Finding>) {
+        // Contract roots: the hot roots and every shard body — plus,
+        // transitively, everything they call ([`Self::hot_set`]). The
+        // fns *enclosing* a shard body are roots too: their reduction
+        // sites merge shard outputs (`concat_shards` inputs).
+        let mut scope = self.hot_set(cfg);
+        for sb in &self.shard_bodies {
+            scope.insert(sb.encl_fn.clone());
+        }
+        for (name, defs) in &self.defs {
+            if !scope.contains(name) || cfg.s9_approved_fns.iter().any(|a| a == name) {
+                continue;
+            }
+            for def in defs {
+                for (line, what) in &def.float_accums {
+                    out.push(Finding {
+                        rule: "S9".to_string(),
+                        path: def.path.clone(),
+                        line: *line,
+                        message: format!(
+                            "`fn {name}` has a {what} on a byte-identical-contract path — \
+                             float reduction order must be pinned: route it through an \
+                             ordered helper (`concat_shards`, `merge_btree_maps`) or an \
+                             approved kernel (DESIGN.md §15)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // S10: target_feature fns must share a round body with the scalar
+    // path and must not enable contraction-prone features unless that
+    // body is registered FMA-free.
+    fn scan_s10(&self, cfg: &SemaConfig, out: &mut Vec<Finding>) {
+        let tf_names: BTreeSet<&str> = self.tf_fns.iter().map(|(_, tf)| tf.name.as_str()).collect();
+        for (path, tf) in &self.tf_fns {
+            // Callees of the target_feature fn that the workspace
+            // defines (library method names fall out).
+            let mut defined_callees: BTreeSet<&str> = BTreeSet::new();
+            if let Some(defs) = self.defs.get(&tf.name) {
+                for def in defs {
+                    for c in &def.calls {
+                        if self.defs.contains_key(c) && !tf_names.contains(c.as_str()) {
+                            defined_callees.insert(c.as_str());
+                        }
+                    }
+                }
+            }
+            // A shared round body: a callee some non-target_feature fn
+            // also calls — the single code path both SIMD and scalar
+            // dispatch funnel through (DESIGN.md §14).
+            let shared: Vec<&str> = defined_callees
+                .iter()
+                .copied()
+                .filter(|c| {
+                    self.defs.iter().any(|(name, defs)| {
+                        name != &tf.name
+                            && !tf_names.contains(name.as_str())
+                            && defs.iter().any(|d| d.calls.contains(*c))
+                    })
+                })
+                .collect();
+            if shared.is_empty() {
+                out.push(Finding {
+                    rule: "S10".to_string(),
+                    path: path.clone(),
+                    line: tf.line,
+                    message: format!(
+                        "`fn {}` is `#[target_feature]` but does not funnel through a \
+                         round body shared with the scalar path — SIMD and scalar must \
+                         execute one body or bit-identity rests on luck (DESIGN.md §11)",
+                        tf.name
+                    ),
+                });
+            }
+            let contraction: Vec<&str> = tf
+                .features
+                .iter()
+                .filter(|f| f.as_str() == "fma")
+                .map(String::as_str)
+                .collect();
+            if !contraction.is_empty() {
+                let registered = shared
+                    .iter()
+                    .any(|c| cfg.fma_free_round_bodies.iter().any(|r| r == c));
+                if !registered {
+                    out.push(Finding {
+                        rule: "S10".to_string(),
+                        path: path.clone(),
+                        line: tf.line,
+                        message: format!(
+                            "`fn {}` enables contraction-prone `fma` — the compiler may \
+                             fuse mul+add into one rounding, diverging from the scalar \
+                             path; drop the feature or register the shared round body \
+                             as FMA-free (`fma_free_round_bodies`)",
+                            tf.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // S12: lock acquisition cycles reachable from shard bodies.
+    fn scan_s12(&self, out: &mut Vec<Finding>) {
+        // One lock-order graph over everything shard bodies reach:
+        // direct body acquisitions plus those of every reachable fn.
+        // Edges over-approximate: within one fn, earlier-in-source
+        // acquisitions point at later ones; a fn holding any lock
+        // points at every lock its defined callees transitively
+        // acquire (guards are assumed held across calls).
+        // (path, in-order lock acquisitions, callees) per fn in scope.
+        type LockScope = (String, Vec<(u32, String)>, BTreeSet<String>);
+        let mut edges: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut site: BTreeMap<String, (String, u32)> = BTreeMap::new();
+        let mut ordered: Vec<LockScope> = Vec::new();
+        for sb in &self.shard_bodies {
+            ordered.push((sb.path.clone(), sb.locks.clone(), sb.calls.clone()));
+        }
+        let reach: BTreeSet<String> = self.reachable(
+            self.shard_bodies
+                .iter()
+                .flat_map(|sb| sb.calls.iter().cloned()),
+        );
+        for name in &reach {
+            if let Some(defs) = self.defs.get(name) {
+                for def in defs {
+                    ordered.push((def.path.clone(), def.locks.clone(), def.calls.clone()));
+                }
+            }
+        }
+        // Locks transitively acquired by each defined fn in scope.
+        let lock_closure = |root: &str| -> BTreeSet<String> {
+            let mut acc = BTreeSet::new();
+            for name in self.reachable([root.to_string()]) {
+                if let Some(defs) = self.defs.get(&name) {
+                    for def in defs {
+                        acc.extend(def.locks.iter().map(|(_, l)| l.clone()));
+                    }
+                }
+            }
+            acc
+        };
+        for (path, locks, calls) in &ordered {
+            for (line, lock) in locks {
+                // Anchor each lock at its earliest acquisition site.
+                let entry = site
+                    .entry(lock.clone())
+                    .or_insert_with(|| (path.clone(), *line));
+                if (path.as_str(), *line) < (entry.0.as_str(), entry.1) {
+                    *entry = (path.clone(), *line);
+                }
+            }
+            for (i, (_, a)) in locks.iter().enumerate() {
+                for (_, b) in locks.iter().skip(i + 1) {
+                    if a != b {
+                        edges.entry(a.clone()).or_default().insert(b.clone());
+                    }
+                }
+                for callee in calls {
+                    if !self.defs.contains_key(callee) {
+                        continue;
+                    }
+                    for b in lock_closure(callee) {
+                        if *a != b {
+                            edges.entry(a.clone()).or_default().insert(b);
+                        }
+                    }
+                }
+            }
+        }
+        for cycle in find_cycles(&edges) {
+            let Some((path, line)) = cycle.first().and_then(|l| site.get(l)) else {
+                continue;
+            };
+            out.push(Finding {
+                rule: "S12".to_string(),
+                path: path.clone(),
+                line: *line,
+                message: format!(
+                    "lock acquisition cycle reachable from a shard body: {} — \
+                     concurrent shards can deadlock; impose one global lock order \
+                     or drop a guard before the next acquisition",
+                    cycle.join(" \u{2192} ")
+                ),
+            });
+        }
+    }
+}
+
+/// Elementary cycles of the lock-order graph, one representative per
+/// cycle, each rotated so its lexicographically smallest lock comes
+/// first (deterministic output) and closed with the starting lock
+/// (`a → b → a`).
+fn find_cycles(edges: &BTreeMap<String, BTreeSet<String>>) -> Vec<Vec<String>> {
+    let mut cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in edges.keys() {
+        // Bounded DFS from each node; paths are short (lock chains).
+        let mut stack: Vec<(String, Vec<String>)> = vec![(start.clone(), vec![start.clone()])];
+        while let Some((node, path)) = stack.pop() {
+            let Some(nexts) = edges.get(&node) else {
+                continue;
+            };
+            for next in nexts {
+                if next == start {
+                    let mut cycle = path.clone();
+                    // Rotate the smallest lock to the front.
+                    if let Some(min_idx) = cycle
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, l)| l.as_str())
+                        .map(|(i, _)| i)
+                    {
+                        cycle.rotate_left(min_idx);
+                    }
+                    let mut closed = cycle.clone();
+                    closed.push(closed[0].clone());
+                    cycles.insert(closed);
+                } else if !path.contains(next) && path.len() < 16 {
+                    let mut p = path.clone();
+                    p.push(next.clone());
+                    stack.push((next.clone(), p));
+                }
+            }
+        }
+    }
+    cycles.into_iter().collect()
 }
 
 /// One S6 hot-allocation record (see
@@ -886,10 +1384,13 @@ pub struct HotAlloc {
     pub count: usize,
 }
 
-/// Convenience front door: builds the analysis and returns the S5/S7/S8
-/// findings for the whole scanned file set.
+/// Convenience front door: builds the analysis and returns the
+/// S5/S7–S10/S12 findings for the whole scanned file set.
 pub fn analyze_workspace(files: &[(String, String)], cfg: &SemaConfig) -> Vec<Finding> {
-    if !["S5", "S7", "S8"].iter().any(|r| cfg.rule_on(r)) {
+    if !["S5", "S7", "S8", "S9", "S10", "S12"]
+        .iter()
+        .any(|r| cfg.rule_on(r))
+    {
         return Vec::new();
     }
     FlowAnalysis::build(files, cfg).findings(cfg)
@@ -1141,6 +1642,133 @@ mod tests {
     fn test_items_are_skipped() {
         let found = analyze(
             "#[cfg(test)]\nmod tests { fn setup() { let a = StdRng::seed_from_u64(33); } }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn s9_flags_loop_carried_float_accumulation_in_hot_fns() {
+        let found = analyze(
+            "fn hot_entry(n: usize) -> f64 { let mut acc = 0.0; \
+             for i in 0..n { acc += weight(i); } acc }\n\
+             fn weight(i: usize) -> f64 { i as f64 }",
+        );
+        assert_eq!(rules_of(&found), vec!["S9"], "{found:?}");
+        assert!(found[0].message.contains("acc +="), "{}", found[0].message);
+    }
+
+    #[test]
+    fn s9_flags_float_sum_and_fold_reachable_from_hot_roots() {
+        let found = analyze(
+            "fn hot_entry(xs: &[f64]) -> f64 { reduce(xs) }\n\
+             fn reduce(xs: &[f64]) -> f64 { \
+             let s = xs.iter().sum::<f64>(); \
+             xs.iter().fold(0.0, |a, b| a + b) + s }",
+        );
+        assert_eq!(rules_of(&found), vec!["S9", "S9"], "{found:?}");
+    }
+
+    #[test]
+    fn s9_ignores_integer_accumulation_and_cold_fns() {
+        let found = analyze(
+            "fn hot_entry(n: usize) -> usize { let mut c = 0; \
+             for i in 0..n { c += i; } c }\n\
+             fn cold(xs: &[f64]) -> f64 { let mut a = 0.0; \
+             for x in xs { a += *x; } a }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn s9_approved_fns_are_exempt() {
+        let mut c = cfg();
+        c.s9_approved_fns.push("hot_entry".to_string());
+        let found = analyze_workspace(
+            &[(
+                "crates/x/src/lib.rs".to_string(),
+                "fn hot_entry(n: usize) -> f64 { let mut acc = 0.0; \
+                 for i in 0..n { acc += i as f64; } acc }"
+                    .to_string(),
+            )],
+            &c,
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn s9_covers_shard_body_enclosing_fns() {
+        let found = analyze(
+            "fn launch(items: &[f64], workers: W) -> f64 { \
+             let outs = par_map_shards(items, workers, |_i, x| x + 1.0); \
+             let mut total = 0.0; for o in outs { total += o; } total }",
+        );
+        assert_eq!(rules_of(&found), vec!["S9"], "{found:?}");
+    }
+
+    #[test]
+    fn s10_flags_fma_without_registered_round_body() {
+        let src = "#[cfg(target_arch = \"x86_64\")]\n\
+                   #[target_feature(enable = \"avx2,fma\")]\n\
+                   unsafe fn fast(x: f64) -> f64 { round_body(x) }\n\
+                   fn scalar(x: f64) -> f64 { round_body(x) }\n\
+                   fn round_body(x: f64) -> f64 { x }";
+        let found = analyze(src);
+        assert_eq!(rules_of(&found), vec!["S10"], "{found:?}");
+        assert!(found[0].message.contains("fma"), "{}", found[0].message);
+
+        let mut c = cfg();
+        c.fma_free_round_bodies.push("round_body".to_string());
+        let found = analyze_workspace(&[("crates/x/src/lib.rs".to_string(), src.to_string())], &c);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn s10_requires_a_shared_round_body() {
+        let found = analyze(
+            "#[cfg(target_arch = \"x86_64\")]\n\
+             #[target_feature(enable = \"avx2\")]\n\
+             unsafe fn fast(x: f64) -> f64 { x }\n\
+             fn scalar(x: f64) -> f64 { x }",
+        );
+        assert_eq!(rules_of(&found), vec!["S10"], "{found:?}");
+        assert!(found[0].message.contains("shared"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn s12_flags_lock_order_cycle_reachable_from_shard_body() {
+        let found = analyze(
+            "fn run(items: &[u32], workers: W) { \
+             let _ = par_map_shards(items, workers, |_i, x| { fwd(*x); bwd(*x); x + 1 }); }\n\
+             fn fwd(x: u32) { let g = a.read(); let h = b.write(); }\n\
+             fn bwd(x: u32) { let g = b.read(); let h = a.write(); }",
+        );
+        let rules = rules_of(&found);
+        assert!(rules.contains(&"S12"), "{found:?}");
+        let s12 = found.iter().find(|f| f.rule == "S12");
+        assert!(
+            s12.is_some_and(|f| f.message.contains("a \u{2192} b \u{2192} a")),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn s12_consistent_lock_order_is_clean() {
+        let found = analyze(
+            "fn run(items: &[u32], workers: W) { \
+             let _ = par_map_shards(items, workers, |_i, x| { fwd(*x); also_fwd(*x); x }); }\n\
+             fn fwd(x: u32) { let g = a.read(); let h = b.write(); }\n\
+             fn also_fwd(x: u32) { let g = a.read(); let h = b.read(); }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn s12_ignores_io_read_write_with_arguments() {
+        let found = analyze(
+            "fn run(items: &[u32], workers: W) { \
+             let _ = par_map_shards(items, workers, |_i, x| { pump(*x); x }); }\n\
+             fn pump(x: u32) { sock.read(&mut buf); sock2.write(&buf); \
+             let g = a.read(); }",
         );
         assert!(found.is_empty(), "{found:?}");
     }

@@ -20,6 +20,7 @@
 //! waivable.
 
 pub mod ast;
+pub mod audit;
 pub mod callgraph;
 pub mod flow;
 pub mod layering;
@@ -36,7 +37,9 @@ use serde::Serialize;
 use std::collections::BTreeSet;
 
 /// The semantic rule identifiers.
-pub const SEMA_RULE_IDS: &[&str] = &["S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8"];
+pub const SEMA_RULE_IDS: &[&str] = &[
+    "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8", "S9", "S10", "S11", "S12",
+];
 
 /// One rule violation. This is the finding type for the whole lint
 /// stack: `leime-lint` re-exports it and wraps it in waiver/report
@@ -81,6 +84,16 @@ pub struct SemaConfig {
     /// Captured-name substrings exempt from S5's interior-mutability
     /// branch (the sanctioned driver-drained telemetry sinks).
     pub s5_exempt_names: Vec<String>,
+    /// Function names allowed to hold float accumulations under S9:
+    /// the ordered-reduction helpers and the approved bit-exact
+    /// kernels. Everything else reachable from a byte-identical
+    /// contract root must route its float reductions through one of
+    /// these.
+    pub s9_approved_fns: Vec<String>,
+    /// Shared round bodies registered as FMA-free (S10): a
+    /// `target_feature` fn may enable `fma` only when it funnels
+    /// through one of these.
+    pub fma_free_round_bodies: Vec<String>,
 }
 
 impl Default for SemaConfig {
@@ -165,6 +178,32 @@ impl Default for SemaConfig {
                 ("run_rounds".to_string(), 3),
             ],
             s5_exempt_names: vec!["telemetry".to_string()],
+            s9_approved_fns: [
+                // ordered-reduction helpers (leime-par)
+                "concat_shards",
+                "merge_btree_maps",
+                // approved bit-exact kernels (offload solver; DESIGN.md §14)
+                "solve_lanes",
+                "contract_rounds",
+                "dpp",
+                "golden_section_solve",
+                "golden_section_solve_batch",
+                // reviewed order-pinned sequential reductions (DESIGN.md
+                // §15 ledger): single-threaded source-order loops whose
+                // result never crosses a shard boundary unreduced.
+                "run",
+                "avg_env",
+                "flops_prefix",
+                "check_simplex",
+                "validate",
+                "softmax_rows",
+                "norm",
+                "poisson_draw",
+            ]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect(),
+            fma_free_round_bodies: Vec::new(),
         }
     }
 }

@@ -1,15 +1,17 @@
 //! Tier-2 property tests: the interprocedural flow analysis is *total*.
 //! Whatever token or byte soup parses into, `FlowAnalysis::build`,
-//! `findings`, `hot_alloc_counts`, `reachable`, and `closure_captures`
-//! must terminate without panicking — and deterministically, since the
-//! lint gate diffs their output across runs.
+//! `findings`, `hot_alloc_counts`, `reachable`, `closure_captures`,
+//! and the S10/S11 extractors (`audit::unsafe_sites`,
+//! `audit::target_feature_fns`) must terminate without panicking — and
+//! deterministically, since the lint gate diffs their output across
+//! runs.
 //!
 //! The proptest shim seeds each test from its module path (see
 //! `crates/shims/proptest`), so every run draws the same fixed cases.
 
 use leime_sema::flow::{closure_captures, FlowAnalysis};
 use leime_sema::parser::parse_source;
-use leime_sema::{ast, SemaConfig};
+use leime_sema::{ast, audit, SemaConfig};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
@@ -83,6 +85,25 @@ const VOCAB: &[&str] = &[
     "// line\n",
     "/*",
     "\n",
+    // S9–S12 raw material: unsafe sites, target_feature attrs, safety
+    // comments, float reductions, lock acquisitions.
+    "unsafe",
+    "#[target_feature(enable = \"avx2,fma\")]",
+    "// safety: soup\n",
+    "fold",
+    "sum",
+    "product",
+    "::<f64>",
+    "0.0",
+    "1.5f32",
+    "f64",
+    "*=",
+    "read",
+    "write",
+    "extern",
+    "\"C\"",
+    "impl",
+    "trait",
 ];
 
 /// Printable-ASCII alphabet plus whitespace for the byte-soup cases.
@@ -106,7 +127,8 @@ fn pipeline(src: &str) -> String {
     let findings = flow.findings(&cfg);
     let counts = flow.hot_alloc_counts(&cfg);
     let reach = flow.reachable(cfg.hot_root_fns.iter().cloned());
-    format!("{findings:?}|{counts:?}|{reach:?}")
+    let tf = flow.target_feature_fns();
+    format!("{findings:?}|{counts:?}|{reach:?}|{tf:?}")
 }
 
 proptest! {
@@ -136,6 +158,27 @@ proptest! {
             .collect::<Vec<_>>()
             .join(" ");
         prop_assert_eq!(pipeline(&src), pipeline(&src));
+    }
+
+    #[test]
+    fn audit_extractors_are_total_on_token_soup(picks in prop::collection::vec(0usize..VOCAB.len(), 0..120)) {
+        let src: String = picks
+            .iter()
+            .map(|&i| VOCAB[i])
+            .collect::<Vec<_>>()
+            .join(" ");
+        // Total and deterministic, like the rest of the pipeline.
+        let sites = audit::unsafe_sites(&src);
+        let tf = audit::target_feature_fns(&src);
+        prop_assert_eq!(format!("{sites:?}"), format!("{:?}", audit::unsafe_sites(&src)));
+        prop_assert_eq!(format!("{tf:?}"), format!("{:?}", audit::target_feature_fns(&src)));
+    }
+
+    #[test]
+    fn audit_extractors_are_total_on_byte_soup(picks in prop::collection::vec(0usize..CHARS.len(), 0..200)) {
+        let src: String = picks.iter().map(|&i| CHARS[i] as char).collect();
+        let _ = audit::unsafe_sites(&src);
+        let _ = audit::target_feature_fns(&src);
     }
 
     #[test]

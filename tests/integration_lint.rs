@@ -1,5 +1,5 @@
 //! Tier-2 gate: the workspace's own library sources must pass the full
-//! leime-lint rule set — token L1–L5 *and* semantic S1–S8, zero
+//! leime-lint rule set — token L1–L5 *and* semantic S1–S12, zero
 //! violations, waivers within budget. This is the same scan
 //! `cargo run -p leime-lint -- --deny-all` performs in CI, run here so
 //! a plain `cargo test` catches regressions too.
@@ -37,14 +37,18 @@ fn workspace_library_sources_are_lint_clean() {
 
 #[test]
 fn semantic_rules_are_part_of_the_workspace_gate() {
-    // The default scan runs sema (S1–S4 plus the interprocedural flow
-    // rules S5–S8) and reports the `leime-lint/3` schema; the clean
-    // result above is therefore a *semantic* clean — every guarded
-    // solver transitively reaches `invariant::`, no hash iteration or
-    // unit mixing in the marked paths, the crate DAG flows strictly
-    // downward, shard bodies capture nothing mutable and never block,
-    // hot-path allocation counts hold at the pinned baseline, and every
-    // RNG stream derives via `stream_seed`.
+    // The default scan runs sema (S1–S4, the interprocedural flow rules
+    // S5–S8, and the numeric-determinism/unsafe-audit rules S9–S12) and
+    // reports the `leime-lint/4` schema; the clean result above is
+    // therefore a *semantic* clean — every guarded solver transitively
+    // reaches `invariant::`, no hash iteration or unit mixing in the
+    // marked paths, the crate DAG flows strictly downward, shard bodies
+    // capture nothing mutable and never block, hot-path allocation
+    // counts hold at the pinned baseline, every RNG stream derives via
+    // `stream_seed`, hot float accumulations are order-pinned or
+    // approved, SIMD fns share a registered FMA-free round body and a
+    // differential test, every unsafe site is justified and the ledger
+    // ratchet holds, and lock acquisition orders are acyclic.
     let opts = ScanOptions::new(workspace_root());
     assert!(opts.sema, "sema must be on by default");
     let report = match run(&opts) {
@@ -52,9 +56,10 @@ fn semantic_rules_are_part_of_the_workspace_gate() {
         Err(e) => unreachable!("workspace lint scan must succeed: {e}"),
     };
     assert_eq!(report.schema, SCHEMA_VERSION);
-    assert_eq!(SCHEMA_VERSION, "leime-lint/3");
+    assert_eq!(SCHEMA_VERSION, "leime-lint/4");
     for rule in [
-        "L1", "L2", "L3", "L4", "L5", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8",
+        "L1", "L2", "L3", "L4", "L5", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8", "S9", "S10",
+        "S11", "S12",
     ] {
         assert!(
             report.rule_set.iter().any(|r| r == rule),
