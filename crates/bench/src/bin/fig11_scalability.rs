@@ -5,13 +5,44 @@
 //! Paper-reported: LEIME's TCT grows almost linearly with the device
 //! count; it achieves the lowest TCT and supports the most devices, since
 //! its exit settings also relieve edge load as the fleet grows.
+//!
+//! Runs route through the `leime-fleet` front-end with a single edge —
+//! the same code path the `ext_fleet` scale sweep uses — so the two
+//! benches cannot drift apart. A 1-edge fleet is byte-identical to the
+//! bare `SlottedSystem` run (`integration_fleet`'s equivalence anchor),
+//! and the `--json` telemetry export gains the edge dimension: metrics
+//! land under `{model}.n{n}.{system}.edge0.*`.
 
-use leime::{systems, ModelKind, Scenario};
+use std::num::NonZeroUsize;
+
+use leime::{systems, ExitStrategy, ModelKind, Scenario, DEFAULT_EPOCH_LEN};
 use leime_bench::{fmt_time, render_table};
+use leime_fleet::{FleetConfig, FleetSystem};
 use leime_telemetry::Registry;
 
 const SLOTS: usize = 100;
 const SEED: u64 = 11;
+
+fn run_fleet_cell(
+    base: &Scenario,
+    strategy: ExitStrategy,
+    registry: &Registry,
+    prefix: &str,
+) -> f64 {
+    let deployment = base.deploy(strategy).unwrap();
+    let mut fleet = FleetSystem::new(base.clone(), deployment, FleetConfig::single_edge()).unwrap();
+    let report = fleet
+        .run_with_registry(
+            SLOTS,
+            SEED,
+            NonZeroUsize::MIN,
+            DEFAULT_EPOCH_LEN,
+            registry,
+            prefix,
+        )
+        .unwrap();
+    report.mean_tct_s()
+}
 
 fn run_model(model: ModelKind, registry: &Registry) {
     println!(
@@ -25,14 +56,12 @@ fn run_model(model: ModelKind, registry: &Registry) {
         let mut row = vec![n.to_string()];
         for spec in &specs {
             // Every (model, fleet size, system) run gets its own metric
-            // prefix, e.g. `inception_v3.n20.leime.tct_s`.
+            // prefix; the fleet front-end appends the edge dimension,
+            // e.g. `inception_v3.n20.leime.edge0.tct_s`.
             base.controller = spec.controller;
-            let deployment = base.deploy(spec.strategy).unwrap();
             let prefix = format!("{}.n{n}.{}", model.name(), spec.name.to_lowercase());
-            let r = base
-                .run_slotted_with_registry(&deployment, SLOTS, SEED, registry, &prefix)
-                .unwrap();
-            row.push(fmt_time(r.mean_tct_s()));
+            let mean_tct = run_fleet_cell(&base, spec.strategy, registry, &prefix);
+            row.push(fmt_time(mean_tct));
         }
         rows.push(row);
     }

@@ -119,12 +119,54 @@ pub fn rolling_median_baseline(
                 && run["slots"].as_u64() == Some(slots as u64)
         })
         .collect();
+    windowed_median(&comparable, peak_slots_per_sec)
+}
+
+/// A `BENCH_fleet.json` run's peak device-slots/s across its sweep rows
+/// (the fleet bench's throughput unit: one device advancing one slot —
+/// comparable across devices × edges grid cells).
+pub fn fleet_peak_device_slots_per_sec(run: &Value) -> Option<f64> {
+    run["sweep"]
+        .as_array()
+        .into_iter()
+        .flatten()
+        .filter_map(|row| row["device_slots_per_sec"].as_f64())
+        .fold(None, |best: Option<f64>, dsps| {
+            Some(best.map_or(dsps, |b| b.max(dsps)))
+        })
+}
+
+/// The fleet gate baseline: median peak device-slots/s over the last
+/// [`GATE_WINDOW`] `ext_fleet` runs with the same sweep envelope
+/// (devices *and* edges *and* slots — the edge dimension changes where
+/// time goes, so cross-shape comparisons would be meaningless).
+pub fn fleet_rolling_median_baseline(
+    history: &[Value],
+    devices: usize,
+    edges: usize,
+    slots: usize,
+) -> Option<(String, f64)> {
+    let comparable: Vec<&Value> = history
+        .iter()
+        .filter(|run| {
+            run["devices"].as_u64() == Some(devices as u64)
+                && run["edges"].as_u64() == Some(edges as u64)
+                && run["slots"].as_u64() == Some(slots as u64)
+        })
+        .collect();
+    windowed_median(&comparable, fleet_peak_device_slots_per_sec)
+}
+
+/// Median peak over the trailing [`GATE_WINDOW`] of `comparable`, with
+/// the contributing git revisions (sorted by peak, ascending).
+fn windowed_median(
+    comparable: &[&Value],
+    peak: impl Fn(&Value) -> Option<f64>,
+) -> Option<(String, f64)> {
     let window = &comparable[comparable.len().saturating_sub(GATE_WINDOW)..];
     let mut peaks: Vec<(f64, &str)> = window
         .iter()
-        .filter_map(|run| {
-            peak_slots_per_sec(run).map(|p| (p, run["git_rev"].as_str().unwrap_or("unknown")))
-        })
+        .filter_map(|run| peak(run).map(|p| (p, run["git_rev"].as_str().unwrap_or("unknown"))))
         .collect();
     if peaks.is_empty() {
         return None;
@@ -312,5 +354,68 @@ mod tests {
             "run": 1, "git_rev": "rx", "devices": 64, "slots": 200,
         })];
         assert!(rolling_median_baseline(&unparsable, 64, 200).is_none());
+    }
+
+    fn fleet_record(devices: u64, edges: u64, slots: u64, rev: &str, dsps: &[f64]) -> Value {
+        serde_json::json!({
+            "run": 1,
+            "git_rev": rev,
+            "devices": devices,
+            "edges": edges,
+            "slots": slots,
+            "sweep": dsps.iter().map(|&d| serde_json::json!({
+                "devices": devices, "edges": edges, "slots": slots,
+                "device_slots_per_sec": d,
+            })).collect::<Vec<_>>(),
+        })
+    }
+
+    /// The fleet peak is the best device-slots/s over the sweep rows;
+    /// records with no sweep (or no parsable rows) yield no peak.
+    #[test]
+    fn fleet_peak_covers_the_sweep() {
+        let run = fleet_record(1_000_000, 16, 10, "abc", &[8.0e5, 1.8e6, 1.2e6]);
+        assert_eq!(fleet_peak_device_slots_per_sec(&run), Some(1.8e6));
+        assert_eq!(
+            fleet_peak_device_slots_per_sec(&serde_json::json!({})),
+            None
+        );
+        assert_eq!(
+            fleet_peak_device_slots_per_sec(&serde_json::json!({"sweep": []})),
+            None
+        );
+    }
+
+    /// The fleet gate matches on the full sweep envelope — devices,
+    /// edges *and* slots — and medians the trailing window exactly like
+    /// the `perf_baseline` gate.
+    #[test]
+    fn fleet_gate_baseline_requires_matching_envelope() {
+        let history = vec![
+            fleet_record(1_000_000, 16, 10, "r1", &[1.0e6]),
+            // Different edge count: never comparable.
+            fleet_record(1_000_000, 4, 10, "r2", &[9.9e6]),
+            // Different devices / slots: never comparable.
+            fleet_record(100_000, 16, 10, "r3", &[9.9e6]),
+            fleet_record(1_000_000, 16, 20, "r4", &[9.9e6]),
+            fleet_record(1_000_000, 16, 10, "r5", &[1.4e6]),
+            fleet_record(1_000_000, 16, 10, "r6", &[1.2e6]),
+            fleet_record(1_000_000, 16, 10, "r7", &[1.3e6]),
+        ];
+        let (revs, median) = fleet_rolling_median_baseline(&history, 1_000_000, 16, 10).unwrap();
+        // Window = {r5: 1.4e6, r6: 1.2e6, r7: 1.3e6} → median 1.3e6.
+        assert_eq!(median, 1.3e6);
+        assert_eq!(revs, "r6,r7,r5");
+        // Single comparable run gates; empty history does not.
+        let (_, one) = fleet_rolling_median_baseline(&history[..1], 1_000_000, 16, 10).unwrap();
+        assert_eq!(one, 1.0e6);
+        assert!(fleet_rolling_median_baseline(&[], 1_000_000, 16, 10).is_none());
+        // The "sweep" record key marks the fleet pre-history layout for
+        // `history_from_text_for`, mirroring the kernels migration.
+        let pre = r#"{"schema":"leime-bench/1","bench":"ext_fleet",
+            "git_rev":"abc","devices":100,"edges":2,"slots":10,"sweep":[]}"#;
+        let migrated = history_from_text_for(pre, "sweep").unwrap();
+        assert_eq!(migrated.len(), 1);
+        assert_eq!(migrated[0]["run"].as_u64(), Some(1));
     }
 }

@@ -73,7 +73,7 @@ pub use error::LeimeError;
 pub use model::ModelKind;
 pub use report::{FaultStats, RunReport, TierCounts};
 pub use scenario::{ControllerKind, Scenario, WorkloadKind};
-pub use slotted::{SlottedSystem, DEFAULT_EPOCH_LEN, SHARE_FLOOR};
+pub use slotted::{share_floor, SlottedSystem, DEFAULT_EPOCH_LEN, SHARE_FLOOR};
 pub use tasksim::TaskSim;
 
 /// Convenience alias for results returned by this crate.

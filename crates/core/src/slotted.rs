@@ -23,6 +23,15 @@ use crate::{Deployment, LeimeError, Result, RunReport, Scenario, WorkloadKind};
 /// this system (`leime-serving`) allocate shares identically.
 pub const SHARE_FLOOR: f64 = 1e-3;
 
+/// The scale-safe share floor for an `n`-device fleet:
+/// [`SHARE_FLOOR`] capped at `1/n` (the simplex bound the KKT solver
+/// asserts). Bit-identical to the raw constant for every fleet up to
+/// 1000 devices — beyond that (the `leime-fleet` million-device sweeps)
+/// the floor scales down with the fleet instead of panicking.
+pub fn share_floor(n_devices: usize) -> f64 {
+    SHARE_FLOOR.min(1.0 / n_devices as f64)
+}
+
 /// Slots per shard round under [`SlottedSystem::run_with_workers`]
 /// (DESIGN.md §14): each pool barrier covers one epoch of this many
 /// slots, so barrier frequency drops 16× without changing a single
@@ -264,6 +273,27 @@ impl SlottedSystem {
         &self.queues
     }
 
+    /// Injects per-device queue states (device order), replacing the
+    /// fresh zero queues `new` builds. The fleet tier uses this to carry
+    /// Eq. 10–11 backlog across rebalance intervals and cross-edge
+    /// migrations — queue values move with their devices, bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::LeimeError::Config`] when `queues` does not
+    /// match the scenario's device count.
+    pub fn set_queues(&mut self, queues: &[QueuePair]) -> Result<()> {
+        if queues.len() != self.queues.len() {
+            return Err(crate::LeimeError::Config(format!(
+                "queue injection for {} devices into a {}-device system",
+                queues.len(),
+                self.queues.len()
+            )));
+        }
+        self.queues.copy_from_slice(queues);
+        Ok(())
+    }
+
     /// Attaches a telemetry registry: subsequent runs record, under
     /// `prefix`,
     ///
@@ -407,7 +437,7 @@ impl SlottedSystem {
                             &flops,
                             &means,
                             run_ctx.scenario.edge_flops,
-                            SHARE_FLOOR,
+                            share_floor(n),
                         );
                         SlotQuants { means, shares }
                     })
@@ -565,7 +595,8 @@ fn base_slot_quants(scenario: &Scenario, mmpp: &[Mmpp], flops: &[f64]) -> SlotQu
             _ => d.arrival_mean,
         })
         .collect();
-    let shares = kkt_allocation_with_floor(flops, &means, scenario.edge_flops, SHARE_FLOOR);
+    let shares =
+        kkt_allocation_with_floor(flops, &means, scenario.edge_flops, share_floor(flops.len()));
     SlotQuants { means, shares }
 }
 

@@ -10,7 +10,6 @@ use leime_telemetry::{Histogram, Registry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::slotted::SHARE_FLOOR;
 use crate::{Deployment, Result, RunReport, Scenario, WorkloadKind};
 
 /// One in-flight inference task.
@@ -229,8 +228,12 @@ impl TaskSim {
                     self.refresh_means(now, &mut rng);
                     let means: Vec<f64> = self.current_means.clone();
                     let flops: Vec<f64> = scenario.devices.iter().map(|d| d.flops).collect();
-                    shares =
-                        kkt_allocation_with_floor(&flops, &means, scenario.edge_flops, SHARE_FLOOR);
+                    shares = kkt_allocation_with_floor(
+                        &flops,
+                        &means,
+                        scenario.edge_flops,
+                        crate::slotted::share_floor(flops.len()),
+                    );
                     let edge = match &schedule {
                         Some(s) => s.edge_health(now),
                         None => EdgeHealth::NOMINAL,

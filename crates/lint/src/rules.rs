@@ -83,6 +83,7 @@ impl Default for RuleConfig {
                 "crates/exitcfg/src".to_string(),
                 "crates/chaos/src".to_string(),
                 "crates/serving/src".to_string(),
+                "crates/fleet/src".to_string(),
             ],
             guarded_fn_names: [
                 "kkt_allocation",
@@ -107,6 +108,10 @@ impl Default for RuleConfig {
                 // serving admission + exit-steering entry points
                 "admit",
                 "steer_exits",
+                // fleet regional-tier entry points (pressure balancing
+                // and failover evacuation route through invariant::)
+                "rebalance",
+                "evacuate",
             ]
             .iter()
             .map(|s| (*s).to_string())

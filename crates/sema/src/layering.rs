@@ -10,8 +10,9 @@
 //! | 3 | `leime-workload` |
 //! | 4 | `leime-inference`, `leime-exitcfg`, `leime-chaos`, `leime-offload` |
 //! | 5 | `leime` (core) |
-//! | 6 | `leime-serving` |
-//! | 7 | `leime-bench` |
+//! | 6 | `leime-fleet` |
+//! | 7 | `leime-serving` |
+//! | 8 | `leime-bench` |
 //!
 //! Every `[dependencies]` edge must point to a *strictly lower* layer —
 //! that single check implies acyclicity, keeps `core` off `bench`, and
@@ -49,6 +50,7 @@ pub const LAYERS: &[&[&str]] = &[
         "leime-offload",
     ],
     &["leime"],
+    &["leime-fleet"],
     &["leime-serving"],
     &["leime-bench"],
 ];
@@ -358,8 +360,9 @@ mod tests {
     fn rank_table_matches_reality_spot_checks() {
         assert_eq!(rank_of("leime-invariant"), Some(0));
         assert_eq!(rank_of("leime"), Some(5));
-        assert_eq!(rank_of("leime-serving"), Some(6));
-        assert_eq!(rank_of("leime-bench"), Some(7));
+        assert_eq!(rank_of("leime-fleet"), Some(6));
+        assert_eq!(rank_of("leime-serving"), Some(7));
+        assert_eq!(rank_of("leime-bench"), Some(8));
         assert_eq!(rank_of("not-a-crate"), None);
     }
 }

@@ -105,6 +105,7 @@ impl Default for SemaConfig {
                 "crates/exitcfg/src".to_string(),
                 "crates/chaos/src".to_string(),
                 "crates/serving/src".to_string(),
+                "crates/fleet/src".to_string(),
             ],
             guarded_fn_names: [
                 "kkt_allocation",
@@ -126,6 +127,8 @@ impl Default for SemaConfig {
                 "par_sweep",
                 "admit",
                 "steer_exits",
+                "rebalance",
+                "evacuate",
             ]
             .iter()
             .map(|s| (*s).to_string())
@@ -139,6 +142,7 @@ impl Default for SemaConfig {
                 "crates/core/src".to_string(),
                 "crates/par/src".to_string(),
                 "crates/serving/src".to_string(),
+                "crates/fleet/src".to_string(),
             ],
             unit_path_markers: vec![
                 "crates/exitcfg/src".to_string(),
@@ -150,11 +154,13 @@ impl Default for SemaConfig {
                 "crates/par/src".to_string(),
                 "crates/serving/src".to_string(),
                 "crates/exitcfg/src".to_string(),
+                "crates/fleet/src".to_string(),
             ],
             rng_path_markers: vec![
                 "crates/par/src".to_string(),
                 "crates/core/src".to_string(),
                 "crates/serving/src".to_string(),
+                "crates/fleet/src".to_string(),
             ],
             hot_root_fns: [
                 "run",
@@ -199,6 +205,12 @@ impl Default for SemaConfig {
                 "softmax_rows",
                 "norm",
                 "poisson_draw",
+                // fleet regional tier (leime-fleet): sequential
+                // BTreeMap-ordered pressure/backlog sums at interval
+                // boundaries, never crossing a shard boundary.
+                "edge_pressures",
+                "rebalance",
+                "evacuate",
             ]
             .iter()
             .map(|s| (*s).to_string())

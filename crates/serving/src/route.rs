@@ -1,0 +1,227 @@
+//! Fleet-aware traffic routing: the serving front door for a
+//! multi-edge fleet (`leime-fleet`, DESIGN.md §16).
+//!
+//! A [`FleetRouter`] snapshots the regional tier's device→edge
+//! assignment and answers, per request, which edge should serve it: the
+//! device's *home* edge by default, spilling to the least-pressured
+//! live sibling when the home edge is down or its Eq. 10–11 queue
+//! pressure runs past the spill ratio. Routing is a pure function of
+//! the snapshot — the same request stream routes identically at every
+//! worker count, preserving the serving layer's determinism contract.
+
+use std::collections::BTreeMap;
+
+use leime::LeimeError;
+use leime_fleet::FleetSystem;
+use leime_invariant as invariant;
+
+/// Where a request was sent, and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// Served by the device's assigned home edge.
+    Home(usize),
+    /// Spilled to a sibling edge (home down or over-pressured).
+    Spill { from: usize, to: usize },
+    /// No live edge exists; the device must run fully local.
+    Local,
+}
+
+impl RouteDecision {
+    /// The edge the request lands on, if any.
+    pub fn edge(&self) -> Option<usize> {
+        match *self {
+            RouteDecision::Home(e) => Some(e),
+            RouteDecision::Spill { to, .. } => Some(to),
+            RouteDecision::Local => None,
+        }
+    }
+}
+
+/// A routing snapshot of a fleet's topology: device→edge assignment
+/// plus the spill threshold applied against live-edge pressures.
+#[derive(Debug, Clone)]
+pub struct FleetRouter {
+    edges: usize,
+    assignment: BTreeMap<usize, usize>,
+    /// Spill when home pressure exceeds this multiple of the coolest
+    /// live edge's pressure (mirrors `FleetConfig::pressure_ratio`).
+    spill_ratio: f64,
+}
+
+impl FleetRouter {
+    /// Builds a router from an explicit assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LeimeError::Config`] for a zero edge count, an
+    /// assignment entry out of range, or a non-finite / sub-unity spill
+    /// ratio.
+    pub fn new(
+        edges: usize,
+        assignment: BTreeMap<usize, usize>,
+        spill_ratio: f64,
+    ) -> Result<Self, LeimeError> {
+        if edges == 0 {
+            return Err(LeimeError::Config("router needs at least one edge".into()));
+        }
+        if let Some((&device, &edge)) = assignment.iter().find(|&(_, &e)| e >= edges) {
+            return Err(LeimeError::Config(format!(
+                "device {device} assigned to edge {edge} of {edges}"
+            )));
+        }
+        if !(spill_ratio >= 1.0 && spill_ratio.is_finite()) {
+            return Err(LeimeError::Config(format!(
+                "spill_ratio must be finite and at least 1, got {spill_ratio}"
+            )));
+        }
+        Ok(FleetRouter {
+            edges,
+            assignment,
+            spill_ratio,
+        })
+    }
+
+    /// Snapshots a fleet's current assignment, inheriting its
+    /// `pressure_ratio` as the spill threshold.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FleetRouter::new`] (a well-formed fleet
+    /// always satisfies them).
+    pub fn from_fleet(fleet: &FleetSystem) -> Result<Self, LeimeError> {
+        FleetRouter::new(
+            fleet.config().edges,
+            fleet.assignment().clone(),
+            fleet.config().pressure_ratio,
+        )
+    }
+
+    /// The edge count this router snapshot covers.
+    pub fn edges(&self) -> usize {
+        self.edges
+    }
+
+    /// A device's home edge under the snapshot (`None` for devices the
+    /// fleet does not know).
+    pub fn home_edge(&self, device: usize) -> Option<usize> {
+        self.assignment.get(&device).copied()
+    }
+
+    /// Routes one request: home edge when live and within the spill
+    /// threshold, else the least-pressured live sibling, else fully
+    /// local. `pressures[e]` is edge `e`'s Eq. 10–11 queue pressure
+    /// (each checked non-negative); `down[e]` marks outaged edges.
+    /// Unknown devices route to the least-pressured live edge.
+    pub fn route(&self, device: usize, pressures: &[f64], down: &[bool]) -> RouteDecision {
+        for &p in pressures {
+            invariant::check_nonneg("serving.route.pressure", p);
+        }
+        let live_min = (0..self.edges)
+            .filter(|&e| !down.get(e).copied().unwrap_or(false))
+            .min_by(|&a, &b| {
+                let (pa, pb) = (pressure_at(pressures, a), pressure_at(pressures, b));
+                pa.total_cmp(&pb).then(a.cmp(&b))
+            });
+        let Some(coolest) = live_min else {
+            return RouteDecision::Local;
+        };
+        let Some(home) = self.home_edge(device) else {
+            return RouteDecision::Home(coolest);
+        };
+        let home_down = down.get(home).copied().unwrap_or(false);
+        let home_p = pressure_at(pressures, home);
+        let cool_p = pressure_at(pressures, coolest);
+        if !home_down && (home == coolest || home_p <= self.spill_ratio * cool_p.max(1.0)) {
+            RouteDecision::Home(home)
+        } else {
+            RouteDecision::Spill {
+                from: home,
+                to: coolest,
+            }
+        }
+    }
+}
+
+fn pressure_at(pressures: &[f64], edge: usize) -> f64 {
+    pressures.get(edge).copied().unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router(edges: usize, pairs: &[(usize, usize)]) -> FleetRouter {
+        FleetRouter::new(edges, pairs.iter().copied().collect(), 4.0).expect("valid router")
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(FleetRouter::new(0, BTreeMap::new(), 4.0).is_err());
+        assert!(FleetRouter::new(2, [(0, 5)].into_iter().collect(), 4.0).is_err());
+        assert!(FleetRouter::new(2, BTreeMap::new(), 0.5).is_err());
+        assert!(FleetRouter::new(2, BTreeMap::new(), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn routes_home_when_healthy() {
+        let r = router(2, &[(0, 0), (1, 1)]);
+        assert_eq!(
+            r.route(0, &[5.0, 5.0], &[false, false]),
+            RouteDecision::Home(0)
+        );
+        assert_eq!(r.route(0, &[5.0, 5.0], &[false, false]).edge(), Some(0));
+    }
+
+    #[test]
+    fn spills_off_a_down_or_over_pressured_home() {
+        let r = router(2, &[(0, 0), (1, 1)]);
+        // Home down: spill to the live sibling.
+        assert_eq!(
+            r.route(0, &[0.0, 3.0], &[true, false]),
+            RouteDecision::Spill { from: 0, to: 1 }
+        );
+        // Home over-pressured (past 4× the coolest, above the 1.0
+        // absolute floor): spill.
+        assert_eq!(
+            r.route(0, &[50.0, 2.0], &[false, false]),
+            RouteDecision::Spill { from: 0, to: 1 }
+        );
+        // Within the ratio: stay home even when the sibling is cooler.
+        assert_eq!(
+            r.route(0, &[6.0, 2.0], &[false, false]),
+            RouteDecision::Home(0)
+        );
+    }
+
+    #[test]
+    fn unknown_devices_and_dead_fleets() {
+        let r = router(2, &[(0, 0)]);
+        // Unknown device: coolest live edge.
+        assert_eq!(
+            r.route(99, &[9.0, 1.0], &[false, false]),
+            RouteDecision::Home(1)
+        );
+        // Everything down: fully local.
+        assert_eq!(r.route(0, &[1.0, 1.0], &[true, true]), RouteDecision::Local);
+        assert_eq!(r.route(0, &[1.0, 1.0], &[true, true]).edge(), None);
+    }
+
+    #[test]
+    fn snapshot_tracks_a_live_fleet() {
+        use leime::{ExitStrategy, ModelKind, Scenario};
+        use leime_fleet::FleetConfig;
+
+        let scenario = Scenario::raspberry_pi_cluster(ModelKind::SqueezeNet, 6, 5.0);
+        let deployment = scenario.deploy(ExitStrategy::Leime).expect("deploys");
+        let fleet =
+            FleetSystem::new(scenario, deployment, FleetConfig::regional(2, 10)).expect("builds");
+        let r = FleetRouter::from_fleet(&fleet).expect("snapshots");
+        assert_eq!(r.edges(), 2);
+        // Every device routes to its fleet-assigned home edge when the
+        // fleet is quiet and healthy.
+        let pressures = fleet.pressures();
+        for (&d, &e) in fleet.assignment() {
+            assert_eq!(r.route(d, &pressures, &[false, false]).edge(), Some(e));
+        }
+    }
+}

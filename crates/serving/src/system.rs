@@ -40,7 +40,7 @@ use leime_workload::SlotArrivals;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use leime::{LeimeError, ModelKind, Scenario, SlotArena, SHARE_FLOOR};
+use leime::{share_floor, LeimeError, ModelKind, Scenario, SlotArena};
 
 use crate::{
     admit, steer_exits, AdmissionPolicy, ClassPlan, ClassStats, Request, ServingReport, SlaClass,
@@ -243,7 +243,7 @@ impl ServingSystem {
             means.clear();
             means.extend(scenario.devices.iter().map(|d| d.arrival_mean * rate));
             let shares =
-                kkt_allocation_with_floor(&flops, &means, scenario.edge_flops, SHARE_FLOOR);
+                kkt_allocation_with_floor(&flops, &means, scenario.edge_flops, share_floor(n));
 
             let (mut q_sum, mut h_sum, mut x_sum) = (0.0f64, 0.0f64, 0.0f64);
             for (i, st) in states.iter_mut().enumerate() {

@@ -1,0 +1,481 @@
+//! Differential tests for the hierarchical multi-edge fleet layer
+//! (`leime-fleet`, DESIGN.md §16): for every seed, edge count and worker
+//! count, a fleet run must produce **byte identical** output — the
+//! serialized [`FleetReport`] (per-interval per-edge [`RunReport`]s,
+//! migration log, final assignment), the telemetry snapshot and the
+//! post-run per-device queue states. Plus the migration/failover goldens
+//! (exact post-outage assignment, Eq. 10–11 backlog conserved through
+//! the handoff) and the single-edge equivalence anchor: a 1-edge fleet
+//! *is* the bare `SlottedSystem` run, byte-for-byte.
+
+use std::num::NonZeroUsize;
+
+use leime::{
+    ChaosConfig, ControllerKind, ExitStrategy, FaultModel, ModelKind, Scenario, SlottedSystem,
+    WorkloadKind,
+};
+use leime_fleet::{FleetConfig, FleetReport, FleetSystem, MigrationCause};
+use leime_telemetry::Registry;
+use proptest::prelude::*;
+
+const RUN_SEED: u64 = 41;
+
+/// Worker counts every fleet differential case is checked at (ISSUE 10:
+/// {1, 2, 4, 8}; 1 doubles as the sequential-path sanity check).
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn w(n: usize) -> NonZeroUsize {
+    NonZeroUsize::new(n).expect("worker counts are non-zero")
+}
+
+/// Chaos generator shared with `integration_par` (at least one model
+/// active; the fleet wall adds edge outages prominently since they are
+/// what drives failover).
+fn generated_chaos(seed: u64, mask: u8, duty: f64, mean_s: f64) -> ChaosConfig {
+    let mut models = Vec::new();
+    if mask & 1 != 0 {
+        models.push(FaultModel::LinkFlaps {
+            duty,
+            mean_outage_s: mean_s,
+        });
+    }
+    if mask & 2 != 0 {
+        models.push(FaultModel::BandwidthCollapse {
+            duty,
+            factor: 0.25,
+            mean_episode_s: mean_s,
+        });
+    }
+    if mask & 4 != 0 {
+        models.push(FaultModel::EdgeBrownout {
+            duty,
+            factor: 0.5,
+            mean_episode_s: mean_s,
+        });
+    }
+    if mask & 8 != 0 {
+        models.push(FaultModel::EdgeOutages {
+            duty,
+            mean_outage_s: mean_s,
+        });
+    }
+    if models.is_empty() {
+        models.push(FaultModel::EdgeOutages {
+            duty,
+            mean_outage_s: mean_s,
+        });
+    }
+    ChaosConfig {
+        seed,
+        models,
+        window_s: Some(40.0),
+    }
+}
+
+fn controller_for(selector: u8) -> ControllerKind {
+    match selector % 5 {
+        0 => ControllerKind::Lyapunov,
+        1 => ControllerKind::DeviceOnly,
+        2 => ControllerKind::EdgeOnly,
+        3 => ControllerKind::CapabilityBased,
+        _ => ControllerKind::Fixed(0.3),
+    }
+}
+
+fn workload_for(selector: u8) -> WorkloadKind {
+    match selector % 3 {
+        0 => WorkloadKind::SlotPoisson { max: 40 },
+        1 => WorkloadKind::Deterministic,
+        _ => WorkloadKind::Bursty {
+            burst_factor: 2.5,
+            p_enter: 0.2,
+            p_leave: 0.3,
+            max: 60,
+        },
+    }
+}
+
+/// One generated fleet differential scenario.
+struct FleetCase {
+    devices: usize,
+    edges: usize,
+    rebalance_interval: usize,
+    arrival: f64,
+    controller: u8,
+    workload: u8,
+    chaos: Option<(u64, u8, f64, f64)>,
+}
+
+fn build_scenario(case: &FleetCase) -> Scenario {
+    let mut s = Scenario::raspberry_pi_cluster(ModelKind::SqueezeNet, case.devices, case.arrival);
+    s.controller = controller_for(case.controller);
+    s.workload = workload_for(case.workload);
+    s.chaos = case
+        .chaos
+        .map(|(seed, mask, duty, mean_s)| generated_chaos(seed, mask, duty, mean_s));
+    s
+}
+
+fn build_fleet(case: &FleetCase) -> FleetSystem {
+    let scenario = build_scenario(case);
+    let deployment = scenario.deploy(ExitStrategy::Leime).expect("deploys");
+    let config = FleetConfig::regional(case.edges, case.rebalance_interval);
+    FleetSystem::new(scenario, deployment, config).expect("fleet builds")
+}
+
+/// The fleet §11/§16 contract, asserted: serialized `FleetReport`,
+/// telemetry snapshot and post-run per-device queue bits from
+/// `run_with_workers(…, N)` are byte-identical to the plain `run` for
+/// every `N` in `WORKER_COUNTS`.
+fn assert_fleet_byte_identical(case: &FleetCase, slots: usize, seed: u64) {
+    let run = |workers: Option<usize>| {
+        let registry = Registry::new();
+        let mut fleet = build_fleet(case);
+        let report = match workers {
+            None => {
+                // The sequential reference drives telemetry through the
+                // registry-recording entry point at one worker.
+                fleet
+                    .run_with_registry(
+                        slots,
+                        seed,
+                        w(1),
+                        leime::DEFAULT_EPOCH_LEN,
+                        &registry,
+                        "fleet",
+                    )
+                    .expect("fleet runs")
+            }
+            Some(n) => fleet
+                .run_with_registry(
+                    slots,
+                    seed,
+                    w(n),
+                    leime::DEFAULT_EPOCH_LEN,
+                    &registry,
+                    "fleet",
+                )
+                .expect("fleet runs"),
+        };
+        let queues: Vec<(usize, u64, u64)> = fleet
+            .queues()
+            .iter()
+            .map(|(&d, qp)| (d, qp.q().to_bits(), qp.h().to_bits()))
+            .collect();
+        (
+            serde_json::to_string(&report).expect("report serializes"),
+            serde_json::to_string(&registry.snapshot()).expect("snapshot serializes"),
+            queues,
+        )
+    };
+
+    let (seq_report, seq_tel, seq_queues) = run(None);
+    for workers in WORKER_COUNTS {
+        let (report, tel, queues) = run(Some(workers));
+        assert_eq!(
+            seq_report, report,
+            "FleetReport diverged at {workers} workers ({} devices × {} edges, {slots} slots)",
+            case.devices, case.edges
+        );
+        assert_eq!(
+            seq_tel, tel,
+            "telemetry snapshot diverged at {workers} workers"
+        );
+        assert_eq!(
+            seq_queues, queues,
+            "post-run queue states diverged at {workers} workers"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The million-device wall's generative core (scaled down for CI):
+    /// arbitrary fleets × edge counts × rebalance cadences × workloads ×
+    /// controllers × optional chaos — the fleet run is byte-identical at
+    /// workers {1, 2, 4, 8}, including every cross-edge migration and
+    /// failover decision embedded in the report.
+    #[test]
+    fn fleet_run_is_byte_identical_across_worker_counts(
+        devices in 1usize..33,
+        edges in 1usize..5,
+        rebalance_interval in 0usize..16,
+        slots in 1usize..49,
+        arrival in 1.0f64..10.0,
+        controller in 0u8..5,
+        workload in 0u8..3,
+        with_chaos in 0u8..2,
+        chaos_seed in 0u64..1_000_000,
+        mask in 1u8..16,
+        duty in 0.05f64..0.7,
+        mean_s in 0.5f64..15.0,
+    ) {
+        let case = FleetCase {
+            devices,
+            edges,
+            rebalance_interval,
+            arrival,
+            controller,
+            workload,
+            chaos: (with_chaos == 1).then_some((chaos_seed, mask, duty, mean_s)),
+        };
+        assert_fleet_byte_identical(&case, slots, RUN_SEED);
+    }
+}
+
+/// Pinned regression cases for the property above. The vendored proptest
+/// shim does not replay `.proptest-regressions` files, so the corpus in
+/// `integration_fleet.proptest-regressions` is mirrored here explicitly;
+/// keep the two in sync when adding cases.
+#[test]
+fn fleet_differential_pinned_regressions() {
+    // More edges than devices: three of five shards are permanently
+    // empty (RunReport::new() placeholders) while the balancer sees
+    // zero-pressure targets every boundary.
+    assert_fleet_byte_identical(
+        &FleetCase {
+            devices: 2,
+            edges: 4,
+            rebalance_interval: 3,
+            arrival: 9.0,
+            controller: 0,
+            workload: 0,
+            chaos: None,
+        },
+        30,
+        RUN_SEED,
+    );
+    // Compound chaos (all four fault models) over a 3-edge fleet with a
+    // short rebalance cadence: outage-driven evacuations interleave with
+    // balancer moves across ten boundaries.
+    assert_fleet_byte_identical(
+        &FleetCase {
+            devices: 24,
+            edges: 3,
+            rebalance_interval: 4,
+            arrival: 8.0,
+            controller: 0,
+            workload: 2,
+            chaos: Some((906_617, 15, 0.6, 12.0)),
+        },
+        44,
+        RUN_SEED,
+    );
+    // Single interval (rebalance_interval 0) multi-edge fleet: the
+    // regional tier never acts; per-edge seed lanes and per-edge chaos
+    // reseeding alone must hold the contract.
+    assert_fleet_byte_identical(
+        &FleetCase {
+            devices: 13,
+            edges: 4,
+            rebalance_interval: 0,
+            arrival: 5.0,
+            controller: 4,
+            workload: 1,
+            chaos: Some((7, 8, 0.5, 3.0)),
+        },
+        40,
+        RUN_SEED,
+    );
+}
+
+/// The scenario behind the failover/migration goldens: a 2-edge fleet
+/// whose chaos is an edge-outage-only schedule dense enough that one
+/// edge is down at a boundary, with enough arrival pressure that every
+/// device carries backlog through the handoff.
+fn failover_scenario() -> (Scenario, FleetConfig) {
+    let mut s = Scenario::raspberry_pi_cluster(ModelKind::SqueezeNet, 6, 8.0);
+    s.controller = ControllerKind::Lyapunov;
+    s.workload = WorkloadKind::SlotPoisson { max: 40 };
+    s.chaos = Some(ChaosConfig {
+        seed: FAILOVER_CHAOS_SEED,
+        models: vec![FaultModel::EdgeOutages {
+            duty: 0.55,
+            mean_outage_s: 12.0,
+        }],
+        window_s: None,
+    });
+    let config = FleetConfig::regional(2, 10);
+    (s, config)
+}
+
+/// Chaos seed pinned by the golden below (chosen so exactly one edge is
+/// down at the first boundary of `failover_scenario`).
+const FAILOVER_CHAOS_SEED: u64 = 3;
+
+fn run_failover_golden() -> (FleetReport, FleetSystem) {
+    let (scenario, config) = failover_scenario();
+    let deployment = scenario.deploy(ExitStrategy::Leime).expect("deploys");
+    let mut fleet = FleetSystem::new(scenario, deployment, config).expect("builds");
+    let report = fleet.run(30, RUN_SEED).expect("runs");
+    (report, fleet)
+}
+
+/// Failover golden: at the first boundary (slot 10) edge 1 is down;
+/// its three devices (2, 5, 3 — the pinned assignment puts {2, 3, 5}
+/// there) evacuate heaviest-first onto edge 0 with their Eq. 10–11
+/// backlog intact (`invariant::check_drained` fires inside `evacuate`,
+/// active under `debug_assertions`). The exact post-migration
+/// assignment, causes and ordering are pinned.
+#[test]
+fn failover_golden_exact_post_migration_assignment() {
+    let (report, fleet) = run_failover_golden();
+
+    // Edge 1 is down from the first boundary on.
+    let down: Vec<Vec<usize>> = report
+        .intervals
+        .iter()
+        .map(|iv| iv.down_edges.clone())
+        .collect();
+    assert_eq!(down, vec![vec![], vec![1], vec![1]]);
+
+    // Exactly the three edge-1 devices moved, heaviest first, all
+    // failover, all at the first boundary, all onto edge 0.
+    let moves: Vec<(usize, usize, usize, usize)> = report
+        .migrations
+        .iter()
+        .map(|m| (m.at_slot, m.device, m.from_edge, m.to_edge))
+        .collect();
+    assert_eq!(moves, vec![(10, 2, 1, 0), (10, 5, 1, 0), (10, 3, 1, 0)]);
+    assert!(report
+        .migrations
+        .iter()
+        .all(|m| m.cause == MigrationCause::Failover));
+    // Heaviest-first deal: backlogs are non-increasing and positive —
+    // Eq. 10–11 state travelled with the devices, nothing was zeroed.
+    for pair in report.migrations.windows(2) {
+        assert!(pair[0].backlog >= pair[1].backlog, "not heaviest-first");
+    }
+    assert!(report.migrations.iter().all(|m| m.backlog > 0.0));
+
+    // Post-failover topology: everything lives on edge 0.
+    assert_eq!(report.final_assignment, vec![0; 6]);
+    assert!(fleet.assignment().values().all(|&e| e == 0));
+
+    // The evacuated edge holds zero pressure and simulates nothing in
+    // the remaining intervals (empty RunReport placeholders).
+    assert_eq!(fleet.pressures()[1], 0.0);
+    for iv in &report.intervals[1..] {
+        assert_eq!(iv.edges[1].tasks(), 0, "evacuated edge ran tasks");
+    }
+    // The survivors kept completing work after the handoff.
+    assert!(report.intervals[1].edges[0].tasks() > 0);
+}
+
+/// The balancer golden scenario: no chaos, but devices 0/1/4 (edge 0
+/// under the pinned assignment) arrive an order of magnitude hotter
+/// than devices 2/3/5 (edge 1) with an offload-less controller, so edge
+/// 0's Eq. 10–11 pressure blows past `pressure_ratio` × edge 1's at
+/// every boundary and the balancer migrates hot devices across.
+fn balance_scenario() -> (Scenario, FleetConfig) {
+    let mut s = Scenario::raspberry_pi_cluster(ModelKind::SqueezeNet, 6, 1.0);
+    s.controller = ControllerKind::DeviceOnly;
+    s.workload = WorkloadKind::Deterministic;
+    for d in [0usize, 1, 4] {
+        s.devices[d].arrival_mean = 30.0;
+    }
+    (s, FleetConfig::regional(2, 10))
+}
+
+/// Balancer migration golden: at the first boundary edge 0's pressure
+/// exceeds 4× edge 1's, so the balancer moves edge 0's heaviest device
+/// (device 0, ~123.7 backlog) across — and exactly one move restores
+/// the ratio, so the log holds a single pinned `Balance` event.
+#[test]
+fn balance_golden_moves_heaviest_device_once() {
+    let (scenario, config) = balance_scenario();
+    let deployment = scenario.deploy(ExitStrategy::Leime).expect("deploys");
+    let mut fleet = FleetSystem::new(scenario, deployment, config.clone()).expect("builds");
+    let report = fleet.run(30, RUN_SEED).expect("runs");
+
+    assert_eq!(report.migrations.len(), 1);
+    let m = &report.migrations[0];
+    assert_eq!(
+        (m.at_slot, m.device, m.from_edge, m.to_edge, m.cause),
+        (10, 0, 0, 1, MigrationCause::Balance)
+    );
+    assert!(m.backlog > 100.0, "expected a heavy evacuee: {}", m.backlog);
+    assert_eq!(report.final_assignment, vec![1, 0, 1, 1, 0, 1]);
+    // No outages here: no interval ever marks an edge down.
+    assert!(report.intervals.iter().all(|iv| iv.down_edges.is_empty()));
+    // Post-run the ratio constraint holds between the two edges.
+    let p = fleet.pressures();
+    let (hot, cool) = (p[0].max(p[1]), p[0].min(p[1]));
+    assert!(
+        hot <= config.pressure_ratio * cool,
+        "balancer left ratio violated: {p:?}"
+    );
+}
+
+/// The single-edge equivalence anchor (ISSUE 10 satellite 3): a 1-edge
+/// fleet run reproduces the bare `SlottedSystem::run_with_workers`
+/// RunReport byte-identically — same seed, same chaos, same device
+/// order — and its telemetry under `fleet.edge0` matches the bare
+/// system's under the same prefix, snapshot bytes and all.
+#[test]
+fn single_edge_fleet_is_byte_identical_to_bare_slotted_system() {
+    for (chaos, workers, slots) in [
+        (None, 1usize, 80usize),
+        (Some((11u64, 9u8, 0.4, 6.0)), 4, 60),
+    ] {
+        let case = FleetCase {
+            devices: 10,
+            edges: 1,
+            rebalance_interval: 0,
+            arrival: 6.0,
+            controller: 0,
+            workload: 0,
+            chaos,
+        };
+        let scenario = build_scenario(&case);
+        let deployment = scenario.deploy(ExitStrategy::Leime).expect("deploys");
+
+        let bare_registry = Registry::new();
+        let mut bare = SlottedSystem::new(scenario.clone(), deployment.clone()).expect("builds");
+        bare.attach_registry(&bare_registry, "fleet.edge0");
+        let bare_report = bare
+            .run_with_workers(slots, RUN_SEED, w(workers))
+            .expect("runs");
+
+        let fleet_registry = Registry::new();
+        let mut fleet =
+            FleetSystem::new(scenario, deployment, FleetConfig::single_edge()).expect("builds");
+        let fleet_report = fleet
+            .run_with_registry(
+                slots,
+                RUN_SEED,
+                w(workers),
+                leime::DEFAULT_EPOCH_LEN,
+                &fleet_registry,
+                "fleet",
+            )
+            .expect("runs");
+
+        assert_eq!(fleet_report.intervals.len(), 1);
+        assert_eq!(
+            serde_json::to_string(&fleet_report.intervals[0].edges[0]).expect("serializes"),
+            serde_json::to_string(&bare_report).expect("serializes"),
+            "1-edge fleet RunReport diverged from the bare system \
+             (workers {workers}, chaos {chaos:?})"
+        );
+        assert_eq!(
+            serde_json::to_string(&fleet_registry.snapshot()).expect("serializes"),
+            serde_json::to_string(&bare_registry.snapshot()).expect("serializes"),
+            "1-edge fleet telemetry diverged from the bare system"
+        );
+        // And the carried queue map matches the bare system's post-run
+        // queue states bit-for-bit.
+        let bare_queues: Vec<(u64, u64)> = bare
+            .queues()
+            .iter()
+            .map(|qp| (qp.q().to_bits(), qp.h().to_bits()))
+            .collect();
+        let fleet_queues: Vec<(u64, u64)> = fleet
+            .queues()
+            .values()
+            .map(|qp| (qp.q().to_bits(), qp.h().to_bits()))
+            .collect();
+        assert_eq!(bare_queues, fleet_queues, "queue bits diverged");
+    }
+}
